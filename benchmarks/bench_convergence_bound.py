@@ -1,0 +1,86 @@
+"""Benchmark: the D*|J| convergence bound (Section V).
+
+Paper: "the number of messages required to reach consensus is upper
+bounded by D * |V_H| ... because the maximum bid for each item, only has
+to traverse the network of agents once."
+
+We sweep topologies (varying diameter D) and item counts and assert every
+honest run converges within the bound (in synchronous rounds).
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.mca import (
+    AgentNetwork,
+    AgentPolicy,
+    GeometricUtility,
+    SynchronousEngine,
+    message_bound,
+)
+
+TOPOLOGIES = [
+    ("complete-4", lambda: AgentNetwork.complete(4)),
+    ("line-5", lambda: AgentNetwork.line(5)),
+    ("ring-6", lambda: AgentNetwork.ring(6)),
+    ("star-5", lambda: AgentNetwork.star(5)),
+    ("random-6", lambda: AgentNetwork.random_connected(6, seed=4)),
+]
+
+
+def _policies(network, items):
+    return {
+        a: AgentPolicy(
+            utility=GeometricUtility(
+                {j: 10 + 7 * a + 3 * k for k, j in enumerate(items)},
+                growth=0.5,
+            ),
+            target=2,
+        )
+        for a in network.agents()
+    }
+
+
+@pytest.mark.parametrize("name,factory", TOPOLOGIES, ids=[t[0] for t in TOPOLOGIES])
+@pytest.mark.parametrize("num_items", [2, 4])
+def test_convergence_within_bound(benchmark, report, name, factory, num_items):
+    network = factory()
+    items = [f"item{i}" for i in range(num_items)]
+    bound = message_bound(network, items)
+
+    def run():
+        return SynchronousEngine(network, items,
+                                 _policies(network, items)).run(bound + 5)
+
+    result = benchmark(run)
+    assert result.converged
+    # +1 round: the engine needs one quiescent round to detect convergence.
+    assert result.rounds <= bound + 1
+    report.append(render_table(
+        ["topology", "D", "|J|", "bound D*|J|", "rounds used"],
+        [[name, network.diameter(), num_items, bound, result.rounds]],
+        title="Convergence bound check",
+    ))
+
+
+def test_bound_is_tight_on_a_line(benchmark):
+    """On a line the max bid must traverse the whole network: rounds scale
+    with the diameter."""
+    def run():
+        outcomes = []
+        for n in (3, 5, 7):
+            network = AgentNetwork.line(n)
+            items = ["A"]
+            result = SynchronousEngine(
+                network, items, _policies(network, items)
+            ).run(50)
+            outcomes.append((n, result))
+        return outcomes
+
+    outcomes = benchmark(run)
+    rounds = []
+    for n, result in outcomes:
+        assert result.converged
+        rounds.append(result.rounds)
+    assert rounds == sorted(rounds)  # monotone in the diameter
+    assert rounds[-1] > rounds[0]

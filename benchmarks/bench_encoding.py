@@ -1,0 +1,64 @@
+"""Benchmark: Section IV "Abstractions Efficiency" — naive vs optimized.
+
+Paper (at scope 3 pnodes, 2 vnodes): the naive model (ternary relations +
+Alloy Int) generated ~259K SAT clauses; replacing ternary relations with
+binary ones through ``bidTriple`` and Int with the custom ``value``
+signature reduced it to ~190K, and the consensus check from ~a day to
+under two hours.
+
+We regenerate the comparison with our clean-room translator.  Absolute
+counts differ from Alloy 4's (different translator, and our dynamic model
+is leaner), but the paper's shape must hold: the optimized encoding is
+strictly smaller and faster at every scope, and the gap grows with scope.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.model import compare_encodings
+from repro.model.static_naive import build_naive_static
+from repro.model.static_optim import build_optim_static
+from repro.kodkod.engine import solve
+
+SCOPES = [(2, 2), (3, 2), (3, 3)]
+
+
+@pytest.mark.parametrize("pnodes,vnodes", SCOPES)
+def test_encoding_comparison(benchmark, report, pnodes, vnodes):
+    comparison = benchmark(compare_encodings, pnodes, vnodes)
+    assert comparison.optim_clauses < comparison.naive_clauses
+    assert comparison.optim_vars < comparison.naive_vars
+    report.append(render_table(
+        ["scope", "naive clauses", "optim clauses", "ratio",
+         "naive vars", "optim vars"],
+        [[f"{pnodes}p/{vnodes}v", comparison.naive_clauses,
+          comparison.optim_clauses, f"{comparison.clause_ratio:.2f}",
+          comparison.naive_vars, comparison.optim_vars]],
+        title=f"Section IV encoding comparison at scope ({pnodes},{vnodes}) "
+              "(paper at (3,2): 259K -> 190K, ratio 0.73)",
+    ))
+
+
+def test_gap_grows_with_scope():
+    small = compare_encodings(2, 2)
+    large = compare_encodings(3, 3)
+    gap_small = small.naive_clauses - small.optim_clauses
+    gap_large = large.naive_clauses - large.optim_clauses
+    assert gap_large > gap_small
+
+
+@pytest.mark.parametrize("encoding", ["naive", "optim"])
+def test_solve_time_per_encoding(benchmark, encoding):
+    """Paper: the optimized model's checks ran ~12x faster.  We measure
+    end-to-end (translate + solve) consistency finding per encoding."""
+    def run():
+        if encoding == "naive":
+            model = build_naive_static(max_int=15)
+            _, bounds, facts = model.compile(3, 2)
+        else:
+            model = build_optim_static(max_value=3)
+            _, bounds, facts = model.compile(3, 2)
+        return solve(facts, bounds)
+
+    solution = benchmark(run)
+    assert solution.satisfiable

@@ -1,0 +1,58 @@
+"""Benchmark: Figure 1 / Example 1 — two agents, three items, one exchange.
+
+Paper: after the agreement phase both agents hold b = (20, 15, 30),
+a = (2, 2, 1) and the protocol has reached consensus.  We assert the exact
+final state and measure the end-to-end run.
+"""
+
+from repro.mca import consensus_report, example1_engine, example1_expected_allocation
+
+
+def run_example1():
+    engine = example1_engine()
+    result = engine.run()
+    return engine, result
+
+
+def test_example1_end_to_end(benchmark):
+    engine, result = benchmark(run_example1)
+    assert result.converged
+    # Paper's post-agreement state (0-based agent ids: paper's agent k -> k-1).
+    assert result.allocation == example1_expected_allocation()
+    reference = engine.agents[0]
+    assert reference.beliefs["A"].bid == 20
+    assert reference.beliefs["B"].bid == 15
+    assert reference.beliefs["C"].bid == 30
+    assert consensus_report(engine.agents).consensus
+
+
+def test_example1_third_agent_learns_via_relay(benchmark):
+    """Paper: 'An additional agent 3, connected to agent 1 but not agent 2,
+    would receive the maximum bid so far on each item'."""
+    from repro.mca import AgentNetwork, AgentPolicy, SynchronousEngine, TableUtility
+
+    def run_with_relay():
+        items = ["A", "B", "C"]
+        agent1 = AgentPolicy(
+            utility=TableUtility({("A", 0): 10, ("A", 1): 10,
+                                  ("C", 0): 30, ("C", 1): 30}),
+            target=2,
+        )
+        agent2 = AgentPolicy(
+            utility=TableUtility({("A", 0): 20, ("A", 1): 20,
+                                  ("B", 0): 15, ("B", 1): 15}),
+            target=2,
+        )
+        agent3 = AgentPolicy(utility=TableUtility({}), target=0)
+        network = AgentNetwork([(0, 1), (0, 2)])  # 2 only reaches 1 via 0
+        engine = SynchronousEngine(network, items,
+                                   {0: agent1, 1: agent2, 2: agent3})
+        return engine, engine.run()
+
+    engine, result = benchmark(run_with_relay)
+    assert result.converged
+    relay_view = engine.agents[2]
+    assert relay_view.beliefs["A"].bid == 20
+    assert relay_view.beliefs["B"].bid == 15
+    assert relay_view.beliefs["C"].bid == 30
+    assert consensus_report(engine.agents).consensus

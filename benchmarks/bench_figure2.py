@@ -1,0 +1,69 @@
+"""Benchmark: Figure 2 — release-outbid x sub-modularity dynamics.
+
+Paper: with sub-modular utilities the two agents agree after the first
+exchange; with a non-sub-modular utility and the release-outbid policy the
+protocol oscillates (iteration 3 identical to iteration 1).  We measure
+all four cells and assert the convergence/oscillation shape.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.mca import detect_cycle, figure2_engine
+
+
+@pytest.mark.parametrize("submodular,release,expect_converge", [
+    (True, True, True),
+    (True, False, True),
+    (False, False, True),
+    (False, True, False),  # the paper's instability cell
+])
+def test_figure2_cell(benchmark, submodular, release, expect_converge):
+    def run():
+        return figure2_engine(submodular=submodular,
+                              release_outbid=release).run(50)
+
+    result = benchmark(run)
+    assert result.converged == expect_converge
+    if not expect_converge:
+        assert result.oscillated
+        assert result.cycle_length is not None and result.cycle_length >= 2
+
+
+def test_figure2_oscillation_is_periodic(benchmark):
+    """The failing cell repeats exactly: a Figure-2 style cycle where a
+    later iteration reproduces an earlier one."""
+    def run():
+        return figure2_engine(submodular=False, release_outbid=True).run(50)
+
+    result = benchmark(run)
+    cycle = detect_cycle(result.trace)
+    assert cycle is not None
+    start, length = cycle
+    assert length >= 2
+    # The trace reproduces the repetition the caption describes: the state
+    # at round start+length equals the state at round start.
+    first = result.trace[start]
+    again = result.trace[start + length]
+    assert first.bids == again.bids
+    assert first.bundles == again.bundles
+
+
+def test_figure2_submodular_agreement_table(benchmark, report):
+    """Render the sub-modular row: both agents keep their preferred item."""
+    def run():
+        engine = figure2_engine(submodular=True, release_outbid=True)
+        return engine, engine.run()
+
+    engine, result = benchmark(run)
+    assert result.allocation == {"VN1": 0, "VN2": 1}
+    rows = [
+        [record.round_index,
+         record.bids[0], record.bundles[0],
+         record.bids[1], record.bundles[1]]
+        for record in result.trace
+    ]
+    report.append(render_table(
+        ["iter", "b1", "m1", "b2", "m2"], rows,
+        title="Figure 2 (sub-modular row): convergence trace",
+    ))

@@ -1,0 +1,78 @@
+"""Benchmark: Result 2 — the rebidding attack.
+
+Paper: "we removed from our model the necessary condition discussed in
+Remark 1, allowing physical nodes to re-bid after they were outbid ... we
+found instances in which consensus (a conflict-free assignment) is not
+reached.  ... the MCA protocol is not resilient to rebidding attacks."
+
+Regenerated along both axes: SAT-based counterexample search, and the
+executable protocol under a flip-flop attacker.
+"""
+
+from repro.mca import (
+    AgentNetwork,
+    AgentPolicy,
+    GeometricUtility,
+    RebidStrategy,
+    SynchronousEngine,
+)
+from repro.model import build_dynamic
+
+
+def test_sat_check_finds_attack_counterexample(benchmark):
+    def run():
+        model = build_dynamic(num_pnodes=2, num_vnodes=2, max_value=4,
+                              rebid_attackers={1})
+        return model.check_consensus()
+
+    solution = benchmark(run)
+    assert solution.satisfiable  # counterexample: consensus not reached
+    assert solution.instance is not None
+
+
+def test_sat_check_honest_baseline_holds(benchmark):
+    """Sanity check for the same scope without the attacker."""
+    def run():
+        model = build_dynamic(num_pnodes=2, num_vnodes=2, max_value=4)
+        return model.check_consensus()
+
+    solution = benchmark(run)
+    assert not solution.satisfiable
+
+
+def _attack_engine(attacker_strategy):
+    items = ["A", "B"]
+    policies = {
+        0: AgentPolicy(utility=GeometricUtility({"A": 10, "B": 8}, 0.5),
+                       target=2),
+        1: AgentPolicy(utility=GeometricUtility({"A": 1, "B": 1}, 0.5),
+                       target=2, rebid=attacker_strategy),
+    }
+    return SynchronousEngine(AgentNetwork.complete(2), items, policies)
+
+
+def test_flipflop_attack_livelocks_protocol(benchmark):
+    def run():
+        return _attack_engine(RebidStrategy.FLIPFLOP).run(200)
+
+    result = benchmark(run)
+    assert result.oscillated  # DoS: the auction never settles
+
+
+def test_escalate_attack_hijacks_allocation(benchmark):
+    def run():
+        return _attack_engine(RebidStrategy.ESCALATE).run(200)
+
+    result = benchmark(run)
+    assert result.converged
+    # The attacker (utility 1) stole both items by lying.
+    assert set(result.allocation.values()) == {1}
+
+
+def test_honest_baseline_converges_fairly(benchmark):
+    def run():
+        return _attack_engine(RebidStrategy.HONEST).run(200)
+
+    result = benchmark(run)
+    assert result.converged
+    assert set(result.allocation.values()) == {0}  # true utilities win

@@ -1,0 +1,17 @@
+"""Shared fixtures/helpers for the benchmark harness.
+
+Every benchmark prints the rows the paper reports (via ``print``; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the tables) and asserts
+the paper's qualitative shape.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Accumulate and emit report lines at the end of the session."""
+    lines: list[str] = []
+    yield lines
+    if lines:
+        print("\n" + "\n".join(lines))

@@ -1,0 +1,49 @@
+"""Result 1 demo: push-button verification across the MCA policy grid.
+
+For every combination of (utility sub-modularity) x (release-outbid
+policy), check the consensus assertion with the bounded model checker AND
+cross-validate with exhaustive explicit-state exploration of the real
+protocol.  Exactly one cell fails: non-sub-modular + release (Figure 2).
+
+Run:  python examples/policy_verification.py
+"""
+
+from repro.analysis import render_table
+from repro.checking import explore_message_orders
+from repro.mca import AgentNetwork
+from repro.mca.scenarios import figure2_engine
+from repro.model import policy_matrix
+
+
+def main() -> None:
+    print("=== Result 1: policy-combination sweep ===\n")
+    rows = []
+    verdicts = policy_matrix(num_pnodes=2, num_vnodes=2, max_value=6)
+    for verdict in verdicts:
+        combo = verdict.combination
+        # Cross-validate with the explicit-state checker on Figure 2's
+        # concrete scenario.
+        engine = figure2_engine(submodular=combo.submodular,
+                                release_outbid=combo.release_outbid)
+        policies = {a: engine.agents[a].policy for a in engine.agents}
+        dynamic = explore_message_orders(
+            AgentNetwork.complete(2), engine.items, policies, max_rounds=10
+        )
+        rows.append([
+            "sub-modular" if combo.submodular else "NON-sub-modular",
+            "release" if combo.release_outbid else "keep",
+            "converges" if verdict.converges else "OSCILLATES",
+            "converges" if dynamic.all_converged else "OSCILLATES",
+            verdict.solution.stats.num_clauses,
+        ])
+    print(render_table(
+        ["utility (p_u)", "outbid items (p_RO)", "SAT check",
+         "state exploration", "clauses"],
+        rows,
+    ))
+    print("\nOnly non-sub-modular + release breaks convergence — the")
+    print("paper's Result 1, reproduced by two independent checkers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro: a full-stack reproduction of "An Alloy Verification Model for
+Consensus-Based Auction Protocols" (Mirzaei & Esposito, ICDCS 2015).
+
+Subpackages
+-----------
+``repro.sat``
+    A CDCL SAT solver -- the MiniSat role under the Alloy Analyzer.
+``repro.kodkod``
+    A bounded relational model finder -- the Kodkod role.
+``repro.alloylite``
+    An Alloy-style frontend: sigs, facts, scopes, run/check, ordering.
+``repro.mca``
+    The executable Max-Consensus Auction protocol with pluggable policies.
+``repro.vnm``
+    The virtual network mapping case study (Section II-B).
+``repro.model``
+    The paper's MCA Alloy model, in both the naive and optimized encodings.
+``repro.checking``
+    Explicit-state dynamic checking of the executable protocol.
+``repro.workloads``
+    UAV / virtual-network / smart-grid workload generators.
+``repro.analysis``
+    Experiment drivers and report rendering.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,25 @@
+"""Alloy-lite: an embedded DSL mirroring the Alloy fragment the paper uses.
+
+Signatures with fields and multiplicities, facts, a ``util/ordering``
+equivalent, and push-button ``run``/``check`` commands at bounded scopes.
+"""
+
+from repro.alloylite.commands import CheckResult, RunResult, check, iter_instances, run
+from repro.alloylite.module import Module, ModuleError, Scope
+from repro.alloylite.ordering import OrderedModule, Ordering
+from repro.alloylite.sig import Field, Sig
+
+__all__ = [
+    "CheckResult",
+    "Field",
+    "Module",
+    "ModuleError",
+    "OrderedModule",
+    "Ordering",
+    "RunResult",
+    "Scope",
+    "Sig",
+    "check",
+    "iter_instances",
+    "run",
+]

@@ -1,0 +1,113 @@
+"""Alloy-style commands: ``run`` and ``check`` over a module and scope.
+
+``run`` searches for a satisfying instance of the facts plus a predicate;
+``check`` searches for a *counterexample* to an assertion (facts plus the
+negated assertion).  Both are "push-button": they compile the module at the
+requested scope, translate, solve, and report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.alloylite.module import Module, Scope
+from repro.kodkod import ast
+from repro.kodkod.engine import iter_solutions as _kk_iter, solve as _kk_solve
+from repro.kodkod.evaluator import Evaluator
+from repro.kodkod.instance import Instance
+from repro.kodkod.translate import TranslationStats
+
+
+@dataclass
+class RunResult:
+    """Result of a ``run`` command."""
+
+    satisfiable: bool
+    instance: Instance | None
+    stats: TranslationStats
+    solve_seconds: float
+    total_seconds: float
+
+    def describe(self) -> str:
+        """Pretty rendering of the found instance (if any)."""
+        if not self.satisfiable:
+            return "no instance found"
+        assert self.instance is not None
+        return self.instance.describe()
+
+
+@dataclass
+class CheckResult:
+    """Result of a ``check`` command."""
+
+    valid: bool
+    counterexample: Instance | None
+    stats: TranslationStats
+    solve_seconds: float
+    total_seconds: float
+
+    def describe(self) -> str:
+        """Pretty rendering of the verdict."""
+        if self.valid:
+            return "assertion holds within the scope (no counterexample)"
+        assert self.counterexample is not None
+        return "counterexample found:\n" + self.counterexample.describe()
+
+
+def run(module: Module, predicate: ast.Formula | None = None,
+        scope: Scope | None = None) -> RunResult:
+    """Find an instance of the module's facts (plus ``predicate``)."""
+    scope = scope or Scope()
+    started = time.perf_counter()
+    _, bounds, facts = module.compile(scope)
+    goal = facts if predicate is None else ast.And([facts, predicate])
+    solution = _kk_solve(goal, bounds)
+    total = time.perf_counter() - started
+    if solution.satisfiable:
+        _validate(goal, solution.instance)
+    return RunResult(
+        satisfiable=solution.satisfiable,
+        instance=solution.instance,
+        stats=solution.stats,
+        solve_seconds=solution.solve_seconds,
+        total_seconds=total,
+    )
+
+
+def check(module: Module, assertion: ast.Formula,
+          scope: Scope | None = None) -> CheckResult:
+    """Check an assertion: search for a counterexample within the scope."""
+    scope = scope or Scope()
+    started = time.perf_counter()
+    _, bounds, facts = module.compile(scope)
+    goal = ast.And([facts, ast.Not(assertion)])
+    solution = _kk_solve(goal, bounds)
+    total = time.perf_counter() - started
+    if solution.satisfiable:
+        _validate(goal, solution.instance)
+    return CheckResult(
+        valid=not solution.satisfiable,
+        counterexample=solution.instance,
+        stats=solution.stats,
+        solve_seconds=solution.solve_seconds,
+        total_seconds=total,
+    )
+
+
+def iter_instances(module: Module, predicate: ast.Formula | None = None,
+                   scope: Scope | None = None, limit: int | None = None):
+    """Enumerate instances of the module's facts (plus ``predicate``)."""
+    scope = scope or Scope()
+    _, bounds, facts = module.compile(scope)
+    goal = facts if predicate is None else ast.And([facts, predicate])
+    yield from _kk_iter(goal, bounds, limit=limit)
+
+
+def _validate(goal: ast.Formula, instance: Instance | None) -> None:
+    """Sanity-check every instance the SAT pipeline returns."""
+    assert instance is not None
+    if not Evaluator(instance).check(goal):
+        raise AssertionError(
+            "internal error: SAT instance does not satisfy the goal formula"
+        )

@@ -1,0 +1,158 @@
+"""Modules: collections of sigs, fields and facts, compiled to bounds.
+
+A :class:`Module` is the Alloy-file equivalent.  Given a :class:`Scope`
+(atom counts per top-level sig), it synthesizes the universe, the bounds of
+every sig- and field-relation, and the implicit typing facts — the same
+"atomization" the Alloy Analyzer performs before handing a problem to
+Kodkod.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.alloylite.sig import Field, Sig
+from repro.kodkod import ast
+from repro.kodkod.bounds import Bounds
+from repro.kodkod.universe import Universe
+
+
+@dataclass
+class Scope:
+    """Atom counts per top-level sig (Alloy's ``for N but M Sig`` scopes)."""
+
+    default: int = 3
+    per_sig: dict[str, int] = dataclass_field(default_factory=dict)
+
+    def count_for(self, sig: Sig) -> int:
+        if sig.is_one:
+            return 1
+        return self.per_sig.get(sig.name, self.default)
+
+
+class ModuleError(ValueError):
+    """Raised on inconsistent module declarations."""
+
+
+class Module:
+    """A model: sigs + facts, instantiable at any scope."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self._sigs: list[Sig] = []
+        self._facts: list[ast.Formula] = []
+        self._fact_names: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def sig(self, name: str, parent: Sig | None = None, is_one: bool = False,
+            abstract: bool = False) -> Sig:
+        """Declare a signature."""
+        if any(s.name == name for s in self._sigs):
+            raise ModuleError(f"duplicate sig name {name!r}")
+        sig = Sig(name, parent=parent, is_one=is_one, abstract=abstract)
+        self._sigs.append(sig)
+        return sig
+
+    def fact(self, formula: ast.Formula, name: str = "") -> None:
+        """Add a fact: a constraint every instance must satisfy."""
+        self._facts.append(formula)
+        self._fact_names.append(name or f"fact{len(self._facts)}")
+
+    @property
+    def sigs(self) -> list[Sig]:
+        """All declared sigs."""
+        return list(self._sigs)
+
+    @property
+    def facts(self) -> list[ast.Formula]:
+        """All declared facts (excluding implicit declaration facts)."""
+        return list(self._facts)
+
+    # ------------------------------------------------------------------
+    # Compilation to bounds
+    # ------------------------------------------------------------------
+
+    def _top_level_sigs(self) -> list[Sig]:
+        return [s for s in self._sigs if s.parent is None]
+
+    def atoms_for(self, scope: Scope) -> dict[Sig, list[str]]:
+        """Assign atom names per sig (children partition parent prefixes)."""
+        atoms: dict[Sig, list[str]] = {}
+        for sig in self._top_level_sigs():
+            count = scope.count_for(sig)
+            if count < 1:
+                raise ModuleError(f"scope for {sig.name!r} must be >= 1")
+            atoms[sig] = [f"{sig.name}${i}" for i in range(count)]
+        # Children carve disjoint sub-ranges out of the parent's atoms.
+        def allocate_children(parent: Sig) -> None:
+            pool = list(atoms[parent])
+            cursor = 0
+            for child in parent.children:
+                count = scope.count_for(child)
+                if cursor + count > len(pool):
+                    raise ModuleError(
+                        f"children of {parent.name!r} need more atoms than its scope"
+                    )
+                atoms[child] = pool[cursor:cursor + count]
+                cursor += count
+                allocate_children(child)
+
+        for sig in self._top_level_sigs():
+            allocate_children(sig)
+        return atoms
+
+    def compile(self, scope: Scope) -> tuple[Universe, Bounds, ast.Formula]:
+        """Build (universe, bounds, conjoined facts) for a scope."""
+        atoms = self.atoms_for(scope)
+        universe_atoms: list[str] = []
+        for sig in self._top_level_sigs():
+            universe_atoms.extend(atoms[sig])
+        universe = Universe(universe_atoms)
+        bounds = Bounds(universe)
+
+        # Sig relations: exact for top-level and `one` sigs; subsigs exact
+        # within their carved range (Alloy-style "exactly" scopes keep the
+        # model finite and the translation small).
+        for sig in self._sigs:
+            tuples = universe.tuple_set(1, [(a,) for a in atoms[sig]])
+            bounds.bound_exactly(sig.relation, tuples)
+
+        implicit_facts: list[ast.Formula] = []
+        for sig in self._sigs:
+            if sig.abstract and sig.children:
+                union: ast.Expr = sig.children[0].expr
+                for child in sig.children[1:]:
+                    union = ast.Union(union, child.expr)
+                implicit_facts.append(ast.Equal(sig.relation, union))
+            for fld in sig.fields:
+                upper = None
+                owner_atoms = atoms[sig]
+                upper_tuples = {()}
+                # owner column
+                upper_tuples = {(a,) for a in owner_atoms}
+                for col in fld.columns:
+                    if isinstance(col, Sig):
+                        col_atoms = atoms[col]
+                    else:
+                        raise ModuleError(
+                            "field columns must be sigs "
+                            f"(field {fld.owner.name}.{fld.name})"
+                        )
+                    upper_tuples = {
+                        t + (a,) for t in upper_tuples for a in col_atoms
+                    }
+                upper = universe.tuple_set(fld.relation.arity, upper_tuples)
+                bounds.bound(fld.relation, universe.empty(fld.relation.arity), upper)
+                implicit_facts.extend(fld.declaration_facts())
+
+        all_facts = ast.and_all(implicit_facts + self._facts)
+        return universe, bounds, all_facts
+
+    def __repr__(self) -> str:
+        return (
+            f"Module({self.name!r}, sigs={len(self._sigs)}, "
+            f"facts={len(self._facts)})"
+        )

@@ -1,0 +1,91 @@
+"""``util/ordering`` equivalent: a fixed total order over a sig's atoms.
+
+Alloy's ordering module forces the ordered sig's scope to be exact and fixes
+a concrete total order over its atoms (which also breaks symmetry).  We do
+the same: ``next``, ``first`` and ``last`` are *constant* relations derived
+from atom creation order, so they cost no SAT variables at all — this is a
+large part of why dynamic models with ordered states stay tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alloylite.module import Module, Scope
+from repro.alloylite.sig import Sig
+from repro.kodkod import ast
+from repro.kodkod.bounds import Bounds
+from repro.kodkod.universe import Universe
+
+
+@dataclass
+class Ordering:
+    """Handle to the ordering relations of a sig."""
+
+    sig: Sig
+    next: ast.Relation
+    first: ast.Relation
+    last: ast.Relation
+
+    def prev(self) -> ast.Expr:
+        """The predecessor relation (transpose of next)."""
+        return ast.Transpose(self.next)
+
+    def nexts(self, expr: ast.Expr) -> ast.Expr:
+        """All strictly later elements of ``expr``."""
+        return ast.Join(expr, ast.Closure(self.next))
+
+    def prevs(self, expr: ast.Expr) -> ast.Expr:
+        """All strictly earlier elements of ``expr``."""
+        return ast.Join(expr, ast.Closure(ast.Transpose(self.next)))
+
+    def lte(self, a: ast.Expr, b: ast.Expr) -> ast.Formula:
+        """``a <= b`` in the order (for singleton expressions)."""
+        return ast.Subset(b, ast.Join(a, ast.Union(ast.Closure(self.next), ast.Iden())))
+
+    def lt(self, a: ast.Expr, b: ast.Expr) -> ast.Formula:
+        """``a < b`` in the order (for singleton expressions)."""
+        return ast.Subset(b, ast.Join(a, ast.Closure(self.next)))
+
+
+class OrderedModule(Module):
+    """A module that supports ``open util/ordering[Sig]`` declarations."""
+
+    def __init__(self, name: str = "module") -> None:
+        super().__init__(name)
+        self._orderings: list[Ordering] = []
+
+    def ordering(self, sig: Sig) -> Ordering:
+        """Impose a fixed total order on ``sig``'s atoms."""
+        if sig.parent is not None:
+            raise ValueError("ordering is only supported on top-level sigs")
+        handle = Ordering(
+            sig=sig,
+            next=ast.Relation(f"{sig.name}.next", 2),
+            first=ast.Relation(f"{sig.name}.first", 1),
+            last=ast.Relation(f"{sig.name}.last", 1),
+        )
+        self._orderings.append(handle)
+        return handle
+
+    @property
+    def orderings(self) -> list[Ordering]:
+        """All declared orderings."""
+        return list(self._orderings)
+
+    def compile(self, scope: Scope) -> tuple[Universe, Bounds, ast.Formula]:
+        universe, bounds, facts = super().compile(scope)
+        atoms_by_sig = self.atoms_for(scope)
+        for handle in self._orderings:
+            atoms = atoms_by_sig[handle.sig]
+            succ_pairs = list(zip(atoms, atoms[1:]))
+            bounds.bound_exactly(
+                handle.next, universe.tuple_set(2, succ_pairs)
+            )
+            bounds.bound_exactly(
+                handle.first, universe.tuple_set(1, [(atoms[0],)])
+            )
+            bounds.bound_exactly(
+                handle.last, universe.tuple_set(1, [(atoms[-1],)])
+            )
+        return universe, bounds, facts

@@ -1,0 +1,131 @@
+"""Signatures and fields: the Alloy surface syntax of the model layer.
+
+A :class:`Sig` declares a set of atoms (``sig pnode {...}``); a
+:class:`Field` declares a relation whose first column ranges over its owner
+sig (``pcp: one Int``).  Multiplicity keywords (``one``, ``lone``, ``some``,
+``set``) become implicit facts, exactly as in Alloy.
+
+Both compile down to :class:`repro.kodkod.ast.Relation` objects; the
+:class:`~repro.alloylite.module.Module` assembles bounds and facts from
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.kodkod import ast
+
+MULTIPLICITIES = ("one", "lone", "some", "set")
+
+
+class Sig:
+    """An Alloy signature: a named set of atoms.
+
+    ``parent`` declares an ``extends`` relationship: the sub-sig's atoms are
+    a subset of the parent's, and sibling sub-sigs are disjoint.
+    ``is_one`` declares a singleton sig (``one sig NULL {...}``).
+    ``abstract`` means the sig equals the union of its children.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent: "Sig | None" = None,
+        is_one: bool = False,
+        abstract: bool = False,
+    ) -> None:
+        self.name = name
+        self.parent = parent
+        self.is_one = is_one
+        self.abstract = abstract
+        self.relation = ast.Relation(name, 1)
+        self.fields: list[Field] = []
+        self.children: list[Sig] = []
+        if parent is not None:
+            parent.children.append(self)
+
+    @property
+    def expr(self) -> ast.Expr:
+        """The relational expression denoting this sig."""
+        return self.relation
+
+    def field(
+        self,
+        name: str,
+        *columns: "Sig | ast.Expr",
+        mult: str = "set",
+    ) -> "Field":
+        """Declare a field ``name: columns[0] -> ... -> columns[-1]``.
+
+        For binary fields (one column), ``mult`` constrains ``s.field`` for
+        every ``s`` in this sig, like Alloy's ``pcp: one Int``.
+        """
+        fld = Field(self, name, columns, mult)
+        self.fields.append(fld)
+        return fld
+
+    def top_level(self) -> "Sig":
+        """The root of this sig's extends-hierarchy."""
+        sig = self
+        while sig.parent is not None:
+            sig = sig.parent
+        return sig
+
+    def __repr__(self) -> str:
+        return f"Sig({self.name!r})"
+
+
+class Field:
+    """A field declared inside a sig; denotes a relation of arity 1+n."""
+
+    def __init__(
+        self,
+        owner: Sig,
+        name: str,
+        columns: Sequence[Sig | ast.Expr],
+        mult: str,
+    ) -> None:
+        if not columns:
+            raise ValueError("a field needs at least one column")
+        if mult not in MULTIPLICITIES:
+            raise ValueError(f"unknown multiplicity {mult!r}")
+        self.owner = owner
+        self.name = name
+        self.columns = list(columns)
+        self.mult = mult
+        self.relation = ast.Relation(f"{owner.name}.{name}", 1 + len(columns))
+
+    @property
+    def expr(self) -> ast.Expr:
+        """The relational expression denoting this field."""
+        return self.relation
+
+    def column_exprs(self) -> list[ast.Expr]:
+        """Column domains as relational expressions."""
+        return [c.expr if isinstance(c, Sig) else c for c in self.columns]
+
+    def declaration_facts(self) -> Iterable[ast.Formula]:
+        """Implicit facts: typing and multiplicity, as Alloy generates."""
+        # Typing: field ⊆ owner -> col1 -> ... -> coln.
+        domain: ast.Expr = self.owner.expr
+        for col in self.column_exprs():
+            domain = ast.Product(domain, col)
+        yield ast.Subset(self.relation, domain)
+        # Multiplicity: for binary fields, constrain s.field per owner atom.
+        if len(self.columns) == 1 and self.mult != "set":
+            var = ast.Variable(f"__{self.owner.name}_{self.name}")
+            image = ast.Join(var, self.relation)
+            if self.mult == "one":
+                body: ast.Formula = ast.One(image)
+            elif self.mult == "lone":
+                body = ast.Lone(image)
+            else:  # some
+                body = ast.Some(image)
+            yield ast.ForAll([(var, self.owner.expr)], body)
+
+    def __repr__(self) -> str:
+        cols = " -> ".join(
+            c.name if isinstance(c, Sig) else repr(c) for c in self.columns
+        )
+        return f"Field({self.owner.name}.{self.name}: {self.mult} {cols})"

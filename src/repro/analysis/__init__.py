@@ -1,0 +1,5 @@
+"""Experiment drivers and reporting for the paper's evaluation."""
+
+from repro.analysis.report import render_table
+
+__all__ = ["render_table"]

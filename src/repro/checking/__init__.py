@@ -1,0 +1,5 @@
+"""Explicit-state dynamic checking of the MCA protocol."""
+
+from repro.checking.explorer import ExplorationResult, explore_message_orders
+
+__all__ = ["ExplorationResult", "explore_message_orders"]

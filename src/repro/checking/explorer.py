@@ -1,0 +1,127 @@
+"""Explicit-state exploration of the MCA protocol under all schedules.
+
+Complements the SAT-based bounded check: instead of encoding transitions
+relationally, this checker executes the real protocol implementation
+(:mod:`repro.mca`) over *every* synchronous-round interleaving choice the
+scheduler exposes, up to a depth bound — the "dynamic model" the paper's
+conclusion promises.  It detects:
+
+* convergence on all explored paths (with the worst-case round count),
+* divergence counterexamples (a path exceeding the round bound), and
+* oscillation lassos (a path revisiting a logical state).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.mca.engine import SynchronousEngine
+from repro.mca.items import ItemId
+from repro.mca.network import AgentNetwork
+from repro.mca.policies import AgentPolicy
+
+
+@dataclass
+class ExplorationResult:
+    """Aggregate verdict over all explored asynchronous paths."""
+
+    all_converged: bool
+    paths_explored: int
+    max_rounds_to_converge: int
+    oscillating_trace: list[str] | None = None
+    diverging_trace: list[str] | None = None
+
+    @property
+    def counterexample(self) -> list[str] | None:
+        """A failing trace, if any path failed to converge."""
+        return self.oscillating_trace or self.diverging_trace
+
+
+@dataclass
+class _PathState:
+    engine: SynchronousEngine
+    history: list[str] = field(default_factory=list)
+    seen: set = field(default_factory=set)
+
+
+def explore_message_orders(
+    network: AgentNetwork,
+    items: list[ItemId],
+    policies: dict[int, AgentPolicy],
+    max_rounds: int = 12,
+    max_paths: int = 2000,
+) -> ExplorationResult:
+    """Explore per-round *agent activation orders* exhaustively.
+
+    Each round, the engine normally activates agents in id order.  Here we
+    branch over every permutation of the bid-phase activation order — the
+    source of nondeterminism a synchronous protocol actually has — and
+    check that every branch converges.
+    """
+    import itertools
+
+    agent_ids = network.agents()
+    orders = list(itertools.permutations(agent_ids))
+    root = SynchronousEngine(network, items, policies)
+    results = ExplorationResult(
+        all_converged=True, paths_explored=0, max_rounds_to_converge=0
+    )
+    stack: list[_PathState] = [_PathState(root)]
+    while stack and results.paths_explored < max_paths:
+        state = stack.pop()
+        engine = state.engine
+        signature = tuple(
+            engine.agents[a].view_signature() for a in agent_ids
+        )
+        quiescent = _is_quiescent(engine)
+        if quiescent:
+            results.paths_explored += 1
+            results.max_rounds_to_converge = max(
+                results.max_rounds_to_converge, len(state.history)
+            )
+            continue
+        if signature in state.seen:
+            results.all_converged = False
+            results.oscillating_trace = state.history + ["<state repeats>"]
+            results.paths_explored += 1
+            continue
+        if len(state.history) >= max_rounds:
+            results.all_converged = False
+            results.diverging_trace = state.history + ["<bound exceeded>"]
+            results.paths_explored += 1
+            continue
+        for order in orders:
+            child = copy.deepcopy(engine)
+            _run_round(child, order)
+            stack.append(_PathState(
+                engine=child,
+                history=state.history + [f"round order {order}"],
+                seen=state.seen | {signature},
+            ))
+    return results
+
+
+def _run_round(engine: SynchronousEngine, order) -> None:
+    for agent_id in order:
+        engine.agents[agent_id].bid_phase()
+    outbox = []
+    for sender in order:
+        for receiver in engine.network.neighbors(sender):
+            outbox.append(engine.agents[sender].outgoing_message(receiver))
+    for message in outbox:
+        engine.messages_processed += 1
+        engine.agents[message.receiver].receive(message)
+
+
+def _is_quiescent(engine: SynchronousEngine) -> bool:
+    """True when one more round would change nothing."""
+    probe = copy.deepcopy(engine)
+    before = tuple(
+        probe.agents[a].view_signature() for a in probe.network.agents()
+    )
+    _run_round(probe, probe.network.agents())
+    after = tuple(
+        probe.agents[a].view_signature() for a in probe.network.agents()
+    )
+    return before == after

@@ -1,0 +1,528 @@
+"""Relational logic AST: expressions, formulas and declarations.
+
+This is the language the MCA model is written in — a Python embedding of
+the first-order relational core shared by Alloy and Kodkod:
+
+* expressions denote relations: union ``+``, intersection ``&``, difference
+  ``-``, product ``*``, ``~`` transpose, dot ``join``, transitive closure;
+* formulas denote truth values: subset ``in_``, equality ``eq``,
+  multiplicities ``some/no/one/lone``, boolean connectives and bounded
+  quantifiers.
+
+Operator overloading mirrors Alloy syntax where Python allows: ``a + b``,
+``a & b``, ``a - b``, ``a * b`` (Alloy's ``->``), ``~a``, and for formulas
+``f & g``, ``f | g``, ``~f`` (negation, as ``not`` cannot be overloaded).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+
+class Expr:
+    """Base class of relational expressions."""
+
+    arity: int
+
+    def __add__(self, other: "Expr") -> "Expr":
+        return Union(self, other)
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return Intersection(self, other)
+
+    def __sub__(self, other: "Expr") -> "Expr":
+        return Difference(self, other)
+
+    def __mul__(self, other: "Expr") -> "Expr":
+        return Product(self, other)
+
+    def __invert__(self) -> "Expr":
+        return Transpose(self)
+
+    def join(self, other: "Expr") -> "Expr":
+        """Relational (dot) join, Alloy's ``self . other``."""
+        return Join(self, other)
+
+    def product(self, other: "Expr") -> "Expr":
+        """Cartesian product, Alloy's ``self -> other``."""
+        return Product(self, other)
+
+    def union(self, other: "Expr") -> "Expr":
+        """Set union (same as ``self + other``)."""
+        return Union(self, other)
+
+    def intersection(self, other: "Expr") -> "Expr":
+        """Set intersection (same as ``self & other``)."""
+        return Intersection(self, other)
+
+    def difference(self, other: "Expr") -> "Expr":
+        """Set difference (same as ``self - other``)."""
+        return Difference(self, other)
+
+    def closure(self) -> "Expr":
+        """Transitive closure ``^self`` (binary relations only)."""
+        return Closure(self)
+
+    def reflexive_closure(self) -> "Expr":
+        """Reflexive-transitive closure ``*self``."""
+        return Union(Closure(self), Iden())
+
+    # --- formula constructors -----------------------------------------
+
+    def in_(self, other: "Expr") -> "Formula":
+        """Subset formula, Alloy's ``self in other``."""
+        return Subset(self, other)
+
+    def eq(self, other: "Expr") -> "Formula":
+        """Equality formula."""
+        return Equal(self, other)
+
+    def neq(self, other: "Expr") -> "Formula":
+        """Negated equality."""
+        return Not(Equal(self, other))
+
+    def some(self) -> "Formula":
+        """Non-emptiness."""
+        return Some(self)
+
+    def no(self) -> "Formula":
+        """Emptiness."""
+        return No(self)
+
+    def one(self) -> "Formula":
+        """Exactly one tuple."""
+        return One(self)
+
+    def lone(self) -> "Formula":
+        """At most one tuple."""
+        return Lone(self)
+
+    def count_eq(self, n: int) -> "Formula":
+        """Cardinality equality ``#self = n`` (Alloy's ``#``)."""
+        return CardinalityEq(self, n)
+
+    def count_ge(self, n: int) -> "Formula":
+        """Cardinality lower bound ``#self >= n``."""
+        return CardinalityGe(self, n)
+
+
+class Relation(Expr):
+    """A named free relation (bounded by a :class:`~repro.kodkod.bounds.Bounds`)."""
+
+    def __init__(self, name: str, arity: int) -> None:
+        if arity < 1:
+            raise ValueError("relation arity must be >= 1")
+        self.name = name
+        self.arity = arity
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, arity={self.arity})"
+
+
+class Variable(Expr):
+    """A quantified variable, denoting a singleton unary relation."""
+
+    arity = 1
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+class Univ(Expr):
+    """The universal unary relation (every atom)."""
+
+    arity = 1
+
+    def __repr__(self) -> str:
+        return "Univ()"
+
+
+class Iden(Expr):
+    """The binary identity relation over the universe."""
+
+    arity = 2
+
+    def __repr__(self) -> str:
+        return "Iden()"
+
+
+class NoneExpr(Expr):
+    """The empty relation of a given arity."""
+
+    def __init__(self, arity: int = 1) -> None:
+        if arity < 1:
+            raise ValueError("arity must be >= 1")
+        self.arity = arity
+
+    def __repr__(self) -> str:
+        return f"NoneExpr(arity={self.arity})"
+
+
+class _BinaryExpr(Expr):
+    """Shared plumbing for same-arity binary operators."""
+
+    op_name = "?"
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        if left.arity != right.arity:
+            raise ValueError(
+                f"{self.op_name} requires equal arities, got "
+                f"{left.arity} and {right.arity}"
+            )
+        self.left = left
+        self.right = right
+        self.arity = left.arity
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.left!r}, {self.right!r})"
+
+
+class Union(_BinaryExpr):
+    """Set union ``left + right``."""
+
+    op_name = "union"
+
+
+class Intersection(_BinaryExpr):
+    """Set intersection ``left & right``."""
+
+    op_name = "intersection"
+
+
+class Difference(_BinaryExpr):
+    """Set difference ``left - right``."""
+
+    op_name = "difference"
+
+
+class Product(Expr):
+    """Cartesian product ``left -> right`` (arities add)."""
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = left
+        self.right = right
+        self.arity = left.arity + right.arity
+
+    def __repr__(self) -> str:
+        return f"Product({self.left!r}, {self.right!r})"
+
+
+class Join(Expr):
+    """Relational join ``left . right`` (arities add minus two)."""
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        arity = left.arity + right.arity - 2
+        if arity < 1:
+            raise ValueError("join would produce arity < 1")
+        self.left = left
+        self.right = right
+        self.arity = arity
+
+    def __repr__(self) -> str:
+        return f"Join({self.left!r}, {self.right!r})"
+
+
+class Transpose(Expr):
+    """Transpose of a binary relation."""
+
+    arity = 2
+
+    def __init__(self, inner: Expr) -> None:
+        if inner.arity != 2:
+            raise ValueError("transpose requires a binary relation")
+        self.inner = inner
+
+    def __repr__(self) -> str:
+        return f"Transpose({self.inner!r})"
+
+
+class Closure(Expr):
+    """Transitive closure of a binary relation."""
+
+    arity = 2
+
+    def __init__(self, inner: Expr) -> None:
+        if inner.arity != 2:
+            raise ValueError("closure requires a binary relation")
+        self.inner = inner
+
+    def __repr__(self) -> str:
+        return f"Closure({self.inner!r})"
+
+
+class IfExpr(Expr):
+    """Conditional expression ``cond => then_expr else else_expr``."""
+
+    def __init__(self, cond: "Formula", then_expr: Expr, else_expr: Expr) -> None:
+        if then_expr.arity != else_expr.arity:
+            raise ValueError("conditional branches must have equal arities")
+        self.cond = cond
+        self.then_expr = then_expr
+        self.else_expr = else_expr
+        self.arity = then_expr.arity
+
+    def __repr__(self) -> str:
+        return f"IfExpr({self.cond!r}, {self.then_expr!r}, {self.else_expr!r})"
+
+
+class Comprehension(Expr):
+    """Set comprehension ``{ x1: D1, ... | body }`` (unary variables)."""
+
+    def __init__(self, decls: Sequence[tuple["Variable", Expr]], body: "Formula") -> None:
+        if not decls:
+            raise ValueError("comprehension requires at least one declaration")
+        for _, domain in decls:
+            if domain.arity != 1:
+                raise ValueError("comprehension domains must be unary")
+        self.decls = list(decls)
+        self.body = body
+        self.arity = len(decls)
+
+    def __repr__(self) -> str:
+        return f"Comprehension({self.decls!r}, {self.body!r})"
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+
+
+class Formula:
+    """Base class of relational formulas."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And([self, other])
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or([self, other])
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        """Material implication."""
+        return Or([Not(self), other])
+
+    def iff(self, other: "Formula") -> "Formula":
+        """Biconditional."""
+        return And([self.implies(other), other.implies(self)])
+
+
+class TrueF(Formula):
+    """The true formula."""
+
+    def __repr__(self) -> str:
+        return "TrueF()"
+
+
+class FalseF(Formula):
+    """The false formula."""
+
+    def __repr__(self) -> str:
+        return "FalseF()"
+
+
+class Subset(Formula):
+    """``left in right``."""
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        if left.arity != right.arity:
+            raise ValueError("subset requires equal arities")
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"Subset({self.left!r}, {self.right!r})"
+
+
+class Equal(Formula):
+    """``left = right``."""
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        if left.arity != right.arity:
+            raise ValueError("equality requires equal arities")
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"Equal({self.left!r}, {self.right!r})"
+
+
+class _MultiplicityFormula(Formula):
+    def __init__(self, expr: Expr) -> None:
+        self.expr = expr
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.expr!r})"
+
+
+class Some(_MultiplicityFormula):
+    """``some expr`` — at least one tuple."""
+
+
+class No(_MultiplicityFormula):
+    """``no expr`` — empty."""
+
+
+class One(_MultiplicityFormula):
+    """``one expr`` — exactly one tuple."""
+
+
+class Lone(_MultiplicityFormula):
+    """``lone expr`` — at most one tuple."""
+
+
+class CardinalityEq(Formula):
+    """``#expr = count``."""
+
+    def __init__(self, expr: Expr, count: int) -> None:
+        if count < 0:
+            raise ValueError("cardinality must be non-negative")
+        self.expr = expr
+        self.count = count
+
+    def __repr__(self) -> str:
+        return f"CardinalityEq({self.expr!r}, {self.count})"
+
+
+class CardinalityGe(Formula):
+    """``#expr >= count``."""
+
+    def __init__(self, expr: Expr, count: int) -> None:
+        if count < 0:
+            raise ValueError("cardinality must be non-negative")
+        self.expr = expr
+        self.count = count
+
+    def __repr__(self) -> str:
+        return f"CardinalityGe({self.expr!r}, {self.count})"
+
+
+class Not(Formula):
+    """Negation."""
+
+    def __init__(self, inner: Formula) -> None:
+        self.inner = inner
+
+    def __repr__(self) -> str:
+        return f"Not({self.inner!r})"
+
+
+class And(Formula):
+    """N-ary conjunction."""
+
+    def __init__(self, parts: Iterable[Formula]) -> None:
+        self.parts = list(parts)
+
+    def __repr__(self) -> str:
+        return f"And({self.parts!r})"
+
+
+class Or(Formula):
+    """N-ary disjunction."""
+
+    def __init__(self, parts: Iterable[Formula]) -> None:
+        self.parts = list(parts)
+
+    def __repr__(self) -> str:
+        return f"Or({self.parts!r})"
+
+
+class _Quantified(Formula):
+    """Shared plumbing for bounded quantifiers over unary domains."""
+
+    def __init__(self, decls: Sequence[tuple[Variable, Expr]], body: Formula) -> None:
+        if not decls:
+            raise ValueError("quantifier requires at least one declaration")
+        for _, domain in decls:
+            if domain.arity != 1:
+                raise ValueError("quantifier domains must be unary")
+        self.decls = list(decls)
+        self.body = body
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v, _ in self.decls)
+        return f"{type(self).__name__}([{names}], {self.body!r})"
+
+
+class ForAll(_Quantified):
+    """``all x: D | body``."""
+
+
+class Exists(_Quantified):
+    """``some x: D | body``."""
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors (module-level, Alloy-flavoured)
+# ---------------------------------------------------------------------------
+
+
+def relation(name: str, arity: int = 1) -> Relation:
+    """Declare a free relation."""
+    return Relation(name, arity)
+
+
+def variable(name: str) -> Variable:
+    """Declare a quantified variable."""
+    return Variable(name)
+
+
+def forall(*args) -> Formula:
+    """``forall(x, D, body)`` or ``forall((x, D), (y, E), body)``."""
+    decls, body = _split_quantifier_args(args)
+    return ForAll(decls, body)
+
+
+def exists(*args) -> Formula:
+    """``exists(x, D, body)`` or ``exists((x, D), (y, E), body)``."""
+    decls, body = _split_quantifier_args(args)
+    return Exists(decls, body)
+
+
+def _split_quantifier_args(args: tuple) -> tuple[list[tuple[Variable, Expr]], Formula]:
+    if len(args) == 3 and isinstance(args[0], Variable):
+        return [(args[0], args[1])], args[2]
+    *decl_args, body = args
+    decls = [(v, d) for v, d in decl_args]
+    if not isinstance(body, Formula):
+        raise TypeError("last argument must be the quantifier body formula")
+    return decls, body
+
+
+def comprehension(*args) -> Comprehension:
+    """``comprehension(x, D, body)`` or multi-decl variant."""
+    decls, body = _split_quantifier_args(args)
+    return Comprehension(decls, body)
+
+
+def and_all(parts: Iterable[Formula]) -> Formula:
+    """Conjunction of an iterable of formulas (True when empty)."""
+    parts = list(parts)
+    if not parts:
+        return TrueF()
+    if len(parts) == 1:
+        return parts[0]
+    return And(parts)
+
+
+def or_any(parts: Iterable[Formula]) -> Formula:
+    """Disjunction of an iterable of formulas (False when empty)."""
+    parts = list(parts)
+    if not parts:
+        return FalseF()
+    if len(parts) == 1:
+        return parts[0]
+    return Or(parts)
+
+
+def all_different(exprs: Sequence[Expr]) -> Formula:
+    """Pairwise disjointness/distinctness, Alloy's ``disj`` keyword."""
+    clauses = [
+        Not(Equal(a, b)) for a, b in itertools.combinations(exprs, 2)
+    ]
+    return and_all(clauses)

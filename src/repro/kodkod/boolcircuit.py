@@ -1,0 +1,212 @@
+"""Hash-consed boolean circuits.
+
+The relational translator compiles expressions to matrices of circuit nodes
+(:mod:`repro.kodkod.matrix`); this module provides the node factory with
+structural sharing and light simplification, plus the Tseitin compilation of
+a circuit to CNF.  It mirrors the role of Kodkod's ``BooleanFactory``.
+
+Nodes are small integers.  ``TRUE`` and ``FALSE`` are pre-allocated; inputs
+("free" boolean variables, one per undetermined relation tuple) and gates are
+allocated on demand.  Negation is represented implicitly: the negation of
+node ``n`` is ``-n``, so hash-consing covers complementation for free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.sat.cnf import CNF
+
+# Node encoding: TRUE = 1, FALSE = -1; every other node is a positive id >= 2
+# or its negation.  Gate ids index into the factory tables.
+TRUE = 1
+FALSE = -1
+
+
+class BooleanFactory:
+    """Builds AND/OR/NOT circuits with structural sharing."""
+
+    _AND = "and"
+    _OR = "or"
+
+    def __init__(self) -> None:
+        # id -> (kind, children tuple); id 1 reserved for TRUE.
+        self._gates: dict[int, tuple[str, tuple[int, ...]]] = {}
+        self._cache: dict[tuple[str, tuple[int, ...]], int] = {}
+        self._inputs: set[int] = set()
+        self._next_id = 2
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+
+    def fresh_input(self) -> int:
+        """Allocate a free boolean input (one per undetermined tuple)."""
+        node = self._next_id
+        self._next_id += 1
+        self._inputs.add(node)
+        return node
+
+    def is_input(self, node: int) -> bool:
+        """True when ``abs(node)`` is a free input."""
+        return abs(node) in self._inputs
+
+    def not_(self, node: int) -> int:
+        """Negation (an involution thanks to signed node ids)."""
+        return -node
+
+    def _gate(self, kind: str, children: tuple[int, ...]) -> int:
+        key = (kind, children)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        node = self._next_id
+        self._next_id += 1
+        self._gates[node] = key
+        self._cache[key] = node
+        return node
+
+    def and_(self, children: Iterable[int]) -> int:
+        """N-ary conjunction with constant folding and dedup."""
+        flat: list[int] = []
+        seen: set[int] = set()
+        stack = list(children)
+        while stack:
+            child = stack.pop()
+            if child == TRUE:
+                continue
+            if child == FALSE:
+                return FALSE
+            if -child in seen:
+                return FALSE
+            if child in seen:
+                continue
+            # Flatten nested conjunctions for better sharing.
+            if child > 0 and self._gates.get(child, ("", ()))[0] == self._AND:
+                stack.extend(self._gates[child][1])
+                continue
+            seen.add(child)
+            flat.append(child)
+        if not flat:
+            return TRUE
+        if len(flat) == 1:
+            return flat[0]
+        return self._gate(self._AND, tuple(sorted(flat)))
+
+    def or_(self, children: Iterable[int]) -> int:
+        """N-ary disjunction with constant folding and dedup."""
+        flat: list[int] = []
+        seen: set[int] = set()
+        stack = list(children)
+        while stack:
+            child = stack.pop()
+            if child == FALSE:
+                continue
+            if child == TRUE:
+                return TRUE
+            if -child in seen:
+                return TRUE
+            if child in seen:
+                continue
+            if child > 0 and self._gates.get(child, ("", ()))[0] == self._OR:
+                stack.extend(self._gates[child][1])
+                continue
+            seen.add(child)
+            flat.append(child)
+        if not flat:
+            return FALSE
+        if len(flat) == 1:
+            return flat[0]
+        return self._gate(self._OR, tuple(sorted(flat)))
+
+    def implies(self, a: int, b: int) -> int:
+        """Material implication."""
+        return self.or_([-a, b])
+
+    def iff(self, a: int, b: int) -> int:
+        """Biconditional."""
+        return self.and_([self.implies(a, b), self.implies(b, a)])
+
+    def ite(self, cond: int, then_node: int, else_node: int) -> int:
+        """If-then-else."""
+        return self.or_([self.and_([cond, then_node]), self.and_([-cond, else_node])])
+
+    # ------------------------------------------------------------------
+    # Evaluation (for tests and instance extraction)
+    # ------------------------------------------------------------------
+
+    def evaluate(self, node: int, inputs: dict[int, bool]) -> bool:
+        """Evaluate ``node`` given values for every reachable input."""
+        memo: dict[int, bool] = {TRUE: True}
+
+        def walk(n: int) -> bool:
+            if n < 0:
+                return not walk(-n)
+            if n in memo:
+                return memo[n]
+            if n in self._inputs:
+                value = inputs[n]
+            else:
+                kind, children = self._gates[n]
+                if kind == self._AND:
+                    value = all(walk(c) for c in children)
+                else:
+                    value = any(walk(c) for c in children)
+            memo[n] = value
+            return value
+
+        return walk(node)
+
+    # ------------------------------------------------------------------
+    # CNF compilation (Tseitin)
+    # ------------------------------------------------------------------
+
+    def to_cnf(self, roots: Sequence[int]) -> tuple[CNF, dict[int, int]]:
+        """Compile the circuit to CNF, asserting every root true.
+
+        Returns the CNF and a map from circuit input node to CNF variable,
+        used later to read relation tuples out of a SAT model.
+        """
+        cnf = CNF()
+        node_var: dict[int, int] = {}
+
+        def literal(node: int) -> int:
+            sign = 1 if node > 0 else -1
+            base = abs(node)
+            if base == TRUE:
+                # Encode the constant with a dedicated always-true variable.
+                var = node_var.get(TRUE)
+                if var is None:
+                    var = cnf.new_var()
+                    node_var[TRUE] = var
+                    cnf.add_clause([var])
+                return sign * var
+            var = node_var.get(base)
+            if var is None:
+                var = cnf.new_var()
+                node_var[base] = var
+                if base in self._gates:
+                    kind, children = self._gates[base]
+                    child_lits = [literal(c) for c in children]
+                    if kind == self._AND:
+                        cnf.add_and_gate(var, child_lits)
+                    else:
+                        cnf.add_or_gate(var, child_lits)
+            return sign * var
+
+        for root in roots:
+            cnf.add_clause([literal(root)])
+        input_map = {
+            node: var for node, var in node_var.items() if node in self._inputs
+        }
+        return cnf, input_map
+
+    @property
+    def num_gates(self) -> int:
+        """Number of gates allocated (excluding inputs and constants)."""
+        return len(self._gates)
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of free inputs allocated."""
+        return len(self._inputs)

@@ -1,0 +1,75 @@
+"""Relation bounds: the scope declaration of a bounded verification run.
+
+Every relation gets a *lower* bound (tuples it must contain) and an *upper*
+bound (tuples it may contain).  The translator allocates one free boolean
+input per tuple in ``upper - lower``; this is exactly Kodkod's notion of
+partial instances, and is how Alloy scopes are expressed after
+"atomization".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.kodkod.universe import TupleSet, Universe
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kodkod.ast import Relation
+
+
+class Bounds:
+    """Lower/upper bounds for every relation of a problem."""
+
+    def __init__(self, universe: Universe) -> None:
+        self._universe = universe
+        self._lowers: dict["Relation", TupleSet] = {}
+        self._uppers: dict["Relation", TupleSet] = {}
+
+    @property
+    def universe(self) -> Universe:
+        """The universe the bounds range over."""
+        return self._universe
+
+    def bound(self, relation: "Relation", lower: TupleSet, upper: TupleSet) -> None:
+        """Declare ``lower <= relation <= upper``."""
+        if lower.universe is not self._universe or upper.universe is not self._universe:
+            raise ValueError("bounds must range over the bounds' universe")
+        if lower.arity != relation.arity or upper.arity != relation.arity:
+            raise ValueError(
+                f"bounds for {relation.name!r} must have arity {relation.arity}"
+            )
+        if not lower.issubset(upper):
+            raise ValueError(f"lower bound of {relation.name!r} exceeds upper bound")
+        self._lowers[relation] = lower
+        self._uppers[relation] = upper
+
+    def bound_exactly(self, relation: "Relation", tuples: TupleSet) -> None:
+        """Fix ``relation`` to exactly ``tuples`` (a constant relation)."""
+        self.bound(relation, tuples, tuples)
+
+    def lower(self, relation: "Relation") -> TupleSet:
+        """Tuples the relation must contain."""
+        try:
+            return self._lowers[relation]
+        except KeyError:
+            raise KeyError(f"relation {relation.name!r} has no bounds") from None
+
+    def upper(self, relation: "Relation") -> TupleSet:
+        """Tuples the relation may contain."""
+        try:
+            return self._uppers[relation]
+        except KeyError:
+            raise KeyError(f"relation {relation.name!r} has no bounds") from None
+
+    def relations(self) -> Iterator["Relation"]:
+        """All bounded relations."""
+        return iter(self._lowers)
+
+    def __contains__(self, relation: object) -> bool:
+        return relation in self._lowers
+
+    def free_tuple_count(self) -> int:
+        """Total number of undetermined tuples (free boolean variables)."""
+        return sum(
+            len(self._uppers[r].difference(self._lowers[r])) for r in self._lowers
+        )

@@ -1,0 +1,88 @@
+"""The model-finding engine: solve and enumerate relational problems.
+
+This is the public face of the mini-Kodkod stack — the equivalent of
+``kodkod.engine.Solver``.  It ties together translation
+(:mod:`repro.kodkod.translate`), SAT solving (:mod:`repro.sat`) and instance
+extraction (:mod:`repro.kodkod.instance`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.kodkod import ast
+from repro.kodkod.bounds import Bounds
+from repro.kodkod.instance import Instance, extract_instance
+from repro.kodkod.translate import Translation, TranslationStats, Translator
+from repro.sat.solver import Solver
+from repro.sat.types import Status
+
+
+@dataclass
+class Solution:
+    """Outcome of a model-finding query."""
+
+    satisfiable: bool
+    instance: Instance | None
+    stats: TranslationStats
+    solve_seconds: float
+
+    @property
+    def unsatisfiable(self) -> bool:
+        """Convenience negation of :attr:`satisfiable`."""
+        return not self.satisfiable
+
+
+def translate(formula: ast.Formula, bounds: Bounds) -> Translation:
+    """Translate a problem without solving it (used by encoding benchmarks)."""
+    return Translator(bounds).translate(formula)
+
+
+def solve(formula: ast.Formula, bounds: Bounds) -> Solution:
+    """Find one instance satisfying ``formula`` within ``bounds``."""
+    translation = translate(formula, bounds)
+    solver = Solver()
+    started = time.perf_counter()
+    if not solver.add_cnf(translation.cnf):
+        status = Status.UNSAT
+    else:
+        status = solver.solve()
+    elapsed = time.perf_counter() - started
+    if status is Status.SAT:
+        instance = extract_instance(translation, solver.model())
+        return Solution(True, instance, translation.stats, elapsed)
+    return Solution(False, None, translation.stats, elapsed)
+
+
+def iter_solutions(formula: ast.Formula, bounds: Bounds,
+                   limit: int | None = None) -> Iterator[Instance]:
+    """Enumerate instances, distinct on the bounded relations' valuations."""
+    if limit is not None and limit < 0:
+        raise ValueError("limit must be non-negative")
+    translation = translate(formula, bounds)
+    solver = Solver()
+    if not solver.add_cnf(translation.cnf):
+        return
+    primary_vars = sorted(
+        translation.input_vars[node] for node in translation.tuple_inputs.values()
+    )
+    produced = 0
+    while limit is None or produced < limit:
+        if solver.solve() is not Status.SAT:
+            return
+        model = solver.model()
+        yield extract_instance(translation, model)
+        produced += 1
+        if not primary_vars:
+            return
+        blocking = [-v if model[v] else v for v in primary_vars]
+        if not solver.add_clause(blocking):
+            return
+
+
+def count_solutions(formula: ast.Formula, bounds: Bounds,
+                    limit: int | None = None) -> int:
+    """Count instances (up to ``limit``)."""
+    return sum(1 for _ in iter_solutions(formula, bounds, limit))

@@ -1,0 +1,225 @@
+"""Ground evaluator: evaluate expressions/formulas against an instance.
+
+This is the reference semantics of the relational language.  It is used to
+
+* validate instances returned by the SAT pipeline (every ``run`` solution
+  must satisfy the formula it was found for), and
+* cross-check the translator in property-based tests: for random small
+  problems, SAT-based answers must agree with exhaustive evaluation.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.kodkod import ast
+from repro.kodkod.instance import Instance
+from repro.kodkod.universe import AtomTuple, TupleSet
+
+GroundEnv = dict[ast.Variable, str]
+
+
+class Evaluator:
+    """Evaluates relational syntax against a concrete instance."""
+
+    def __init__(self, instance: Instance) -> None:
+        self._instance = instance
+        self._universe = instance.universe
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def tuples(self, expr: ast.Expr, env: GroundEnv | None = None) -> TupleSet:
+        """The tuple set denoted by ``expr``."""
+        return self._expr(expr, env or {})
+
+    def _expr(self, expr: ast.Expr, env: GroundEnv) -> TupleSet:
+        universe = self._universe
+        if isinstance(expr, ast.Relation):
+            return self._instance.value_of(expr)
+        if isinstance(expr, ast.Variable):
+            try:
+                atom = env[expr]
+            except KeyError:
+                raise ValueError(f"unbound variable {expr.name!r}") from None
+            return universe.tuple_set(1, [(atom,)])
+        if isinstance(expr, ast.Univ):
+            return universe.tuple_set(1, [(a,) for a in universe])
+        if isinstance(expr, ast.Iden):
+            return universe.tuple_set(2, [(a, a) for a in universe])
+        if isinstance(expr, ast.NoneExpr):
+            return universe.empty(expr.arity)
+        if isinstance(expr, ast.Union):
+            return self._expr(expr.left, env).union(self._expr(expr.right, env))
+        if isinstance(expr, ast.Intersection):
+            return self._expr(expr.left, env).intersection(
+                self._expr(expr.right, env)
+            )
+        if isinstance(expr, ast.Difference):
+            return self._expr(expr.left, env).difference(self._expr(expr.right, env))
+        if isinstance(expr, ast.Product):
+            return self._expr(expr.left, env).product(self._expr(expr.right, env))
+        if isinstance(expr, ast.Join):
+            return self._join(self._expr(expr.left, env), self._expr(expr.right, env))
+        if isinstance(expr, ast.Transpose):
+            inner = self._expr(expr.inner, env)
+            return self._universe.tuple_set(2, [(b, a) for a, b in inner])
+        if isinstance(expr, ast.Closure):
+            return self._closure(self._expr(expr.inner, env))
+        if isinstance(expr, ast.IfExpr):
+            if self.check(expr.cond, env):
+                return self._expr(expr.then_expr, env)
+            return self._expr(expr.else_expr, env)
+        if isinstance(expr, ast.Comprehension):
+            return self._comprehension(expr, env)
+        raise TypeError(f"unknown expression type: {type(expr).__name__}")
+
+    def _join(self, left: TupleSet, right: TupleSet) -> TupleSet:
+        arity = left.arity + right.arity - 2
+        if arity < 1:
+            raise ValueError("join would produce arity < 1")
+        tuples: set[AtomTuple] = set()
+        by_head: dict[str, list[AtomTuple]] = {}
+        for r in right:
+            by_head.setdefault(r[0], []).append(r[1:])
+        for l in left:
+            for rest in by_head.get(l[-1], []):
+                tuples.add(l[:-1] + rest)
+        return self._universe.tuple_set(arity, tuples)
+
+    def _closure(self, rel: TupleSet) -> TupleSet:
+        if rel.arity != 2:
+            raise ValueError("closure requires a binary relation")
+        pairs = set(rel)
+        changed = True
+        while changed:
+            changed = False
+            new_pairs = {
+                (a, d)
+                for (a, b) in pairs
+                for (c, d) in pairs
+                if b == c and (a, d) not in pairs
+            }
+            if new_pairs:
+                pairs |= new_pairs
+                changed = True
+        return self._universe.tuple_set(2, pairs)
+
+    def _comprehension(self, expr: ast.Comprehension, env: GroundEnv) -> TupleSet:
+        tuples: set[AtomTuple] = set()
+        domains = []
+        # Note: domains may depend on earlier variables, so compute lazily.
+
+        def fill(decl_index: int, env_now: GroundEnv, prefix: AtomTuple) -> None:
+            if decl_index == len(expr.decls):
+                if self.check(expr.body, env_now):
+                    tuples.add(prefix)
+                return
+            var, domain = expr.decls[decl_index]
+            for (atom,) in self._expr(domain, env_now):
+                child_env = dict(env_now)
+                child_env[var] = atom
+                fill(decl_index + 1, child_env, prefix + (atom,))
+
+        fill(0, env, ())
+        del domains
+        return self._universe.tuple_set(expr.arity, tuples)
+
+    # ------------------------------------------------------------------
+    # Formulas
+    # ------------------------------------------------------------------
+
+    def check(self, formula: ast.Formula, env: GroundEnv | None = None) -> bool:
+        """Evaluate a formula to a boolean."""
+        return self._formula(formula, env or {})
+
+    def _formula(self, formula: ast.Formula, env: GroundEnv) -> bool:
+        if isinstance(formula, ast.TrueF):
+            return True
+        if isinstance(formula, ast.FalseF):
+            return False
+        if isinstance(formula, ast.Subset):
+            return self._expr(formula.left, env).issubset(
+                self._expr(formula.right, env)
+            )
+        if isinstance(formula, ast.Equal):
+            return self._expr(formula.left, env) == self._expr(formula.right, env)
+        if isinstance(formula, ast.Some):
+            return len(self._expr(formula.expr, env)) > 0
+        if isinstance(formula, ast.No):
+            return len(self._expr(formula.expr, env)) == 0
+        if isinstance(formula, ast.One):
+            return len(self._expr(formula.expr, env)) == 1
+        if isinstance(formula, ast.Lone):
+            return len(self._expr(formula.expr, env)) <= 1
+        if isinstance(formula, ast.CardinalityEq):
+            return len(self._expr(formula.expr, env)) == formula.count
+        if isinstance(formula, ast.CardinalityGe):
+            return len(self._expr(formula.expr, env)) >= formula.count
+        if isinstance(formula, ast.Not):
+            return not self._formula(formula.inner, env)
+        if isinstance(formula, ast.And):
+            return all(self._formula(part, env) for part in formula.parts)
+        if isinstance(formula, ast.Or):
+            return any(self._formula(part, env) for part in formula.parts)
+        if isinstance(formula, (ast.ForAll, ast.Exists)):
+            universal = isinstance(formula, ast.ForAll)
+            return self._quantified(formula, env, universal)
+        raise TypeError(f"unknown formula type: {type(formula).__name__}")
+
+    def _quantified(self, formula: ast._Quantified, env: GroundEnv,
+                    universal: bool) -> bool:
+        def unroll(decl_index: int, env_now: GroundEnv) -> bool:
+            if decl_index == len(formula.decls):
+                return self._formula(formula.body, env_now)
+            var, domain = formula.decls[decl_index]
+            atoms = [t[0] for t in self._expr(domain, env_now)]
+            if universal:
+                result = True
+                for atom in atoms:
+                    child_env = dict(env_now)
+                    child_env[var] = atom
+                    if not unroll(decl_index + 1, child_env):
+                        result = False
+                        break
+                return result
+            for atom in atoms:
+                child_env = dict(env_now)
+                child_env[var] = atom
+                if unroll(decl_index + 1, child_env):
+                    return True
+            return False
+
+        return unroll(0, env)
+
+
+def brute_force_instances(bounds, limit: int | None = None):
+    """Enumerate ALL instances within bounds (test oracle; tiny scopes only).
+
+    Yields :class:`Instance` objects for every combination of free tuples.
+    """
+    from repro.kodkod.bounds import Bounds  # local import to avoid cycle
+
+    assert isinstance(bounds, Bounds)
+    relations = list(bounds.relations())
+    free_tuples: list[tuple[ast.Relation, AtomTuple]] = []
+    for relation in relations:
+        for tup in bounds.upper(relation).difference(bounds.lower(relation)):
+            free_tuples.append((relation, tup))
+    if len(free_tuples) > 20:
+        raise ValueError("brute force limited to 20 free tuples")
+    universe = bounds.universe
+    count = 0
+    for bits in itertools.product([False, True], repeat=len(free_tuples)):
+        if limit is not None and count >= limit:
+            return
+        valuations = {}
+        for relation in relations:
+            tuples = {tuple(t) for t in bounds.lower(relation)}
+            for (rel, tup), present in zip(free_tuples, bits):
+                if rel is relation and present:
+                    tuples.add(tup)
+            valuations[relation] = universe.tuple_set(relation.arity, tuples)
+        yield Instance(universe, valuations)
+        count += 1

@@ -1,0 +1,78 @@
+"""Instances: concrete relation valuations extracted from SAT models."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.kodkod import ast
+from repro.kodkod.translate import Translation
+from repro.kodkod.universe import TupleSet, Universe
+from repro.sat.types import Model
+
+
+class Instance:
+    """A valuation assigning a concrete tuple set to every bounded relation."""
+
+    def __init__(self, universe: Universe,
+                 valuations: dict[ast.Relation, TupleSet]) -> None:
+        self._universe = universe
+        self._valuations = dict(valuations)
+
+    @property
+    def universe(self) -> Universe:
+        """The universe of atoms."""
+        return self._universe
+
+    def value_of(self, relation: ast.Relation) -> TupleSet:
+        """Tuples assigned to ``relation``."""
+        try:
+            return self._valuations[relation]
+        except KeyError:
+            raise KeyError(f"relation {relation.name!r} not in instance") from None
+
+    def relations(self) -> Iterator[ast.Relation]:
+        """All relations with valuations."""
+        return iter(self._valuations)
+
+    def __contains__(self, relation: object) -> bool:
+        return relation in self._valuations
+
+    def describe(self) -> str:
+        """Human-readable rendering (used for counterexample output)."""
+        lines = []
+        for relation in sorted(self._valuations, key=lambda r: r.name):
+            tuples = sorted(self._valuations[relation])
+            rendered = ", ".join("->".join(t) for t in tuples)
+            lines.append(f"{relation.name} = {{{rendered}}}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Instance({len(self._valuations)} relations)"
+
+
+def extract_instance(translation: Translation, model: Model) -> Instance:
+    """Read relation valuations out of a SAT model.
+
+    Lower-bound tuples are always present; a free tuple is present when its
+    circuit input's CNF variable is true in the model.  Inputs that were
+    simplified out of the CNF default to false (absent), which is always a
+    legal completion because the root formula did not depend on them.
+    """
+    universe = translation.bounds.universe
+    valuations: dict[ast.Relation, TupleSet] = {}
+    tuples_by_relation: dict[ast.Relation, set[tuple[str, ...]]] = {}
+    for relation in translation.bounds.relations():
+        tuples_by_relation[relation] = {
+            tuple(t) for t in translation.bounds.lower(relation)
+        }
+    for (relation, index), node in translation.tuple_inputs.items():
+        var = translation.input_vars.get(node)
+        present = False
+        if var is not None and var in model:
+            present = model[var]
+        if present:
+            atoms = tuple(universe.atom(i) for i in index)
+            tuples_by_relation[relation].add(atoms)
+    for relation, tuples in tuples_by_relation.items():
+        valuations[relation] = universe.tuple_set(relation.arity, tuples)
+    return Instance(universe, valuations)

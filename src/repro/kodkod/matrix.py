@@ -1,0 +1,245 @@
+"""Sparse boolean matrices: the denotation of relational expressions.
+
+Following Kodkod's translation (Torlak & Jackson, TACAS'07), an arity-``k``
+expression over a universe of ``n`` atoms denotes an ``n^k`` matrix of
+boolean circuit nodes; relational operators become matrix operations.  The
+matrices are sparse: absent cells are FALSE, which keeps the translation
+proportional to the relations' upper bounds rather than the full tuple
+space.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.kodkod.boolcircuit import FALSE, TRUE, BooleanFactory
+
+IndexTuple = tuple[int, ...]
+
+
+class BoolMatrix:
+    """A sparse matrix of circuit nodes indexed by atom-index tuples."""
+
+    def __init__(
+        self,
+        factory: BooleanFactory,
+        universe_size: int,
+        arity: int,
+        cells: dict[IndexTuple, int] | None = None,
+    ) -> None:
+        if arity < 1:
+            raise ValueError("arity must be >= 1")
+        if universe_size < 1:
+            raise ValueError("universe size must be >= 1")
+        self.factory = factory
+        self.universe_size = universe_size
+        self.arity = arity
+        self._cells: dict[IndexTuple, int] = {}
+        if cells:
+            for index, node in cells.items():
+                self._set(index, node)
+
+    def _validate(self, index: IndexTuple) -> None:
+        if len(index) != self.arity:
+            raise ValueError(f"index {index!r} does not have arity {self.arity}")
+        for component in index:
+            if not 0 <= component < self.universe_size:
+                raise IndexError(f"index component {component} out of range")
+
+    def _set(self, index: IndexTuple, node: int) -> None:
+        self._validate(index)
+        if node == FALSE:
+            self._cells.pop(index, None)
+        else:
+            self._cells[index] = node
+
+    def get(self, index: IndexTuple) -> int:
+        """Circuit node for a cell (FALSE when absent)."""
+        self._validate(index)
+        return self._cells.get(index, FALSE)
+
+    def set(self, index: IndexTuple, node: int) -> None:
+        """Assign a cell."""
+        self._set(index, node)
+
+    def cells(self) -> Iterator[tuple[IndexTuple, int]]:
+        """Iterate over (index, node) for possibly-true cells."""
+        return iter(self._cells.items())
+
+    def density(self) -> int:
+        """Number of possibly-true cells."""
+        return len(self._cells)
+
+    def _check_compatible(self, other: "BoolMatrix") -> None:
+        if self.factory is not other.factory:
+            raise ValueError("matrices belong to different factories")
+        if self.universe_size != other.universe_size:
+            raise ValueError("matrices range over different universes")
+
+    def _same_shape(self, other: "BoolMatrix") -> None:
+        self._check_compatible(other)
+        if self.arity != other.arity:
+            raise ValueError("matrices have different arities")
+
+    # ------------------------------------------------------------------
+    # Relational operations
+    # ------------------------------------------------------------------
+
+    def union(self, other: "BoolMatrix") -> "BoolMatrix":
+        """Pointwise OR."""
+        self._same_shape(other)
+        result = BoolMatrix(self.factory, self.universe_size, self.arity)
+        for index in set(self._cells) | set(other._cells):
+            result._set(
+                index, self.factory.or_([self.get(index), other.get(index)])
+            )
+        return result
+
+    def intersection(self, other: "BoolMatrix") -> "BoolMatrix":
+        """Pointwise AND."""
+        self._same_shape(other)
+        result = BoolMatrix(self.factory, self.universe_size, self.arity)
+        for index in set(self._cells) & set(other._cells):
+            result._set(
+                index, self.factory.and_([self.get(index), other.get(index)])
+            )
+        return result
+
+    def difference(self, other: "BoolMatrix") -> "BoolMatrix":
+        """Pointwise AND-NOT."""
+        self._same_shape(other)
+        result = BoolMatrix(self.factory, self.universe_size, self.arity)
+        for index, node in self._cells.items():
+            result._set(index, self.factory.and_([node, -other.get(index)]))
+        return result
+
+    def product(self, other: "BoolMatrix") -> "BoolMatrix":
+        """Cartesian product; arities add."""
+        self._check_compatible(other)
+        result = BoolMatrix(
+            self.factory, self.universe_size, self.arity + other.arity
+        )
+        for left_index, left_node in self._cells.items():
+            for right_index, right_node in other._cells.items():
+                result._set(
+                    left_index + right_index,
+                    self.factory.and_([left_node, right_node]),
+                )
+        return result
+
+    def join(self, other: "BoolMatrix") -> "BoolMatrix":
+        """Relational join: contract the last column of self with the first
+        column of other."""
+        self._check_compatible(other)
+        arity = self.arity + other.arity - 2
+        if arity < 1:
+            raise ValueError("join would produce arity < 1")
+        result = BoolMatrix(self.factory, self.universe_size, arity)
+        # Group other's cells by leading atom for the contraction.
+        by_head: dict[int, list[tuple[IndexTuple, int]]] = {}
+        for right_index, right_node in other._cells.items():
+            by_head.setdefault(right_index[0], []).append(
+                (right_index[1:], right_node)
+            )
+        accum: dict[IndexTuple, list[int]] = {}
+        for left_index, left_node in self._cells.items():
+            tail = left_index[-1]
+            for right_rest, right_node in by_head.get(tail, []):
+                index = left_index[:-1] + right_rest
+                accum.setdefault(index, []).append(
+                    self.factory.and_([left_node, right_node])
+                )
+        for index, nodes in accum.items():
+            result._set(index, self.factory.or_(nodes))
+        return result
+
+    def transpose(self) -> "BoolMatrix":
+        """Transpose (binary only)."""
+        if self.arity != 2:
+            raise ValueError("transpose requires a binary matrix")
+        result = BoolMatrix(self.factory, self.universe_size, 2)
+        for (a, b), node in self._cells.items():
+            result._set((b, a), node)
+        return result
+
+    def closure(self) -> "BoolMatrix":
+        """Transitive closure by iterative squaring (binary only)."""
+        if self.arity != 2:
+            raise ValueError("closure requires a binary matrix")
+        current = self
+        steps = 1
+        while steps < self.universe_size:
+            current = current.union(current.join(current))
+            steps *= 2
+        return current
+
+    def identity_union(self) -> "BoolMatrix":
+        """Union with the identity matrix (for reflexive closure)."""
+        if self.arity != 2:
+            raise ValueError("identity union requires a binary matrix")
+        result = BoolMatrix(self.factory, self.universe_size, 2, dict(self._cells))
+        for i in range(self.universe_size):
+            result._set((i, i), TRUE)
+        return result
+
+    # ------------------------------------------------------------------
+    # Comparison / multiplicity circuits
+    # ------------------------------------------------------------------
+
+    def subset_of(self, other: "BoolMatrix") -> int:
+        """Circuit node asserting self ⊆ other."""
+        self._same_shape(other)
+        implications = [
+            self.factory.implies(node, other.get(index))
+            for index, node in self._cells.items()
+        ]
+        return self.factory.and_(implications)
+
+    def equals(self, other: "BoolMatrix") -> int:
+        """Circuit node asserting pointwise equality."""
+        return self.factory.and_([self.subset_of(other), other.subset_of(self)])
+
+    def some(self) -> int:
+        """Circuit node asserting at least one true cell."""
+        return self.factory.or_(self._cells.values())
+
+    def no(self) -> int:
+        """Circuit node asserting emptiness."""
+        return -self.some()
+
+    def lone(self) -> int:
+        """Circuit node asserting at most one true cell (pairwise)."""
+        nodes = list(self._cells.values())
+        pair_exclusions = [
+            self.factory.or_([-a, -b]) for a, b in itertools.combinations(nodes, 2)
+        ]
+        return self.factory.and_(pair_exclusions)
+
+    def one(self) -> int:
+        """Circuit node asserting exactly one true cell."""
+        return self.factory.and_([self.some(), self.lone()])
+
+    def count_ge(self, n: int) -> int:
+        """Circuit node asserting at least ``n`` true cells."""
+        if n <= 0:
+            return TRUE
+        nodes = list(self._cells.values())
+        if n > len(nodes):
+            return FALSE
+        choices = [
+            self.factory.and_(combo) for combo in itertools.combinations(nodes, n)
+        ]
+        return self.factory.or_(choices)
+
+    def count_eq(self, n: int) -> int:
+        """Circuit node asserting exactly ``n`` true cells."""
+        at_least = self.count_ge(n)
+        more = self.count_ge(n + 1)
+        return self.factory.and_([at_least, -more])
+
+    def __repr__(self) -> str:
+        return (
+            f"BoolMatrix(arity={self.arity}, size={self.universe_size}, "
+            f"density={self.density()})"
+        )

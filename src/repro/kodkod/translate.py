@@ -1,0 +1,303 @@
+"""Translation of relational formulas to boolean circuits and CNF.
+
+The pipeline mirrors Kodkod: every bounded relation becomes a matrix whose
+cells are TRUE (lower-bound tuples), FALSE (outside the upper bound) or a
+fresh boolean input; expressions are evaluated over matrices; formulas
+become circuit nodes; the root is compiled to CNF by Tseitin encoding.
+
+Quantifiers are ground: ``all x: D | F`` unrolls over the atoms in the
+upper bound of ``D``, guarding each instantiation by the atom's membership
+circuit.  This is sound and complete for finite scopes, which is the whole
+point of bounded verification.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.kodkod import ast
+from repro.kodkod.boolcircuit import FALSE, TRUE, BooleanFactory
+from repro.kodkod.bounds import Bounds
+from repro.kodkod.matrix import BoolMatrix
+from repro.sat.cnf import CNF
+
+Env = dict[ast.Variable, int]
+
+
+@dataclass
+class Translation:
+    """The result of translating a formula within bounds."""
+
+    cnf: CNF
+    factory: BooleanFactory
+    # (relation, atom-index tuple) -> circuit input node
+    tuple_inputs: dict[tuple[ast.Relation, tuple[int, ...]], int]
+    # circuit input node -> CNF variable (inputs absent from the CNF were
+    # simplified away and may take either value)
+    input_vars: dict[int, int]
+    bounds: Bounds
+    stats: "TranslationStats" = field(default=None)  # type: ignore[assignment]
+
+
+@dataclass
+class TranslationStats:
+    """Size/timing metrics of a translation (feeds the encoding benchmark)."""
+
+    num_primary_vars: int = 0
+    num_cnf_vars: int = 0
+    num_clauses: int = 0
+    num_gates: int = 0
+    translation_seconds: float = 0.0
+
+
+class UnboundRelationError(KeyError):
+    """A relation used in the formula has no bounds."""
+
+
+class Translator:
+    """Translates formulas to CNF within a :class:`Bounds`."""
+
+    def __init__(self, bounds: Bounds) -> None:
+        self._bounds = bounds
+        self._universe = bounds.universe
+        self._factory = BooleanFactory()
+        self._relation_matrices: dict[ast.Relation, BoolMatrix] = {}
+        self._tuple_inputs: dict[tuple[ast.Relation, tuple[int, ...]], int] = {}
+
+    # ------------------------------------------------------------------
+    # Relation leaves
+    # ------------------------------------------------------------------
+
+    def _relation_matrix(self, rel: ast.Relation) -> BoolMatrix:
+        matrix = self._relation_matrices.get(rel)
+        if matrix is not None:
+            return matrix
+        if rel not in self._bounds:
+            raise UnboundRelationError(f"relation {rel.name!r} has no bounds")
+        lower = self._bounds.lower(rel)
+        upper = self._bounds.upper(rel)
+        matrix = BoolMatrix(self._factory, len(self._universe), rel.arity)
+        for tup in upper:
+            index = tuple(self._universe.index(a) for a in tup)
+            if tup in lower:
+                matrix.set(index, TRUE)
+            else:
+                node = self._factory.fresh_input()
+                matrix.set(index, node)
+                self._tuple_inputs[(rel, index)] = node
+        self._relation_matrices[rel] = matrix
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def expr_matrix(self, expr: ast.Expr, env: Env | None = None) -> BoolMatrix:
+        """Translate an expression to its boolean matrix."""
+        env = env or {}
+        return self._expr(expr, env)
+
+    def _expr(self, expr: ast.Expr, env: Env) -> BoolMatrix:
+        size = len(self._universe)
+        if isinstance(expr, ast.Relation):
+            return self._relation_matrix(expr)
+        if isinstance(expr, ast.Variable):
+            try:
+                atom_index = env[expr]
+            except KeyError:
+                raise ValueError(f"unbound variable {expr.name!r}") from None
+            matrix = BoolMatrix(self._factory, size, 1)
+            matrix.set((atom_index,), TRUE)
+            return matrix
+        if isinstance(expr, ast.Univ):
+            matrix = BoolMatrix(self._factory, size, 1)
+            for i in range(size):
+                matrix.set((i,), TRUE)
+            return matrix
+        if isinstance(expr, ast.Iden):
+            matrix = BoolMatrix(self._factory, size, 2)
+            for i in range(size):
+                matrix.set((i, i), TRUE)
+            return matrix
+        if isinstance(expr, ast.NoneExpr):
+            return BoolMatrix(self._factory, size, expr.arity)
+        if isinstance(expr, ast.Union):
+            return self._expr(expr.left, env).union(self._expr(expr.right, env))
+        if isinstance(expr, ast.Intersection):
+            return self._expr(expr.left, env).intersection(
+                self._expr(expr.right, env)
+            )
+        if isinstance(expr, ast.Difference):
+            return self._expr(expr.left, env).difference(self._expr(expr.right, env))
+        if isinstance(expr, ast.Product):
+            return self._expr(expr.left, env).product(self._expr(expr.right, env))
+        if isinstance(expr, ast.Join):
+            return self._expr(expr.left, env).join(self._expr(expr.right, env))
+        if isinstance(expr, ast.Transpose):
+            return self._expr(expr.inner, env).transpose()
+        if isinstance(expr, ast.Closure):
+            return self._expr(expr.inner, env).closure()
+        if isinstance(expr, ast.IfExpr):
+            cond = self._formula(expr.cond, env)
+            then_matrix = self._expr(expr.then_expr, env)
+            else_matrix = self._expr(expr.else_expr, env)
+            result = BoolMatrix(self._factory, size, then_matrix.arity)
+            indices = {i for i, _ in then_matrix.cells()}
+            indices.update(i for i, _ in else_matrix.cells())
+            for index in indices:
+                result.set(
+                    index,
+                    self._factory.ite(
+                        cond, then_matrix.get(index), else_matrix.get(index)
+                    ),
+                )
+            return result
+        if isinstance(expr, ast.Comprehension):
+            return self._comprehension(expr, env)
+        raise TypeError(f"unknown expression type: {type(expr).__name__}")
+
+    def _comprehension(self, expr: ast.Comprehension, env: Env) -> BoolMatrix:
+        size = len(self._universe)
+        result = BoolMatrix(self._factory, size, expr.arity)
+
+        def fill(decl_index: int, env_now: Env, index_prefix: tuple[int, ...],
+                 guards: list[int]) -> None:
+            if decl_index == len(expr.decls):
+                body_node = self._formula(expr.body, env_now)
+                result.set(
+                    index_prefix, self._factory.and_(guards + [body_node])
+                )
+                return
+            var, domain = expr.decls[decl_index]
+            domain_matrix = self._expr(domain, env_now)
+            for (atom_index,), membership in list(domain_matrix.cells()):
+                child_env = dict(env_now)
+                child_env[var] = atom_index
+                fill(
+                    decl_index + 1,
+                    child_env,
+                    index_prefix + (atom_index,),
+                    guards + [membership],
+                )
+
+        fill(0, env, (), [])
+        return result
+
+    # ------------------------------------------------------------------
+    # Formulas
+    # ------------------------------------------------------------------
+
+    def formula_node(self, formula: ast.Formula, env: Env | None = None) -> int:
+        """Translate a formula to a circuit node."""
+        return self._formula(formula, env or {})
+
+    def _formula(self, formula: ast.Formula, env: Env) -> int:
+        if isinstance(formula, ast.TrueF):
+            return TRUE
+        if isinstance(formula, ast.FalseF):
+            return FALSE
+        if isinstance(formula, ast.Subset):
+            return self._expr(formula.left, env).subset_of(
+                self._expr(formula.right, env)
+            )
+        if isinstance(formula, ast.Equal):
+            return self._expr(formula.left, env).equals(
+                self._expr(formula.right, env)
+            )
+        if isinstance(formula, ast.Some):
+            return self._expr(formula.expr, env).some()
+        if isinstance(formula, ast.No):
+            return self._expr(formula.expr, env).no()
+        if isinstance(formula, ast.One):
+            return self._expr(formula.expr, env).one()
+        if isinstance(formula, ast.Lone):
+            return self._expr(formula.expr, env).lone()
+        if isinstance(formula, ast.CardinalityEq):
+            return self._expr(formula.expr, env).count_eq(formula.count)
+        if isinstance(formula, ast.CardinalityGe):
+            return self._expr(formula.expr, env).count_ge(formula.count)
+        if isinstance(formula, ast.Not):
+            return -self._formula(formula.inner, env)
+        if isinstance(formula, ast.And):
+            return self._factory.and_(
+                [self._formula(part, env) for part in formula.parts]
+            )
+        if isinstance(formula, ast.Or):
+            return self._factory.or_(
+                [self._formula(part, env) for part in formula.parts]
+            )
+        if isinstance(formula, ast.ForAll):
+            return self._quantified(formula, env, universal=True)
+        if isinstance(formula, ast.Exists):
+            return self._quantified(formula, env, universal=False)
+        raise TypeError(f"unknown formula type: {type(formula).__name__}")
+
+    def _quantified(self, formula: ast._Quantified, env: Env, universal: bool) -> int:
+        def unroll(decl_index: int, env_now: Env, guards: list[int]) -> list[int]:
+            if decl_index == len(formula.decls):
+                body_node = self._formula(formula.body, env_now)
+                if universal:
+                    # guards -> body
+                    return [
+                        self._factory.or_(
+                            [-g for g in guards] + [body_node]
+                        )
+                    ]
+                return [self._factory.and_(guards + [body_node])]
+            var, domain = formula.decls[decl_index]
+            domain_matrix = self._expr(domain, env_now)
+            instantiations: list[int] = []
+            for (atom_index,), membership in list(domain_matrix.cells()):
+                child_env = dict(env_now)
+                child_env[var] = atom_index
+                instantiations.extend(
+                    unroll(decl_index + 1, child_env, guards + [membership])
+                )
+            return instantiations
+
+        nodes = unroll(0, env, [])
+        if universal:
+            return self._factory.and_(nodes)
+        return self._factory.or_(nodes)
+
+    # ------------------------------------------------------------------
+    # End-to-end translation
+    # ------------------------------------------------------------------
+
+    def translate(self, formula: ast.Formula) -> Translation:
+        """Translate ``formula`` into CNF, collecting size statistics."""
+        started = time.perf_counter()
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 100000))
+        try:
+            # Allocate primary variables for every bounded relation, whether
+            # or not the formula mentions it: enumeration must distinguish
+            # instances on all declared relations.
+            for rel in self._bounds.relations():
+                self._relation_matrix(rel)
+            root = self._formula(formula, {})
+            cnf, input_vars = self._factory.to_cnf([root])
+            # Inputs never mentioned by the root circuit still need CNF
+            # variables so instances can be extracted deterministically.
+            for node in self._tuple_inputs.values():
+                if node not in input_vars:
+                    input_vars[node] = cnf.new_var()
+        finally:
+            sys.setrecursionlimit(old_limit)
+        stats = TranslationStats(
+            num_primary_vars=len(self._tuple_inputs),
+            num_cnf_vars=cnf.num_vars,
+            num_clauses=cnf.num_clauses,
+            num_gates=self._factory.num_gates,
+            translation_seconds=time.perf_counter() - started,
+        )
+        return Translation(
+            cnf=cnf,
+            factory=self._factory,
+            tuple_inputs=dict(self._tuple_inputs),
+            input_vars=input_vars,
+            bounds=self._bounds,
+            stats=stats,
+        )

@@ -1,0 +1,160 @@
+"""Universe of atoms and tuple sets for bounded relational logic.
+
+A :class:`Universe` is a finite, ordered collection of named atoms — the
+scope of a bounded verification run.  Relations are interpreted as sets of
+tuples of atoms; a :class:`TupleSet` is the concrete representation used by
+bounds and by extracted instances.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+Atom = str
+AtomTuple = tuple[Atom, ...]
+
+
+class Universe:
+    """An immutable, ordered set of distinct atoms."""
+
+    def __init__(self, atoms: Iterable[Atom]) -> None:
+        self._atoms: tuple[Atom, ...] = tuple(atoms)
+        if len(set(self._atoms)) != len(self._atoms):
+            raise ValueError("universe atoms must be distinct")
+        if not self._atoms:
+            raise ValueError("universe must contain at least one atom")
+        self._index = {atom: i for i, atom in enumerate(self._atoms)}
+
+    @property
+    def atoms(self) -> tuple[Atom, ...]:
+        """All atoms in declaration order."""
+        return self._atoms
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __contains__(self, atom: object) -> bool:
+        return atom in self._index
+
+    def index(self, atom: Atom) -> int:
+        """Position of ``atom`` in the universe."""
+        try:
+            return self._index[atom]
+        except KeyError:
+            raise KeyError(f"atom {atom!r} is not in the universe") from None
+
+    def atom(self, index: int) -> Atom:
+        """Atom at ``index``."""
+        return self._atoms[index]
+
+    def all_tuples(self, arity: int) -> "TupleSet":
+        """The full tuple space of the given arity."""
+        if arity < 1:
+            raise ValueError("arity must be >= 1")
+        tuples: set[AtomTuple] = {()}
+        for _ in range(arity):
+            tuples = {t + (a,) for t in tuples for a in self._atoms}
+        return TupleSet(self, arity, tuples)
+
+    def tuple_set(self, arity: int, tuples: Iterable[Sequence[Atom]]) -> "TupleSet":
+        """Build a tuple set, validating atoms and arity."""
+        converted: set[AtomTuple] = set()
+        for t in tuples:
+            tup = tuple(t)
+            if len(tup) != arity:
+                raise ValueError(f"tuple {tup!r} does not have arity {arity}")
+            for atom in tup:
+                if atom not in self._index:
+                    raise KeyError(f"atom {atom!r} is not in the universe")
+            converted.add(tup)
+        return TupleSet(self, arity, converted)
+
+    def empty(self, arity: int) -> "TupleSet":
+        """The empty tuple set of the given arity."""
+        return TupleSet(self, arity, set())
+
+    def singletons(self) -> list["TupleSet"]:
+        """One singleton unary tuple set per atom, in order."""
+        return [TupleSet(self, 1, {(a,)}) for a in self._atoms]
+
+    def __repr__(self) -> str:
+        return f"Universe({list(self._atoms)!r})"
+
+
+class TupleSet:
+    """A set of same-arity tuples over a universe."""
+
+    def __init__(self, universe: Universe, arity: int, tuples: set[AtomTuple]) -> None:
+        self._universe = universe
+        self._arity = arity
+        self._tuples = frozenset(tuples)
+
+    @property
+    def universe(self) -> Universe:
+        """The universe over which the tuples range."""
+        return self._universe
+
+    @property
+    def arity(self) -> int:
+        """Arity shared by every tuple."""
+        return self._arity
+
+    def __iter__(self) -> Iterator[AtomTuple]:
+        return iter(sorted(self._tuples))
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._tuples
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TupleSet):
+            return NotImplemented
+        return (
+            self._universe is other._universe
+            and self._arity == other._arity
+            and self._tuples == other._tuples
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self._universe), self._arity, self._tuples))
+
+    def _check_compatible(self, other: "TupleSet") -> None:
+        if self._universe is not other._universe:
+            raise ValueError("tuple sets range over different universes")
+        if self._arity != other._arity:
+            raise ValueError("tuple sets have different arities")
+
+    def union(self, other: "TupleSet") -> "TupleSet":
+        """Set union."""
+        self._check_compatible(other)
+        return TupleSet(self._universe, self._arity, set(self._tuples | other._tuples))
+
+    def intersection(self, other: "TupleSet") -> "TupleSet":
+        """Set intersection."""
+        self._check_compatible(other)
+        return TupleSet(self._universe, self._arity, set(self._tuples & other._tuples))
+
+    def difference(self, other: "TupleSet") -> "TupleSet":
+        """Set difference."""
+        self._check_compatible(other)
+        return TupleSet(self._universe, self._arity, set(self._tuples - other._tuples))
+
+    def issubset(self, other: "TupleSet") -> bool:
+        """Subset test."""
+        self._check_compatible(other)
+        return self._tuples <= other._tuples
+
+    def product(self, other: "TupleSet") -> "TupleSet":
+        """Cartesian product (arities add)."""
+        if self._universe is not other._universe:
+            raise ValueError("tuple sets range over different universes")
+        tuples = {a + b for a in self._tuples for b in other._tuples}
+        return TupleSet(self._universe, self._arity + other._arity, tuples)
+
+    def __repr__(self) -> str:
+        return f"TupleSet(arity={self._arity}, tuples={sorted(self._tuples)!r})"

@@ -1,0 +1,79 @@
+"""The Max-Consensus Auction (MCA) protocol: executable reference model.
+
+The paper's two invariant mechanisms — bidding and agreement — with
+pluggable policies (utility sub-modularity, target bundle size, release on
+outbid, honest/malicious rebidding), synchronous and asynchronous execution
+engines, and convergence analysis.
+"""
+
+from repro.mca.agent import Agent, OutbidEvent
+from repro.mca.conflict import ConflictResolver, ResolutionOutcome
+from repro.mca.convergence import (
+    ConsensusReport,
+    consensus_report,
+    detect_cycle,
+    max_consensus_target,
+    message_bound,
+)
+from repro.mca.engine import (
+    AsynchronousEngine,
+    Outcome,
+    RoundRecord,
+    RunResult,
+    SynchronousEngine,
+    build_agents,
+)
+from repro.mca.items import AgentId, ItemBelief, ItemId, Timestamp, ZERO_TIME
+from repro.mca.messages import BidMessage
+from repro.mca.network import AgentNetwork
+from repro.mca.policies import (
+    AgentPolicy,
+    GeometricUtility,
+    RebidStrategy,
+    ResidualCapacityUtility,
+    TableUtility,
+    UtilityFunction,
+    non_submodular_policy,
+    submodular_policy,
+)
+from repro.mca.scenarios import (
+    example1_engine,
+    example1_expected_allocation,
+    figure2_engine,
+)
+
+__all__ = [
+    "Agent",
+    "AgentId",
+    "AgentNetwork",
+    "AgentPolicy",
+    "AsynchronousEngine",
+    "BidMessage",
+    "ConflictResolver",
+    "ConsensusReport",
+    "GeometricUtility",
+    "ItemBelief",
+    "ItemId",
+    "Outcome",
+    "OutbidEvent",
+    "RebidStrategy",
+    "ResidualCapacityUtility",
+    "ResolutionOutcome",
+    "RoundRecord",
+    "RunResult",
+    "SynchronousEngine",
+    "TableUtility",
+    "Timestamp",
+    "UtilityFunction",
+    "ZERO_TIME",
+    "build_agents",
+    "consensus_report",
+    "detect_cycle",
+    "example1_engine",
+    "example1_expected_allocation",
+    "figure2_engine",
+    "max_consensus_target",
+    "message_bound",
+    "non_submodular_policy",
+    "submodular_policy",
+]

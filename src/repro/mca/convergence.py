@@ -1,0 +1,108 @@
+"""Convergence analysis: consensus predicates and the D*|J| message bound.
+
+Implements Definition 1 (max-consensus) and the paper's convergence notion:
+"the attainment of a distributed conflict-free assignment of the items on
+auction", plus the classic bound that consensus requires at most
+``D * |J|`` communication rounds on a connected agent network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mca.agent import Agent
+from repro.mca.engine import RoundRecord
+from repro.mca.items import AgentId, ItemId
+from repro.mca.network import AgentNetwork
+
+
+@dataclass
+class ConsensusReport:
+    """Breakdown of the consensus predicate over a set of agents."""
+
+    views_agree: bool
+    conflict_free: bool
+    bundles_consistent: bool
+
+    @property
+    def consensus(self) -> bool:
+        """The paper's ``consensusPred``: equal winners and winner-bids,
+        plus a conflict-free assignment."""
+        return self.views_agree and self.conflict_free and self.bundles_consistent
+
+
+def consensus_report(agents: dict[AgentId, Agent]) -> ConsensusReport:
+    """Evaluate the consensus predicate on the agents' current views."""
+    agent_list = list(agents.values())
+    if not agent_list:
+        raise ValueError("no agents")
+    reference = agent_list[0]
+    views_agree = all(
+        {j: (a.beliefs[j].winner, a.beliefs[j].bid) for j in a.items}
+        == {j: (reference.beliefs[j].winner, reference.beliefs[j].bid)
+            for j in reference.items}
+        for a in agent_list[1:]
+    )
+    # Conflict freedom: every item has at most one winner across all local
+    # views (an item may legitimately stay unassigned when nobody bids).
+    winners_per_item: dict[ItemId, set[AgentId]] = {}
+    for agent in agent_list:
+        for item in agent.items:
+            winner = agent.beliefs[item].winner
+            if winner is not None:
+                winners_per_item.setdefault(item, set()).add(winner)
+    conflict_free = all(len(ws) <= 1 for ws in winners_per_item.values())
+    # Bundle consistency: an agent's bundle must match what it believes it
+    # wins, and two agents' bundles must not overlap.
+    bundles_consistent = True
+    claimed: dict[ItemId, AgentId] = {}
+    for agent in agent_list:
+        for item in agent.bundle:
+            if agent.beliefs[item].winner != agent.id:
+                bundles_consistent = False
+            if item in claimed and claimed[item] != agent.id:
+                bundles_consistent = False
+            claimed[item] = agent.id
+    return ConsensusReport(views_agree, conflict_free, bundles_consistent)
+
+
+def message_bound(network: AgentNetwork, items: list[ItemId]) -> int:
+    """The paper's ``val`` parameter: consensus needs <= D * |J| rounds.
+
+    "the number of messages required to reach consensus is upper bounded by
+    D * |V_H| ... because the maximum bid for each item only has to
+    traverse the network of agents once" (Section V).
+    """
+    return max(1, network.diameter()) * max(1, len(items))
+
+
+def max_consensus_target(initial_bids: dict[AgentId, dict[ItemId, float]]
+                         ) -> dict[ItemId, float]:
+    """Definition 1's fixpoint: the component-wise maximum of initial bids."""
+    target: dict[ItemId, float] = {}
+    for bids in initial_bids.values():
+        for item, value in bids.items():
+            target[item] = max(target.get(item, float("-inf")), value)
+    return target
+
+
+def detect_cycle(trace: list[RoundRecord]) -> tuple[int, int] | None:
+    """Find a repeated (bids, bundles, allocation) snapshot in a trace.
+
+    Returns (first occurrence index, cycle length) or None.  This is the
+    trace-level view of the oscillation the paper's Figure 2 depicts:
+    iteration 3 identical to iteration 1.
+    """
+    seen: dict[tuple, int] = {}
+    for record in trace:
+        key = (
+            tuple(sorted(
+                (a, tuple(sorted(bids.items()))) for a, bids in record.bids.items()
+            )),
+            tuple(sorted(record.bundles.items())),
+            tuple(sorted(record.allocation.items())),
+        )
+        if key in seen:
+            return seen[key], record.round_index - seen[key]
+        seen[key] = record.round_index
+    return None

@@ -1,0 +1,81 @@
+"""Items, beliefs and timestamps for the MCA protocol.
+
+Items are opaque string identifiers (virtual nodes in the VN-mapping case
+study, tasks for a UAV fleet, generation duties in a smart grid — per the
+paper's Remark 4 only the names change).
+
+A :class:`Timestamp` is a Lamport-style pair ``(counter, agent_id)``: totally
+ordered, causally consistent, and unique per generation event.  Bid
+generation times are the mechanism the paper uses "to resolve assignment
+conflicts in an asynchronous fashion; when transmitted among agents, bids
+can in fact arrive out of order" (Section II-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+AgentId = int
+ItemId = str
+
+
+@dataclass(frozen=True, order=True)
+class Timestamp:
+    """Lamport timestamp: (counter, tie-broken by agent id)."""
+
+    counter: int
+    agent_id: AgentId
+
+    def next_for(self, agent_id: AgentId) -> "Timestamp":
+        """The successor event timestamp for ``agent_id``."""
+        return Timestamp(self.counter + 1, agent_id)
+
+
+ZERO_TIME = Timestamp(0, -1)
+
+
+@dataclass(frozen=True)
+class ItemBelief:
+    """An agent's current knowledge about one item.
+
+    ``winner`` is the believed winning agent (None = unassigned), ``bid``
+    the winning bid, ``time`` the generation timestamp of this information
+    and ``origin`` the agent that generated it (the winner for claims, the
+    releasing agent for resets).
+    """
+
+    winner: Optional[AgentId]
+    bid: float
+    time: Timestamp
+    origin: AgentId
+
+    @staticmethod
+    def unassigned() -> "ItemBelief":
+        """The initial belief: nobody wins, zero bid."""
+        return ItemBelief(winner=None, bid=0.0, time=ZERO_TIME, origin=-1)
+
+    def is_claim(self) -> bool:
+        """True when some agent is believed to win the item."""
+        return self.winner is not None
+
+    def key(self) -> tuple:
+        """Comparison key for winner determination: bid desc, id asc.
+
+        A claim beats another iff it has a strictly higher bid, or an equal
+        bid from a lower agent id (the deterministic tie-break that keeps
+        winner determination consistent across agents).
+        """
+        if self.winner is None:
+            return (0.0, float("inf"))
+        return (self.bid, -self.winner)
+
+    def beats(self, other: "ItemBelief") -> bool:
+        """True when this claim displaces ``other`` under the max-rule."""
+        if self.winner is None:
+            return False
+        if other.winner is None:
+            return True
+        if self.bid != other.bid:
+            return self.bid > other.bid
+        return self.winner < other.winner

@@ -1,0 +1,40 @@
+"""Bid messages exchanged during the agreement phase.
+
+Mirrors the paper's ``message`` signature: sender, receiver, and the
+sender's full view — winners (``msgWinners``), bids (``msgBids``) and bid
+generation times (``msgBidTimes``) for every item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mca.items import AgentId, ItemBelief, ItemId
+
+
+@dataclass(frozen=True)
+class BidMessage:
+    """One agreement-phase message: the sender's complete item view."""
+
+    sender: AgentId
+    receiver: AgentId
+    beliefs: tuple[tuple[ItemId, ItemBelief], ...]
+    clock: int
+    """Sender's Lamport clock at send time (receivers join clocks)."""
+
+    @staticmethod
+    def from_view(sender: AgentId, receiver: AgentId,
+                  view: dict[ItemId, ItemBelief], clock: int) -> "BidMessage":
+        """Build a message from an agent's belief dictionary."""
+        ordered = tuple(sorted(view.items()))
+        return BidMessage(sender, receiver, ordered, clock)
+
+    def view(self) -> dict[ItemId, ItemBelief]:
+        """The carried beliefs as a dictionary."""
+        return dict(self.beliefs)
+
+    def __repr__(self) -> str:
+        summary = ", ".join(
+            f"{item}:{belief.winner}@{belief.bid:g}" for item, belief in self.beliefs
+        )
+        return f"BidMessage({self.sender}->{self.receiver}, {summary})"

@@ -1,0 +1,118 @@
+"""Agent communication networks and standard topologies.
+
+The agreement mechanism exchanges bids with *first-hop neighbors* only; the
+network's diameter ``D`` bounds convergence time (``D * |J|`` messages,
+Section V).  Built on :mod:`networkx` for diameter/connectivity queries.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.mca.items import AgentId
+
+
+class AgentNetwork:
+    """An undirected, connected communication graph over agent ids."""
+
+    def __init__(self, edges: Iterable[tuple[AgentId, AgentId]],
+                 nodes: Iterable[AgentId] | None = None) -> None:
+        graph = nx.Graph()
+        if nodes is not None:
+            graph.add_nodes_from(nodes)
+        for a, b in edges:
+            if a == b:
+                raise ValueError("self-loops are not allowed")
+            graph.add_edge(a, b)
+        if graph.number_of_nodes() == 0:
+            raise ValueError("network needs at least one agent")
+        if graph.number_of_nodes() > 1 and not nx.is_connected(graph):
+            raise ValueError("agent network must be connected")
+        self._graph = graph
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph."""
+        return self._graph
+
+    def agents(self) -> list[AgentId]:
+        """All agent ids, sorted."""
+        return sorted(self._graph.nodes)
+
+    def neighbors(self, agent: AgentId) -> list[AgentId]:
+        """First-hop neighbors of ``agent``, sorted."""
+        return sorted(self._graph.neighbors(agent))
+
+    def diameter(self) -> int:
+        """Graph diameter ``D`` (0 for a single agent)."""
+        if self._graph.number_of_nodes() == 1:
+            return 0
+        return nx.diameter(self._graph)
+
+    def edges(self) -> Iterator[tuple[AgentId, AgentId]]:
+        """All undirected edges."""
+        return iter(sorted(tuple(sorted(e)) for e in self._graph.edges))
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __contains__(self, agent: object) -> bool:
+        return agent in self._graph
+
+    # ------------------------------------------------------------------
+    # Topology factories
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def complete(n: int) -> "AgentNetwork":
+        """Fully connected network of ``n`` agents."""
+        _require_positive(n)
+        return AgentNetwork(
+            ((i, j) for i in range(n) for j in range(i + 1, n)), nodes=range(n)
+        )
+
+    @staticmethod
+    def line(n: int) -> "AgentNetwork":
+        """Path topology: diameter n-1."""
+        _require_positive(n)
+        return AgentNetwork(zip(range(n - 1), range(1, n)), nodes=range(n))
+
+    @staticmethod
+    def ring(n: int) -> "AgentNetwork":
+        """Cycle topology (n >= 3)."""
+        if n < 3:
+            raise ValueError("a ring needs at least 3 agents")
+        edges = list(zip(range(n - 1), range(1, n))) + [(n - 1, 0)]
+        return AgentNetwork(edges, nodes=range(n))
+
+    @staticmethod
+    def star(n: int) -> "AgentNetwork":
+        """Hub-and-spoke: agent 0 is the hub."""
+        _require_positive(n)
+        return AgentNetwork(((0, i) for i in range(1, n)), nodes=range(n))
+
+    @staticmethod
+    def random_connected(n: int, extra_edge_prob: float = 0.3,
+                         seed: int = 0) -> "AgentNetwork":
+        """Random spanning tree plus extra random edges; always connected."""
+        _require_positive(n)
+        rng = random.Random(seed)
+        nodes = list(range(n))
+        rng.shuffle(nodes)
+        edges = set()
+        for i in range(1, n):
+            parent = nodes[rng.randrange(i)]
+            edges.add(tuple(sorted((parent, nodes[i]))))
+        for i in range(n):
+            for j in range(i + 1, n):
+                if (i, j) not in edges and rng.random() < extra_edge_prob:
+                    edges.add((i, j))
+        return AgentNetwork(edges, nodes=range(n))
+
+
+def _require_positive(n: int) -> None:
+    if n < 1:
+        raise ValueError("need at least one agent")

@@ -1,0 +1,166 @@
+"""MCA policies: the variant aspects of the bidding/agreement mechanisms.
+
+The paper separates the invariant *mechanisms* of MCA from its *policies*
+(Section I): the utility function (sub-modular or not, ``p_u``), the target
+number of items (``p_T``), the release-outbid behaviour (``p_RO``) and the
+honest/malicious rebidding behaviour (the Remark-1 condition).  This module
+implements each as a first-class object so that policy combinations can be
+swept — the exact experiment of Section V.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.mca.items import ItemId
+
+
+class UtilityFunction(ABC):
+    """Marginal utility ``u(j, m)`` of adding item ``j`` to bundle ``m``."""
+
+    @abstractmethod
+    def marginal(self, item: ItemId, bundle: Sequence[ItemId]) -> float:
+        """The bid an agent with bundle ``m`` would place on ``j``."""
+
+    def is_submodular_on(self, items: Sequence[ItemId], max_bundle: int) -> bool:
+        """Empirically verify Definition 2 on all bundles up to a size.
+
+        ``u(j, m') >= u(j, m)`` for every ``m' ⊂ m`` — checked for every
+        item and every pair of nested bundles drawn from ``items``.
+        """
+        import itertools
+
+        pool = list(items)
+        for j in pool:
+            others = [i for i in pool if i != j]
+            for size in range(min(max_bundle, len(others)) + 1):
+                for bundle in itertools.combinations(others, size):
+                    value = self.marginal(j, list(bundle))
+                    for smaller_size in range(size):
+                        for sub in itertools.combinations(bundle, smaller_size):
+                            if self.marginal(j, list(sub)) < value:
+                                return False
+        return True
+
+
+class GeometricUtility(UtilityFunction):
+    """``u(j, m) = base[j] * growth^|m|``.
+
+    ``growth < 1`` gives a sub-modular (diminishing) utility, ``growth > 1``
+    a non-sub-modular (increasing) one — the single knob that flips the
+    paper's Figure 2 from convergence to oscillation.
+    """
+
+    def __init__(self, base: Mapping[ItemId, float], growth: float) -> None:
+        if growth <= 0:
+            raise ValueError("growth must be positive")
+        self._base = dict(base)
+        self._growth = growth
+
+    @property
+    def growth(self) -> float:
+        """The per-bundle-slot growth factor."""
+        return self._growth
+
+    def marginal(self, item: ItemId, bundle: Sequence[ItemId]) -> float:
+        base = self._base.get(item, 0.0)
+        return base * self._growth ** len(bundle)
+
+
+class TableUtility(UtilityFunction):
+    """Explicit ``(item, bundle size) -> value`` table.
+
+    Used to reproduce the paper's figures with their exact bid values.
+    Missing entries default to 0 (the agent does not bid).
+    """
+
+    def __init__(self, table: Mapping[tuple[ItemId, int], float]) -> None:
+        self._table = dict(table)
+
+    def marginal(self, item: ItemId, bundle: Sequence[ItemId]) -> float:
+        return self._table.get((item, len(bundle)), 0.0)
+
+
+class ResidualCapacityUtility(UtilityFunction):
+    """The canonical sub-modular utility of the VN-mapping case study.
+
+    The bid on a virtual node is the physical node's *residual* CPU capacity
+    after hosting the bundle: "the residual (CPU) capacity can in fact only
+    decrease as virtual nodes to be supported are added" (Section II-A).
+    A bid of 0 is returned when the demand no longer fits.
+    """
+
+    def __init__(self, capacity: float, demands: Mapping[ItemId, float]) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self._capacity = capacity
+        self._demands = dict(demands)
+
+    def marginal(self, item: ItemId, bundle: Sequence[ItemId]) -> float:
+        used = sum(self._demands.get(i, 0.0) for i in bundle)
+        residual = self._capacity - used
+        demand = self._demands.get(item, 0.0)
+        if demand <= 0 or residual < demand:
+            return 0.0
+        return residual
+
+
+class RebidStrategy(enum.Enum):
+    """How an agent behaves after being outbid (the Remark-1 axis)."""
+
+    HONEST = "honest"
+    """Never re-claim a lost item unless the current marginal utility
+    genuinely beats the known winning bid (the necessary condition of
+    Remark 1 under sub-modular utilities)."""
+
+    ESCALATE = "escalate"
+    """Malicious: re-claim every lost item at (known winning bid + 1),
+    lying about the private utility.  Hijacks allocations."""
+
+    FLIPFLOP = "flipflop"
+    """Malicious: alternately overbid on and release lost items, producing
+    a livelock — the denial-of-service rebidding attack of Result 2."""
+
+
+@dataclass
+class AgentPolicy:
+    """The complete policy instantiation of one agent."""
+
+    utility: UtilityFunction
+    target: int = 1
+    """``p_T``: maximum bundle size (target number of items)."""
+    release_outbid: bool = False
+    """``p_RO``: release (and later rebid) bundle items subsequent to an
+    outbid item (Remark 2)."""
+    rebid: RebidStrategy = RebidStrategy.HONEST
+    """Honest/malicious rebidding behaviour (Remark 1)."""
+    extra: dict = field(default_factory=dict)
+    """Free-form extension point ("add your policy here" in the paper's
+    pnode signature)."""
+
+    def __post_init__(self) -> None:
+        if self.target < 0:
+            raise ValueError("target bundle size must be non-negative")
+
+
+def submodular_policy(base: Mapping[ItemId, float], target: int = 2,
+                      release_outbid: bool = False) -> AgentPolicy:
+    """Convenience: diminishing geometric utility (growth 1/2)."""
+    return AgentPolicy(
+        utility=GeometricUtility(base, growth=0.5),
+        target=target,
+        release_outbid=release_outbid,
+    )
+
+
+def non_submodular_policy(base: Mapping[ItemId, float], target: int = 2,
+                          release_outbid: bool = True) -> AgentPolicy:
+    """Convenience: increasing geometric utility (growth 2)."""
+    return AgentPolicy(
+        utility=GeometricUtility(base, growth=2.0),
+        target=target,
+        release_outbid=release_outbid,
+    )

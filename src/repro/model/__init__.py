@@ -1,0 +1,43 @@
+"""The paper's Alloy MCA model, re-encoded on the alloylite/kodkod stack.
+
+Static sub-models in both the naive (ternary + Int) and optimized
+(bidTriple + value) abstractions, the dynamic transition system with the
+consensus assertion, and policy-combination check drivers.
+"""
+
+from repro.model.build import (
+    ALL_POLICY_COMBINATIONS,
+    CheckVerdict,
+    EncodingComparison,
+    PolicyCombination,
+    check_combination,
+    compare_encodings,
+    model_for,
+    policy_matrix,
+)
+from repro.model.dynamic import DynamicModel, build_dynamic
+from repro.model.intmodel import IntModel, declare_int
+from repro.model.static_naive import NaiveStaticModel, build_naive_static
+from repro.model.static_optim import OptimStaticModel, build_optim_static
+from repro.model.valuemodel import ValueModel, declare_value
+
+__all__ = [
+    "ALL_POLICY_COMBINATIONS",
+    "CheckVerdict",
+    "DynamicModel",
+    "EncodingComparison",
+    "IntModel",
+    "NaiveStaticModel",
+    "OptimStaticModel",
+    "PolicyCombination",
+    "ValueModel",
+    "build_dynamic",
+    "build_naive_static",
+    "build_optim_static",
+    "check_combination",
+    "compare_encodings",
+    "declare_int",
+    "declare_value",
+    "model_for",
+    "policy_matrix",
+]

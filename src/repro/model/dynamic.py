@@ -1,0 +1,338 @@
+"""The dynamic MCA sub-model: ordered states, views, and transitions.
+
+Re-encodes the paper's dynamic model (Section IV) in the optimized
+abstraction style: states are an ordered ``netState`` signature; each
+``(state, pnode)`` pair owns a ``bidVector`` of shared, constant
+``bidTriple`` value objects; the ``stateTransition`` fact relates each
+state to its successor.
+
+**Execution abstraction.** The paper processes one buffered message per
+transition.  We abstract a transition to one synchronous *gossip round*:
+every pnode merges the previous views of itself and its first-hop neighbors
+by the max-rule (higher bid wins, ties impossible by a distinct-bids fact).
+This preserves the D-round convergence structure while keeping the SAT
+instance tractable for a pure-Python solver.  Misbehaviour is modelled by
+two policy-gated deviations:
+
+* ``release_nonsub`` agents (utility = non-sub-modular AND p_RO = release)
+  may additionally *rebid*: replace one item's merged view with a fresh,
+  strictly higher claim of their own — the release frees the budget and the
+  non-sub-modular utility lets the refreshed bid exceed the standing
+  maximum (Remark 2 + Figure 2).  Sub-modular or keep-policy agents have no
+  such move: their refreshed marginals never beat a standing max bid.
+* ``rebid_attackers`` (Remark 1 removed) never concede: they keep their own
+  claim on any item they claimed instead of merging, the denial-of-service
+  rebidding attack of Result 2.
+
+The consensus assertion is the paper's: once the trace is ``val`` states
+long (``val = D * |vnode|``), the views must agree — here checked at the
+last state, which for honest agents is also a fixpoint.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.kodkod import ast
+from repro.kodkod.bounds import Bounds
+from repro.kodkod.engine import Solution, solve, translate
+from repro.kodkod.translate import Translation
+from repro.kodkod.universe import Universe
+
+
+@dataclass
+class DynamicModel:
+    """A fully bounded dynamic MCA problem, ready to check."""
+
+    universe: Universe
+    bounds: Bounds
+    facts: ast.Formula
+    consensus_assertion: ast.Formula
+    num_pnodes: int
+    num_vnodes: int
+    num_states: int
+    max_value: int
+    view: ast.Relation  # bidVector -> bidTriple (the only free relation)
+
+    def check_consensus(self) -> Solution:
+        """``check consensus``: SAT means a counterexample trace exists."""
+        goal = ast.And([self.facts, ast.Not(self.consensus_assertion)])
+        return solve(goal, self.bounds)
+
+    def run_consistency(self) -> Solution:
+        """``run {}``: find any legal trace (sanity: the model is live)."""
+        return solve(self.facts, self.bounds)
+
+    def translate_check(self) -> Translation:
+        """Translate the check without solving (for size benchmarks)."""
+        goal = ast.And([self.facts, ast.Not(self.consensus_assertion)])
+        return translate(goal, self.bounds)
+
+
+def build_dynamic(
+    num_pnodes: int = 2,
+    num_vnodes: int = 2,
+    num_states: int | None = None,
+    max_value: int = 5,
+    edges: list[tuple[int, int]] | None = None,
+    release_nonsub: set[int] | None = None,
+    rebid_attackers: set[int] | None = None,
+) -> DynamicModel:
+    """Assemble the bounded dynamic model.
+
+    ``edges`` default to a complete graph.  ``num_states`` defaults to the
+    paper's bound plus one initial state: ``D * |vnode| + 1``.
+    """
+    release_nonsub = release_nonsub or set()
+    rebid_attackers = rebid_attackers or set()
+    if edges is None:
+        edges = [
+            (i, j) for i in range(num_pnodes) for j in range(i + 1, num_pnodes)
+        ]
+    diameter = _diameter(num_pnodes, edges)
+    if num_states is None:
+        num_states = diameter * num_vnodes + 1
+
+    pnames = [f"pnode${i}" for i in range(num_pnodes)]
+    vnames = [f"vnode${j}" for j in range(num_vnodes)]
+    bnames = [f"value${k}" for k in range(max_value + 1)]
+    null_name = "NULL$0"
+    winners = pnames + [null_name]
+    triples = list(itertools.product(range(num_vnodes), range(max_value + 1),
+                                     range(len(winners))))
+    tnames = [f"bt${i}" for i in range(len(triples))]
+    snames = [f"ns${s}" for s in range(num_states)]
+    bvnames = [
+        f"bv${s}_{p}" for s in range(num_states) for p in range(num_pnodes)
+    ]
+    universe = Universe(
+        pnames + vnames + bnames + [null_name] + tnames + snames + bvnames
+    )
+    bounds = Bounds(universe)
+
+    # --- constant structural relations --------------------------------
+    pnode = ast.Relation("pnode", 1)
+    vnode = ast.Relation("vnode", 1)
+    null_rel = ast.Relation("NULL", 1)
+    bounds.bound_exactly(pnode, universe.tuple_set(1, [(n,) for n in pnames]))
+    bounds.bound_exactly(vnode, universe.tuple_set(1, [(n,) for n in vnames]))
+    bounds.bound_exactly(null_rel, universe.tuple_set(1, [(null_name,)]))
+
+    succ = ast.Relation("value.succ", 2)
+    bounds.bound_exactly(succ, universe.tuple_set(2, list(zip(bnames, bnames[1:]))))
+    zero = ast.Relation("value#0", 1)
+    bounds.bound_exactly(zero, universe.tuple_set(1, [(bnames[0],)]))
+
+    bid_v = ast.Relation("bidTriple.bid_v", 2)
+    bid_b = ast.Relation("bidTriple.bid_b", 2)
+    bid_w = ast.Relation("bidTriple.bid_w", 2)
+    bounds.bound_exactly(bid_v, universe.tuple_set(
+        2, [(tnames[i], vnames[v]) for i, (v, _, _) in enumerate(triples)]))
+    bounds.bound_exactly(bid_b, universe.tuple_set(
+        2, [(tnames[i], bnames[b]) for i, (_, b, _) in enumerate(triples)]))
+    bounds.bound_exactly(bid_w, universe.tuple_set(
+        2, [(tnames[i], winners[w]) for i, (_, _, w) in enumerate(triples)]))
+
+    net_state = ast.Relation("netState", 1)
+    ns_next = ast.Relation("netState.next", 2)
+    ns_first = ast.Relation("netState.first", 1)
+    ns_last = ast.Relation("netState.last", 1)
+    bounds.bound_exactly(net_state, universe.tuple_set(1, [(n,) for n in snames]))
+    bounds.bound_exactly(ns_next, universe.tuple_set(2, list(zip(snames, snames[1:]))))
+    bounds.bound_exactly(ns_first, universe.tuple_set(1, [(snames[0],)]))
+    bounds.bound_exactly(ns_last, universe.tuple_set(1, [(snames[-1],)]))
+
+    bid_vector = ast.Relation("bidVector", 1)
+    bv_state = ast.Relation("bidVector.state", 2)
+    bv_owner = ast.Relation("bidVector.owner", 2)
+    bounds.bound_exactly(bid_vector, universe.tuple_set(1, [(n,) for n in bvnames]))
+    bounds.bound_exactly(bv_state, universe.tuple_set(2, [
+        (f"bv${s}_{p}", snames[s])
+        for s in range(num_states) for p in range(num_pnodes)
+    ]))
+    bounds.bound_exactly(bv_owner, universe.tuple_set(2, [
+        (f"bv${s}_{p}", pnames[p])
+        for s in range(num_states) for p in range(num_pnodes)
+    ]))
+
+    pconn = ast.Relation("pconnections", 2)
+    conn_tuples = []
+    for a, b in edges:
+        conn_tuples.append((pnames[a], pnames[b]))
+        conn_tuples.append((pnames[b], pnames[a]))
+    bounds.bound_exactly(pconn, universe.tuple_set(2, conn_tuples))
+
+    # Policy gates as constant unary relations.
+    release_rel = ast.Relation("releaseNonsubAgents", 1)
+    attacker_rel = ast.Relation("rebidAttackers", 1)
+    bounds.bound_exactly(release_rel, universe.tuple_set(
+        1, [(pnames[i],) for i in sorted(release_nonsub)]))
+    bounds.bound_exactly(attacker_rel, universe.tuple_set(
+        1, [(pnames[i],) for i in sorted(rebid_attackers)]))
+
+    # --- the single free relation: views ------------------------------
+    view = ast.Relation("bidVector.triples", 2)
+    view_upper = universe.tuple_set(2, [
+        (bv, t) for bv in bvnames for t in tnames
+    ])
+    bounds.bound(view, universe.empty(2), view_upper)
+
+    # --- helper expressions --------------------------------------------
+    def vge(a: ast.Expr, b: ast.Expr) -> ast.Formula:
+        """valGE[a, b]: a >= b over the value chain."""
+        return ast.Subset(a, ast.Join(b, ast.Union(ast.Closure(succ), ast.Iden())))
+
+    def vgt(a: ast.Expr, b: ast.Expr) -> ast.Formula:
+        """valG[a, b]: a > b."""
+        return ast.Subset(a, ast.Join(b, ast.Closure(succ)))
+
+    def bv_of(state: ast.Expr, agent: ast.Expr) -> ast.Expr:
+        """The bidVector owned by ``agent`` at ``state``."""
+        return ast.Join(bv_state, state).intersection(ast.Join(bv_owner, agent))
+
+    def triple_at(state: ast.Expr, agent: ast.Expr, item: ast.Expr) -> ast.Expr:
+        """The triple held by ``agent`` for ``item`` at ``state``."""
+        return ast.Join(bv_of(state, agent), view).intersection(
+            ast.Join(bid_v, item))
+
+    s = ast.Variable("s")
+    s2 = ast.Variable("s'")
+    p = ast.Variable("p")
+    q = ast.Variable("q")
+    v = ast.Variable("v")
+    t = ast.Variable("t")
+    c = ast.Variable("c")
+    p1, p2v = ast.Variable("p1"), ast.Variable("p2")
+
+    facts: list[ast.Formula] = []
+
+    # Every (state, pnode, vnode) has exactly one triple.
+    facts.append(ast.ForAll(
+        [(s, net_state), (p, pnode), (v, vnode)],
+        ast.One(triple_at(s, p, v)),
+    ))
+
+    # Initial state: own claims or NULL; NULL means bid zero; claims are
+    # positive and pairwise distinct per item (the tie-free abstraction).
+    init_triple = triple_at(ns_first, p, v)
+    facts.append(ast.ForAll(
+        [(p, pnode), (v, vnode)],
+        ast.Subset(ast.Join(init_triple, bid_w), p.union(null_rel)),
+    ))
+    facts.append(ast.ForAll(
+        [(p, pnode), (v, vnode)],
+        ast.Equal(ast.Join(init_triple, bid_w), null_rel).iff(
+            ast.Equal(ast.Join(init_triple, bid_b), zero)
+        ),
+    ))
+    facts.append(ast.ForAll(
+        [(p1, pnode), (p2v, pnode), (v, vnode)],
+        ast.Not(ast.Equal(p1, p2v)).implies(
+            ast.Or([
+                ast.Equal(ast.Join(triple_at(ns_first, p1, v), bid_w), null_rel),
+                ast.Equal(ast.Join(triple_at(ns_first, p2v, v), bid_w), null_rel),
+                ast.Not(ast.Equal(
+                    ast.Join(triple_at(ns_first, p1, v), bid_b),
+                    ast.Join(triple_at(ns_first, p2v, v), bid_b),
+                )),
+            ])
+        ),
+    ))
+
+    # Transition semantics.
+    def candidates(state: ast.Expr, agent: ast.Expr, item: ast.Expr) -> ast.Expr:
+        neighborhood = agent.union(ast.Join(agent, pconn))
+        return ast.Join(
+            ast.Join(bv_state, state).intersection(
+                ast.Join(bv_owner, neighborhood)),
+            view,
+        ).intersection(ast.Join(bid_v, item))
+
+    def merge_semantics(agent, item) -> ast.Formula:
+        """t'(p, v) is the max-bid candidate from the previous state."""
+        new_triple = triple_at(s2, agent, item)
+        cand = candidates(s, agent, item)
+        keep_own = ast.And([
+            ast.Subset(agent, attacker_rel),
+            ast.Equal(ast.Join(triple_at(s, agent, item), bid_w), agent),
+            ast.Equal(new_triple, triple_at(s, agent, item)),
+        ])
+        honest = ast.And([
+            ast.Subset(new_triple, cand),
+            ast.ForAll([(c, cand)], vge(ast.Join(new_triple, bid_b),
+                                        ast.Join(c, bid_b))),
+        ])
+        return ast.Or([keep_own, honest])
+
+    def rebid_semantics(agent, item) -> ast.Formula:
+        """A release-enabled non-sub-modular agent refreshes one item with a
+        strictly higher own claim (Remark 2 gone wrong, Figure 2)."""
+        new_triple = triple_at(s2, agent, item)
+        cand = candidates(s, agent, item)
+        return ast.And([
+            ast.Subset(agent, release_rel),
+            ast.Equal(ast.Join(new_triple, bid_w), agent),
+            ast.ForAll([(c, cand)], vgt(ast.Join(new_triple, bid_b),
+                                        ast.Join(c, bid_b))),
+        ])
+
+    honest_step = ast.ForAll([(p, pnode), (v, vnode)], merge_semantics(p, v))
+    deviant_step = ast.Exists(
+        [(q, pnode), (t, vnode)],
+        ast.And([
+            rebid_semantics(q, t),
+            ast.ForAll(
+                [(p, pnode), (v, vnode)],
+                ast.Or([
+                    ast.And([ast.Equal(p, q), ast.Equal(v, t)]),
+                    merge_semantics(p, v),
+                ]),
+            ),
+        ]),
+    )
+    step = honest_step if not release_nonsub else ast.Or([honest_step,
+                                                          deviant_step])
+    facts.append(ast.ForAll(
+        [(s, net_state), (s2, ast.Join(s, ns_next))], step,
+    ))
+
+    # The consensus assertion: at the last state (the trace is exactly
+    # val = D*|vnode| transitions long) all views agree per item.
+    last = ast.Variable("last")
+    consensus = ast.ForAll(
+        [(last, ns_last), (p1, pnode), (p2v, pnode), (v, vnode)],
+        ast.Equal(triple_at(last, p1, v), triple_at(last, p2v, v)),
+    )
+
+    return DynamicModel(
+        universe=universe,
+        bounds=bounds,
+        facts=ast.and_all(facts),
+        consensus_assertion=consensus,
+        num_pnodes=num_pnodes,
+        num_vnodes=num_vnodes,
+        num_states=num_states,
+        max_value=max_value,
+        view=view,
+    )
+
+
+def _diameter(num_pnodes: int, edges: list[tuple[int, int]]) -> int:
+    """Graph diameter via Floyd-Warshall (tiny scopes)."""
+    if num_pnodes == 1:
+        return 1
+    inf = float("inf")
+    dist = [[0 if i == j else inf for j in range(num_pnodes)]
+            for i in range(num_pnodes)]
+    for a, b in edges:
+        dist[a][b] = dist[b][a] = 1
+    for k in range(num_pnodes):
+        for i in range(num_pnodes):
+            for j in range(num_pnodes):
+                if dist[i][k] + dist[k][j] < dist[i][j]:
+                    dist[i][j] = dist[i][k] + dist[k][j]
+    result = max(max(row) for row in dist)
+    if result is inf:
+        raise ValueError("agent graph must be connected")
+    return int(result)

@@ -1,0 +1,115 @@
+"""Emulation of Alloy's built-in ``Int`` for the naive encoding.
+
+The paper's first model used Alloy's predefined integers, "predefined and
+more complex abstractions in Alloy" (Section IV).  We emulate that style: an
+``Int`` sig whose atoms denote 0..max, with *constant* relations for
+ordering (``lte``) and saturating addition (``plus``) — the relational
+counterpart of the arithmetic circuitry Alloy instantiates for Int.  The
+ternary ``plus`` relation is exactly the kind of abstraction the optimized
+encoding eliminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alloylite.module import Module, Scope
+from repro.alloylite.sig import Sig
+from repro.kodkod import ast
+from repro.kodkod.bounds import Bounds
+from repro.kodkod.universe import Universe
+
+
+@dataclass
+class IntModel:
+    """Handles to the Int sig and its constant arithmetic relations."""
+
+    sig: Sig
+    lte: ast.Relation    # binary: (a, b) with a <= b
+    plus: ast.Relation   # ternary: (a, b, a+b) saturating at max
+    max_value: int
+
+    def atom_name(self, value: int) -> str:
+        """Universe atom encoding ``value``."""
+        if not 0 <= value <= self.max_value:
+            raise ValueError(f"{value} outside 0..{self.max_value}")
+        return f"{self.sig.name}${value}"
+
+    def literal(self, value: int) -> ast.Expr:
+        """Constant expression denoting ``value`` (bounded exactly later)."""
+        return IntLiteral(self, value)
+
+    def le(self, a: ast.Expr, b: ast.Expr) -> ast.Formula:
+        """``a <= b`` for singleton Int expressions."""
+        return ast.Subset(ast.Product(a, b), self.lte)
+
+    def lt(self, a: ast.Expr, b: ast.Expr) -> ast.Formula:
+        """``a < b``."""
+        return ast.And([self.le(a, b), ast.Not(ast.Equal(a, b))])
+
+    def ge(self, a: ast.Expr, b: ast.Expr) -> ast.Formula:
+        """``a >= b``."""
+        return self.le(b, a)
+
+    def gt(self, a: ast.Expr, b: ast.Expr) -> ast.Formula:
+        """``a > b``."""
+        return self.lt(b, a)
+
+    def sum_of(self, a: ast.Expr, b: ast.Expr) -> ast.Expr:
+        """Saturating ``a + b`` via the constant ternary plus relation."""
+        return ast.Join(b, ast.Join(a, self.plus))
+
+
+class IntLiteral(ast.Relation):
+    """A constant singleton Int relation (one per literal value used)."""
+
+    def __init__(self, model: IntModel, value: int) -> None:
+        super().__init__(f"Int#{value}", 1)
+        self.model = model
+        self.value = value
+
+
+def declare_int(module: Module, max_value: int) -> IntModel:
+    """Declare the Int sig in a module; bounds added by :func:`bound_int`."""
+    if max_value < 0:
+        raise ValueError("max_value must be >= 0")
+    sig = module.sig("Int")
+    return IntModel(
+        sig=sig,
+        lte=ast.Relation("Int.lte", 2),
+        plus=ast.Relation("Int.plus", 3),
+        max_value=max_value,
+    )
+
+
+def bound_int(model: IntModel, universe: Universe, bounds: Bounds,
+              literals: list[IntLiteral]) -> None:
+    """Exactly bound the constant arithmetic relations and literals."""
+    names = [model.atom_name(v) for v in range(model.max_value + 1)]
+    lte_tuples = [
+        (names[a], names[b])
+        for a in range(model.max_value + 1)
+        for b in range(a, model.max_value + 1)
+    ]
+    bounds.bound_exactly(model.lte, universe.tuple_set(2, lte_tuples))
+    plus_tuples = [
+        (names[a], names[b], names[min(a + b, model.max_value)])
+        for a in range(model.max_value + 1)
+        for b in range(model.max_value + 1)
+    ]
+    bounds.bound_exactly(model.plus, universe.tuple_set(3, plus_tuples))
+    seen: set[int] = set()
+    for literal in literals:
+        if literal.value in seen:
+            continue
+        seen.add(literal.value)
+        bounds.bound_exactly(
+            literal, universe.tuple_set(1, [(model.atom_name(literal.value),)])
+        )
+
+
+def int_scope(scope: Scope, model: IntModel) -> Scope:
+    """Force the Int sig's scope to exactly max_value + 1 atoms."""
+    per_sig = dict(scope.per_sig)
+    per_sig[model.sig.name] = model.max_value + 1
+    return Scope(default=scope.default, per_sig=per_sig)

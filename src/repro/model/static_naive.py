@@ -1,0 +1,214 @@
+"""The naive static MCA model: ternary relations and Alloy-style ``Int``.
+
+This is the paper's first encoding (Section IV, "Abstractions Efficiency"):
+
+    sig pnode {
+        pcp: one Int,
+        pid: one Int,
+        initBids: vnode->Int,       // ternary
+        initBidTimes: vnode->Int,   // ternary
+        pconnections: some pnode,
+        p_T: one Int,
+        ...
+    }
+
+with the quoted facts ``pcapacity`` (sum of initial bids within the physical
+CPU capacity, via Int arithmetic) and ``pconnectivity`` (undirected links,
+distinct ids).  It generated ~259K SAT clauses at scope (3 pnodes, 2
+vnodes) in the authors' Alloy run; our benchmark reproduces the comparison
+against the optimized encoding of :mod:`repro.model.static_optim`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alloylite.module import Module, Scope
+from repro.alloylite.sig import Sig
+from repro.kodkod import ast
+from repro.kodkod.bounds import Bounds
+from repro.kodkod.universe import Universe
+from repro.model.intmodel import IntLiteral, IntModel, bound_int, declare_int, int_scope
+
+
+@dataclass
+class NaiveStaticModel:
+    """Handles to the naive static model's sigs, fields and scope plumbing."""
+
+    module: Module
+    pnode: Sig
+    vnode: Sig
+    ints: IntModel
+    pcp: ast.Relation
+    pid: ast.Relation
+    init_bids: ast.Relation
+    init_bid_times: ast.Relation
+    pconnections: ast.Relation
+    p_t: ast.Relation
+    literals: list[IntLiteral]
+    vnode_atoms: list[ast.Relation]
+
+    def compile(self, num_pnodes: int, num_vnodes: int
+                ) -> tuple[Universe, Bounds, ast.Formula]:
+        """Compile at an explicit (pnodes, vnodes) scope."""
+        scope = int_scope(
+            Scope(per_sig={"pnode": num_pnodes, "vnode": num_vnodes}),
+            self.ints,
+        )
+        universe, bounds, facts = self.module.compile(scope)
+        bound_int(self.ints, universe, bounds, self.literals)
+        for index, atom_rel in enumerate(self.vnode_atoms):
+            if index < num_vnodes:
+                bounds.bound_exactly(
+                    atom_rel, universe.tuple_set(1, [(f"vnode${index}",)])
+                )
+            else:
+                bounds.bound_exactly(atom_rel, universe.empty(1))
+        return universe, bounds, facts
+
+    # ------------------------------------------------------------------
+    # Assertions from the paper
+    # ------------------------------------------------------------------
+
+    def unique_id_assertion(self) -> ast.Formula:
+        """``assert uniqueID`` — distinct pnodes carry distinct ids."""
+        n1, n2 = ast.Variable("n1"), ast.Variable("n2")
+        return ast.ForAll(
+            [(n1, self.pnode.expr), (n2, self.pnode.expr)],
+            ast.Not(ast.Equal(n1, n2)).implies(
+                ast.Not(ast.Equal(ast.Join(n1, self.pid),
+                                  ast.Join(n2, self.pid)))
+            ),
+        )
+
+    def capacity_assertion(self) -> ast.Formula:
+        """Every individual bid fits under the bidder's capacity."""
+        p, v = ast.Variable("p"), ast.Variable("v")
+        bid = ast.Join(v, ast.Join(p, self.init_bids))
+        return ast.ForAll(
+            [(p, self.pnode.expr), (v, self.vnode.expr)],
+            ast.Lone(bid) & (
+                ast.No(bid) | self.ints.le(bid, ast.Join(p, self.pcp))
+            ),
+        )
+
+    def conflict_free_init_assertion(self) -> ast.Formula:
+        """No two pnodes bid on the same vnode (expected to FAIL: bidding
+        conflicts are precisely what the agreement phase resolves)."""
+        p1, p2, v = ast.Variable("p1"), ast.Variable("p2"), ast.Variable("v")
+        return ast.ForAll(
+            [(p1, self.pnode.expr), (p2, self.pnode.expr),
+             (v, self.vnode.expr)],
+            ast.Not(ast.Equal(p1, p2)).implies(
+                ast.Or([
+                    ast.No(ast.Join(v, ast.Join(p1, self.init_bids))),
+                    ast.No(ast.Join(v, ast.Join(p2, self.init_bids))),
+                ])
+            ),
+        )
+
+
+MAX_VNODE_SLOTS = 4
+
+
+def build_naive_static(max_int: int = 15) -> NaiveStaticModel:
+    """Construct the naive static module (compile per scope afterwards).
+
+    ``max_int`` defaults to 15: Alloy's default integer bitwidth is 4, so
+    the predefined ``Int`` signature contributes 16 atoms to every scope —
+    the main reason the paper's naive model exploded.
+    """
+    module = Module("mca_static_naive")
+    pnode = module.sig("pnode")
+    vnode = module.sig("vnode")
+    ints = declare_int(module, max_int)
+
+    pcp = pnode.field("pcp", ints.sig, mult="one").relation
+    pid = pnode.field("pid", ints.sig, mult="one").relation
+    init_bids = pnode.field("initBids", vnode, ints.sig).relation
+    init_bid_times = pnode.field("initBidTimes", vnode, ints.sig).relation
+    pconnections = pnode.field("pconnections", pnode, mult="some").relation
+    p_t = pnode.field("p_T", ints.sig, mult="one").relation
+
+    literals: list[IntLiteral] = [ints.literal(0)]
+    zero = literals[0]
+    # Constant singletons naming each potential vnode atom (used to fold the
+    # capacity sum, since relational logic has no variadic arithmetic).
+    vnode_atoms = [ast.Relation(f"vnodeAtom#{i}", 1) for i in range(MAX_VNODE_SLOTS)]
+
+    p = ast.Variable("p")
+    v = ast.Variable("v")
+    p1, p2 = ast.Variable("pn1"), ast.Variable("pn2")
+
+    # Bids and times are partial functions vnode -> Int.
+    module.fact(
+        ast.ForAll(
+            [(p, pnode.expr), (v, vnode.expr)],
+            ast.Lone(ast.Join(v, ast.Join(p, init_bids)))
+            & ast.Lone(ast.Join(v, ast.Join(p, init_bid_times))),
+        ),
+        "bidsFunctional",
+    )
+    # A bid exists exactly when its generation time exists.
+    module.fact(
+        ast.ForAll(
+            [(p, pnode.expr), (v, vnode.expr)],
+            ast.Some(ast.Join(v, ast.Join(p, init_bids))).iff(
+                ast.Some(ast.Join(v, ast.Join(p, init_bid_times)))
+            ),
+        ),
+        "bidsTimed",
+    )
+    # pconnectivity: undirected links and distinct ids (quoted in the paper).
+    module.fact(
+        ast.ForAll(
+            [(p1, pnode.expr), (p2, pnode.expr)],
+            ast.Not(ast.Equal(p1, p2)).implies(
+                ast.Not(ast.Equal(ast.Join(p1, pid), ast.Join(p2, pid)))
+                & ast.Subset(p1, ast.Join(p2, pconnections)).iff(
+                    ast.Subset(p2, ast.Join(p1, pconnections))
+                )
+            ),
+        ),
+        "pconnectivity",
+    )
+    module.fact(
+        ast.ForAll([(p, pnode.expr)],
+                   ast.Not(ast.Subset(p, ast.Join(p, pconnections)))),
+        "noSelfLink",
+    )
+    # pcapacity: the *sum* of a pnode's initial bids fits its capacity —
+    # folded through the constant ternary plus relation (this arithmetic is
+    # exactly what the optimized encoding eliminates).
+    sum_expr: ast.Expr = zero
+    for atom_rel in vnode_atoms:
+        bid = ast.Join(atom_rel, ast.Join(p, init_bids))
+        # Missing bids contribute zero: (some bid) => bid else 0.
+        contribution = ast.IfExpr(ast.Some(bid), bid, zero)
+        sum_expr = ints.sum_of(sum_expr, contribution)
+    module.fact(
+        ast.ForAll([(p, pnode.expr)],
+                   ints.le(sum_expr, ast.Join(p, pcp))),
+        "pcapacity",
+    )
+    # Targets are positive: every agent may win at least one item.
+    module.fact(
+        ast.ForAll([(p, pnode.expr)],
+                   ints.ge(ast.Join(p, p_t), zero)),
+        "targetNonNegative",
+    )
+
+    return NaiveStaticModel(
+        module=module,
+        pnode=pnode,
+        vnode=vnode,
+        ints=ints,
+        pcp=pcp,
+        pid=pid,
+        init_bids=init_bids,
+        init_bid_times=init_bid_times,
+        pconnections=pconnections,
+        p_t=p_t,
+        literals=literals,
+        vnode_atoms=vnode_atoms,
+    )

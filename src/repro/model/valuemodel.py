@@ -1,0 +1,103 @@
+"""The paper's ``value`` signature: custom naturals for the optimized model.
+
+    sig value { succ: set value, pre: set value }
+
+"To avoid using the Alloy's predefined integers (signature Int) we model
+natural numbers with the signature value ... Using the two relations succ
+and pre we model binary operators <, <=, > and >=" (Section IV).
+
+We bind ``succ`` to the constant successor chain over the value atoms (the
+paper constrains it with facts; a constant exact bound is the
+translation-level effect) and define the comparison predicates
+``valL/valLE/valG/valGE`` on top of it.  No ternary relation is involved —
+this is the abstraction that shrank the paper's SAT instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alloylite.module import Module, Scope
+from repro.alloylite.sig import Sig
+from repro.kodkod import ast
+from repro.kodkod.bounds import Bounds
+from repro.kodkod.universe import Universe
+
+
+@dataclass
+class ValueModel:
+    """Handles to the value sig and its successor relation."""
+
+    sig: Sig
+    succ: ast.Relation
+    max_value: int
+
+    def atom_name(self, value: int) -> str:
+        """Universe atom encoding ``value``."""
+        if not 0 <= value <= self.max_value:
+            raise ValueError(f"{value} outside 0..{self.max_value}")
+        return f"{self.sig.name}${value}"
+
+    def literal(self, value: int) -> "ValueLiteral":
+        """Constant singleton value expression."""
+        return ValueLiteral(self, value)
+
+    # The paper's predicates: valL, valLE, valG, valGE.
+
+    def val_le(self, a: ast.Expr, b: ast.Expr) -> ast.Formula:
+        """``valLE[a, b]``: a <= b, i.e. b in a.*succ."""
+        return ast.Subset(b, ast.Join(a, ast.Union(ast.Closure(self.succ),
+                                                   ast.Iden())))
+
+    def val_l(self, a: ast.Expr, b: ast.Expr) -> ast.Formula:
+        """``valL[a, b]``: a < b, i.e. b in a.^succ."""
+        return ast.Subset(b, ast.Join(a, ast.Closure(self.succ)))
+
+    def val_ge(self, a: ast.Expr, b: ast.Expr) -> ast.Formula:
+        """``valGE[a, b]``: a >= b."""
+        return self.val_le(b, a)
+
+    def val_g(self, a: ast.Expr, b: ast.Expr) -> ast.Formula:
+        """``valG[a, b]``: a > b."""
+        return self.val_l(b, a)
+
+
+class ValueLiteral(ast.Relation):
+    """A constant singleton value relation."""
+
+    def __init__(self, model: ValueModel, value: int) -> None:
+        super().__init__(f"value#{value}", 1)
+        self.model = model
+        self.value = value
+
+
+def declare_value(module: Module, max_value: int) -> ValueModel:
+    """Declare the value sig; bounds added by :func:`bound_value`."""
+    if max_value < 0:
+        raise ValueError("max_value must be >= 0")
+    sig = module.sig("value")
+    return ValueModel(sig=sig, succ=ast.Relation("value.succ", 2),
+                      max_value=max_value)
+
+
+def bound_value(model: ValueModel, universe: Universe, bounds: Bounds,
+                literals: list[ValueLiteral]) -> None:
+    """Exactly bound the successor chain and the literals used."""
+    names = [model.atom_name(v) for v in range(model.max_value + 1)]
+    succ_tuples = list(zip(names, names[1:]))
+    bounds.bound_exactly(model.succ, universe.tuple_set(2, succ_tuples))
+    seen: set[int] = set()
+    for literal in literals:
+        if literal.value in seen:
+            continue
+        seen.add(literal.value)
+        bounds.bound_exactly(
+            literal, universe.tuple_set(1, [(model.atom_name(literal.value),)])
+        )
+
+
+def value_scope(scope: Scope, model: ValueModel) -> Scope:
+    """Force the value sig's scope to exactly max_value + 1 atoms."""
+    per_sig = dict(scope.per_sig)
+    per_sig[model.sig.name] = model.max_value + 1
+    return Scope(default=scope.default, per_sig=per_sig)

@@ -1,0 +1,136 @@
+"""CNF formula container and fresh-variable management.
+
+A :class:`CNF` accumulates clauses and hands out fresh variables; it is the
+interchange format between the relational translator (:mod:`repro.kodkod`)
+and the solver (:mod:`repro.sat.solver`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.sat.types import Clause, Lit, Var, var_of
+
+
+class CNF:
+    """A conjunction of clauses over variables ``1..num_vars``."""
+
+    def __init__(self, num_vars: int = 0) -> None:
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        self._num_vars = num_vars
+        self._clauses: list[tuple[Lit, ...]] = []
+
+    @property
+    def num_vars(self) -> int:
+        """Highest variable index allocated so far."""
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses added so far."""
+        return len(self._clauses)
+
+    def new_var(self) -> Var:
+        """Allocate and return a fresh variable."""
+        self._num_vars += 1
+        return self._num_vars
+
+    def new_vars(self, count: int) -> list[Var]:
+        """Allocate ``count`` fresh variables."""
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, lits: Sequence[Lit] | Clause) -> None:
+        """Add one clause, growing ``num_vars`` to cover its literals."""
+        tup = tuple(lits.literals) if isinstance(lits, Clause) else tuple(lits)
+        for lit in tup:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            self._num_vars = max(self._num_vars, var_of(lit))
+        self._clauses.append(tup)
+
+    def extend(self, clauses: Iterable[Sequence[Lit] | Clause]) -> None:
+        """Add many clauses."""
+        for cl in clauses:
+            self.add_clause(cl)
+
+    def clauses(self) -> Iterator[tuple[Lit, ...]]:
+        """Iterate over clauses as literal tuples."""
+        return iter(self._clauses)
+
+    def __iter__(self) -> Iterator[tuple[Lit, ...]]:
+        return self.clauses()
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def copy(self) -> "CNF":
+        """Shallow copy (clause tuples are immutable)."""
+        dup = CNF(self._num_vars)
+        dup._clauses = list(self._clauses)
+        return dup
+
+    # ------------------------------------------------------------------
+    # Tseitin gate encodings.  Each method constrains an output literal to
+    # equal a boolean function of input literals, producing the standard
+    # equisatisfiable clause sets.
+    # ------------------------------------------------------------------
+
+    def add_and_gate(self, out: Lit, inputs: Sequence[Lit]) -> None:
+        """Constrain ``out <-> AND(inputs)``."""
+        if not inputs:
+            self.add_clause([out])
+            return
+        for lit in inputs:
+            self.add_clause([-out, lit])
+        self.add_clause([out] + [-lit for lit in inputs])
+
+    def add_or_gate(self, out: Lit, inputs: Sequence[Lit]) -> None:
+        """Constrain ``out <-> OR(inputs)``."""
+        if not inputs:
+            self.add_clause([-out])
+            return
+        for lit in inputs:
+            self.add_clause([out, -lit])
+        self.add_clause([-out] + list(inputs))
+
+    def add_xor_gate(self, out: Lit, a: Lit, b: Lit) -> None:
+        """Constrain ``out <-> a XOR b``."""
+        self.add_clause([-out, a, b])
+        self.add_clause([-out, -a, -b])
+        self.add_clause([out, -a, b])
+        self.add_clause([out, a, -b])
+
+    def add_ite_gate(self, out: Lit, cond: Lit, then_lit: Lit, else_lit: Lit) -> None:
+        """Constrain ``out <-> (cond ? then_lit : else_lit)``."""
+        self.add_clause([-cond, -then_lit, out])
+        self.add_clause([-cond, then_lit, -out])
+        self.add_clause([cond, -else_lit, out])
+        self.add_clause([cond, else_lit, -out])
+
+    def add_equiv(self, a: Lit, b: Lit) -> None:
+        """Constrain ``a <-> b``."""
+        self.add_clause([-a, b])
+        self.add_clause([a, -b])
+
+    def add_implies(self, a: Lit, b: Lit) -> None:
+        """Constrain ``a -> b``."""
+        self.add_clause([-a, b])
+
+    # ------------------------------------------------------------------
+    # Cardinality helpers (pairwise encodings: fine at the small scopes
+    # used for bounded verification).
+    # ------------------------------------------------------------------
+
+    def add_at_most_one(self, lits: Sequence[Lit]) -> None:
+        """Pairwise at-most-one constraint over ``lits``."""
+        for i in range(len(lits)):
+            for j in range(i + 1, len(lits)):
+                self.add_clause([-lits[i], -lits[j]])
+
+    def add_exactly_one(self, lits: Sequence[Lit]) -> None:
+        """Exactly-one constraint over ``lits``."""
+        if not lits:
+            raise ValueError("exactly-one over an empty literal list is unsatisfiable")
+        self.add_clause(list(lits))
+        self.add_at_most_one(lits)

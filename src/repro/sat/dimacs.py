@@ -1,0 +1,102 @@
+"""DIMACS CNF serialization.
+
+Lets instances produced by the relational translator be exported for
+inspection or cross-checking with external solvers, and lets standard
+benchmark files be loaded into :class:`repro.sat.solver.Solver`.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+from repro.sat.cnf import CNF
+
+
+class DimacsError(ValueError):
+    """Raised on malformed DIMACS input."""
+
+
+def dump(cnf: CNF, stream: TextIO, comments: list[str] | None = None) -> None:
+    """Write ``cnf`` to ``stream`` in DIMACS format."""
+    for comment in comments or []:
+        stream.write(f"c {comment}\n")
+    stream.write(f"p cnf {cnf.num_vars} {cnf.num_clauses}\n")
+    for clause in cnf.clauses():
+        stream.write(" ".join(str(lit) for lit in clause))
+        stream.write(" 0\n")
+
+
+def dumps(cnf: CNF, comments: list[str] | None = None) -> str:
+    """Render ``cnf`` as a DIMACS string."""
+    buffer = io.StringIO()
+    dump(cnf, buffer, comments)
+    return buffer.getvalue()
+
+
+def dump_file(cnf: CNF, path: str | Path, comments: list[str] | None = None) -> None:
+    """Write ``cnf`` to a file at ``path``."""
+    with open(path, "w", encoding="ascii") as stream:
+        dump(cnf, stream, comments)
+
+
+def load(stream: TextIO) -> CNF:
+    """Parse a DIMACS CNF from ``stream``."""
+    declared_vars: int | None = None
+    declared_clauses: int | None = None
+    cnf = CNF()
+    pending: list[int] = []
+    for line_number, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsError(f"line {line_number}: malformed problem line: {line!r}")
+            try:
+                declared_vars = int(parts[2])
+                declared_clauses = int(parts[3])
+            except ValueError as exc:
+                raise DimacsError(f"line {line_number}: non-integer header") from exc
+            continue
+        try:
+            tokens = [int(tok) for tok in line.split()]
+        except ValueError as exc:
+            raise DimacsError(f"line {line_number}: non-integer literal") from exc
+        for tok in tokens:
+            if tok == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                pending.append(tok)
+    if pending:
+        # Tolerate a final clause without terminating 0 (some generators
+        # omit it on the last line).
+        cnf.add_clause(pending)
+    if declared_vars is not None and cnf.num_vars > declared_vars:
+        raise DimacsError(
+            f"header declares {declared_vars} vars but literals mention {cnf.num_vars}"
+        )
+    if declared_vars is not None:
+        # Respect the declared variable count even when some variables are
+        # unmentioned.
+        while cnf.num_vars < declared_vars:
+            cnf.new_var()
+    if declared_clauses is not None and cnf.num_clauses != declared_clauses:
+        raise DimacsError(
+            f"header declares {declared_clauses} clauses but found {cnf.num_clauses}"
+        )
+    return cnf
+
+
+def loads(text: str) -> CNF:
+    """Parse a DIMACS CNF from a string."""
+    return load(io.StringIO(text))
+
+
+def load_file(path: str | Path) -> CNF:
+    """Parse a DIMACS CNF from a file."""
+    with open(path, "r", encoding="ascii") as stream:
+        return load(stream)

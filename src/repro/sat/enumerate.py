@@ -1,0 +1,57 @@
+"""Model enumeration via blocking clauses.
+
+The Alloy Analyzer's ``run`` command enumerates satisfying instances; this
+module provides the same capability at the CNF level.  After each model is
+found, a *blocking clause* over the projection variables excludes it and the
+solver is asked again, until UNSAT.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver
+from repro.sat.types import Model, Status, Var
+
+
+def iter_models(
+    cnf: CNF,
+    projection: Sequence[Var] | None = None,
+    limit: int | None = None,
+) -> Iterator[Model]:
+    """Yield models of ``cnf``, distinct on ``projection`` variables.
+
+    ``projection=None`` means all variables of the CNF.  ``limit`` bounds the
+    number of models yielded (None = all).  Auxiliary Tseitin variables are
+    typically excluded via ``projection`` so that each *semantic* solution is
+    reported once.
+    """
+    if limit is not None and limit < 0:
+        raise ValueError("limit must be non-negative")
+    solver = Solver()
+    if not solver.add_cnf(cnf):
+        return
+    if projection is None:
+        variables: list[Var] = list(range(1, cnf.num_vars + 1))
+    else:
+        variables = list(projection)
+    count = 0
+    while limit is None or count < limit:
+        status = solver.solve()
+        if status is not Status.SAT:
+            return
+        model = solver.model()
+        yield model
+        count += 1
+        if not variables:
+            return  # a single model exists modulo the empty projection
+        blocking = [-var if model[var] else var for var in variables]
+        if not solver.add_clause(blocking):
+            return
+
+
+def count_models(cnf: CNF, projection: Sequence[Var] | None = None,
+                 limit: int | None = None) -> int:
+    """Count models distinct on ``projection`` (up to ``limit``)."""
+    return sum(1 for _ in iter_models(cnf, projection, limit))

@@ -1,0 +1,153 @@
+"""Lightweight CNF preprocessing: unit propagation and pure literals.
+
+These rewrites preserve satisfiability and every model over the remaining
+variables; they mirror the cheap simplification pass Kodkod applies before
+handing instances to the SAT backend, and are also used by tests as an
+independent (slow but obviously correct) reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sat.cnf import CNF
+from repro.sat.types import Lit
+
+
+@dataclass
+class SimplifyResult:
+    """Outcome of preprocessing.
+
+    ``fixed`` maps variables to forced truth values; ``unsat`` is True when a
+    contradiction was derived; ``cnf`` holds the residual clauses.
+    """
+
+    cnf: CNF
+    fixed: dict[int, bool] = field(default_factory=dict)
+    unsat: bool = False
+
+
+def propagate_units(cnf: CNF) -> SimplifyResult:
+    """Exhaustively apply the unit-clause rule."""
+    clauses: list[list[Lit]] = [list(cl) for cl in cnf.clauses()]
+    fixed: dict[int, bool] = {}
+
+    def lit_value(lit: Lit) -> bool | None:
+        var = abs(lit)
+        if var not in fixed:
+            return None
+        return fixed[var] if lit > 0 else not fixed[var]
+
+    changed = True
+    while changed:
+        changed = False
+        remaining: list[list[Lit]] = []
+        for clause in clauses:
+            new_clause: list[Lit] = []
+            satisfied = False
+            for lit in clause:
+                value = lit_value(lit)
+                if value is True:
+                    satisfied = True
+                    break
+                if value is None:
+                    new_clause.append(lit)
+            if satisfied:
+                changed = True
+                continue
+            if not new_clause:
+                result = CNF(cnf.num_vars)
+                return SimplifyResult(result, fixed, unsat=True)
+            if len(new_clause) == 1:
+                lit = new_clause[0]
+                fixed[abs(lit)] = lit > 0
+                changed = True
+                continue
+            if len(new_clause) != len(clause):
+                changed = True
+            remaining.append(new_clause)
+        clauses = remaining
+    residual = CNF(cnf.num_vars)
+    for clause in clauses:
+        residual.add_clause(clause)
+    return SimplifyResult(residual, fixed)
+
+
+def eliminate_pure_literals(cnf: CNF) -> SimplifyResult:
+    """Fix variables that occur with a single polarity."""
+    polarity: dict[int, set[bool]] = {}
+    for clause in cnf.clauses():
+        for lit in clause:
+            polarity.setdefault(abs(lit), set()).add(lit > 0)
+    pure = {var: next(iter(signs)) for var, signs in polarity.items() if len(signs) == 1}
+    residual = CNF(cnf.num_vars)
+    for clause in cnf.clauses():
+        if any(abs(lit) in pure and (lit > 0) == pure[abs(lit)] for lit in clause):
+            continue
+        residual.add_clause(clause)
+    return SimplifyResult(residual, dict(pure))
+
+
+def simplify(cnf: CNF) -> SimplifyResult:
+    """Alternate unit propagation and pure-literal elimination to fixpoint."""
+    fixed: dict[int, bool] = {}
+    current = cnf
+    while True:
+        units = propagate_units(current)
+        fixed.update(units.fixed)
+        if units.unsat:
+            return SimplifyResult(units.cnf, fixed, unsat=True)
+        pures = eliminate_pure_literals(units.cnf)
+        fixed.update(pures.fixed)
+        if not units.fixed and not pures.fixed:
+            return SimplifyResult(pures.cnf, fixed)
+        current = pures.cnf
+
+
+def brute_force_satisfiable(cnf: CNF) -> bool:
+    """Exponential satisfiability test used as a test oracle (<= ~20 vars)."""
+    num_vars = cnf.num_vars
+    if num_vars > 24:
+        raise ValueError("brute force limited to 24 variables")
+    clauses = [tuple(cl) for cl in cnf.clauses()]
+    for bits in range(1 << num_vars):
+        ok = True
+        for clause in clauses:
+            clause_ok = False
+            for lit in clause:
+                var = abs(lit)
+                value = bool(bits >> (var - 1) & 1)
+                if (lit > 0) == value:
+                    clause_ok = True
+                    break
+            if not clause_ok:
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def brute_force_count(cnf: CNF) -> int:
+    """Count all full assignments satisfying ``cnf`` (test oracle)."""
+    num_vars = cnf.num_vars
+    if num_vars > 24:
+        raise ValueError("brute force limited to 24 variables")
+    clauses = [tuple(cl) for cl in cnf.clauses()]
+    count = 0
+    for bits in range(1 << num_vars):
+        ok = True
+        for clause in clauses:
+            clause_ok = False
+            for lit in clause:
+                var = abs(lit)
+                value = bool(bits >> (var - 1) & 1)
+                if (lit > 0) == value:
+                    clause_ok = True
+                    break
+            if not clause_ok:
+                ok = False
+                break
+        if ok:
+            count += 1
+    return count

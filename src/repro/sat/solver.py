@@ -1,0 +1,459 @@
+"""A conflict-driven clause-learning (CDCL) SAT solver.
+
+This module is the bottom of the verification stack: the relational
+translator in :mod:`repro.kodkod` compiles Alloy-style models to CNF, and
+this solver decides them.  It implements the standard modern architecture:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning,
+* VSIDS variable activities with phase saving,
+* Luby-sequence restarts,
+* solving under assumptions (used for incremental model enumeration).
+
+The implementation favours clarity over raw speed, but is careful about the
+data structures that dominate runtime (watch lists, the trail, activity
+bumping) so that the bounded-verification scopes used in the paper remain
+comfortably tractable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import heapq
+
+from repro.sat.cnf import CNF
+from repro.sat.types import Lit, Model, Status, Var
+
+_TRUE = 1
+_FALSE = -1
+_UNASSIGNED = 0
+
+
+def luby(i: int) -> int:
+    """The i-th term (1-based) of the Luby restart sequence 1,1,2,1,1,2,4,..."""
+    if i <= 0:
+        raise ValueError("Luby sequence is 1-based")
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class Solver:
+    """CDCL SAT solver over DIMACS-style integer literals."""
+
+    def __init__(self, restart_base: int = 100, decay: float = 0.95) -> None:
+        self._num_vars = 0
+        self._clauses: list[list[Lit]] = []
+        self._watches: dict[Lit, list[int]] = {}
+        self._assign: list[int] = [_UNASSIGNED]  # index 0 unused
+        self._level: list[int] = [0]
+        self._reason: list[int | None] = [None]
+        self._phase: list[bool] = [False]
+        self._activity: list[float] = [0.0]
+        self._trail: list[Lit] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._activity_inc = 1.0
+        self._decay = decay
+        self._restart_base = restart_base
+        self._ok = True  # False once a top-level conflict is found
+        self._assumption_levels: list[int] = []
+        # Lazy max-heap over variable activities; stale entries are skipped
+        # on pop and re-pushed on unassignment/bump.
+        self._order_heap: list[tuple[float, Var]] = []
+        self.stats: dict[str, int] = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        """Number of variables currently known to the solver."""
+        return self._num_vars
+
+    def new_var(self) -> Var:
+        """Allocate a fresh variable."""
+        self._num_vars += 1
+        self._assign.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._phase.append(False)
+        self._activity.append(0.0)
+        heapq.heappush(self._order_heap, (0.0, self._num_vars))
+        return self._num_vars
+
+    def _ensure_var(self, var: Var) -> None:
+        while self._num_vars < var:
+            self.new_var()
+
+    def add_clause(self, lits: Sequence[Lit]) -> bool:
+        """Add a clause; returns False if the solver becomes trivially UNSAT.
+
+        The solver backtracks to decision level 0 first, so clauses may be
+        added between ``solve`` calls (e.g. blocking clauses for model
+        enumeration).
+        """
+        if not self._ok:
+            return False
+        self._backtrack(0)
+        seen: set[Lit] = set()
+        cleaned: list[Lit] = []
+        for lit in lits:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            if -lit in seen:
+                return True  # tautology: trivially satisfied
+            if lit in seen:
+                continue
+            seen.add(lit)
+            self._ensure_var(abs(lit))
+            value = self._value(lit)
+            if value == _TRUE and self._level[abs(lit)] == 0:
+                return True  # already satisfied at the root
+            if value == _FALSE and self._level[abs(lit)] == 0:
+                continue  # falsified at the root: drop the literal
+            cleaned.append(lit)
+        if not cleaned:
+            self._ok = False
+            return False
+        if len(cleaned) == 1:
+            if not self._enqueue(cleaned[0], None):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        index = len(self._clauses)
+        self._clauses.append(cleaned)
+        self._watch(cleaned[0], index)
+        self._watch(cleaned[1], index)
+        return True
+
+    def add_cnf(self, cnf: CNF) -> bool:
+        """Load an entire CNF; returns False on trivial UNSAT."""
+        self._ensure_var(cnf.num_vars)
+        for cl in cnf.clauses():
+            if not self.add_clause(cl):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Assignment plumbing
+    # ------------------------------------------------------------------
+
+    def _value(self, lit: Lit) -> int:
+        value = self._assign[abs(lit)]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value if lit > 0 else -value
+
+    def _watch(self, lit: Lit, clause_index: int) -> None:
+        self._watches.setdefault(lit, []).append(clause_index)
+
+    def _enqueue(self, lit: Lit, reason: int | None) -> bool:
+        value = self._value(lit)
+        if value == _FALSE:
+            return False
+        if value == _TRUE:
+            return True
+        var = abs(lit)
+        self._assign[var] = _TRUE if lit > 0 else _FALSE
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._phase[var] = lit > 0
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> int | None:
+        """Unit propagation; returns a conflicting clause index or None."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats["propagations"] += 1
+            false_lit = -lit
+            watch_list = self._watches.get(false_lit)
+            if not watch_list:
+                continue
+            kept: list[int] = []
+            i = 0
+            n = len(watch_list)
+            while i < n:
+                ci = watch_list[i]
+                i += 1
+                cl = self._clauses[ci]
+                # Normalize: put the false literal in slot 1.
+                if cl[0] == false_lit:
+                    cl[0], cl[1] = cl[1], cl[0]
+                first = cl[0]
+                if self._value(first) == _TRUE:
+                    kept.append(ci)
+                    continue
+                # Search for a replacement watch.
+                found = False
+                for k in range(2, len(cl)):
+                    if self._value(cl[k]) != _FALSE:
+                        cl[1], cl[k] = cl[k], cl[1]
+                        self._watch(cl[1], ci)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                kept.append(ci)
+                if not self._enqueue(first, ci):
+                    # Conflict: keep remaining watches and report.
+                    kept.extend(watch_list[i:n])
+                    self._watches[false_lit] = kept
+                    return ci
+            self._watches[false_lit] = kept
+        return None
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _new_decision_level(self) -> None:
+        self._trail_lim.append(len(self._trail))
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = abs(lit)
+            self._assign[var] = _UNASSIGNED
+            self._reason[var] = None
+            heapq.heappush(self._order_heap, (-self._activity[var], var))
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+
+    def _bump_var(self, var: Var) -> None:
+        self._activity[var] += self._activity_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._activity_inc *= 1e-100
+        if self._assign[var] == _UNASSIGNED:
+            heapq.heappush(self._order_heap, (-self._activity[var], var))
+
+    def _decay_activities(self) -> None:
+        self._activity_inc /= self._decay
+
+    def _analyze(self, conflict: int) -> tuple[list[Lit], int]:
+        """First-UIP analysis; returns (learned clause, backjump level)."""
+        learned: list[Lit] = []
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        lit: Lit | None = None
+        reason_clause: list[Lit] = list(self._clauses[conflict])
+        index = len(self._trail)
+        current_level = self._decision_level()
+
+        while True:
+            for q in reason_clause:
+                var = abs(q)
+                if q == lit:
+                    continue
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._level[var] == current_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            # Pick the next trail literal at the current level to resolve on.
+            while True:
+                index -= 1
+                lit = self._trail[index]
+                if seen[abs(lit)]:
+                    break
+            counter -= 1
+            seen[abs(lit)] = False
+            if counter == 0:
+                learned.insert(0, -lit)
+                break
+            reason_index = self._reason[abs(lit)]
+            assert reason_index is not None, "UIP literal must have a reason"
+            reason_clause = self._clauses[reason_index]
+
+        # Clause minimization: drop literals implied by the rest.
+        learned = self._minimize(learned, seen)
+
+        if len(learned) == 1:
+            return learned, 0
+        # Backjump to the second-highest level in the clause.
+        levels = sorted((self._level[abs(q)] for q in learned[1:]), reverse=True)
+        backjump = levels[0]
+        # Move a literal of the backjump level into slot 1 for watching.
+        for k in range(1, len(learned)):
+            if self._level[abs(learned[k])] == backjump:
+                learned[1], learned[k] = learned[k], learned[1]
+                break
+        return learned, backjump
+
+    def _minimize(self, learned: list[Lit], seen: list[bool]) -> list[Lit]:
+        """Remove literals whose reasons are subsumed by the learned clause."""
+        marked = set(abs(q) for q in learned)
+        result = [learned[0]]
+        for q in learned[1:]:
+            reason_index = self._reason[abs(q)]
+            if reason_index is None:
+                result.append(q)
+                continue
+            reason = self._clauses[reason_index]
+            if all(abs(r) in marked or self._level[abs(r)] == 0 for r in reason if r != -q):
+                continue  # q is redundant
+            result.append(q)
+        return result
+
+    def _record_learned(self, learned: list[Lit]) -> None:
+        self.stats["learned"] += 1
+        if len(learned) == 1:
+            enqueued = self._enqueue(learned[0], None)
+            assert enqueued, "learned unit must be assignable after backjump"
+            return
+        index = len(self._clauses)
+        self._clauses.append(learned)
+        self._watch(learned[0], index)
+        self._watch(learned[1], index)
+        enqueued = self._enqueue(learned[0], index)
+        assert enqueued, "learned clause must be asserting"
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+
+    def _pick_branch_var(self) -> Var | None:
+        while self._order_heap:
+            neg_activity, var = heapq.heappop(self._order_heap)
+            if self._assign[var] != _UNASSIGNED:
+                continue  # stale entry
+            if -neg_activity < self._activity[var]:
+                # Stale activity snapshot: re-push with the current score.
+                heapq.heappush(self._order_heap, (-self._activity[var], var))
+                continue
+            return var
+        # Heap exhausted: fall back to a linear scan (covers vars whose heap
+        # entries were all consumed as stale).
+        for var in range(1, self._num_vars + 1):
+            if self._assign[var] == _UNASSIGNED:
+                return var
+        return None
+
+    # ------------------------------------------------------------------
+    # Main search loop
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: Iterable[Lit] = ()) -> Status:
+        """Decide satisfiability under the given assumptions."""
+        self._assumption_levels = []
+        self._backtrack(0)
+        if not self._ok:
+            return Status.UNSAT
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return Status.UNSAT
+
+        assumption_list = list(assumptions)
+        for lit in assumption_list:
+            self._ensure_var(abs(lit))
+
+        conflicts_until_restart = self._restart_base * luby(1)
+        restart_count = 0
+        conflicts_since_restart = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats["conflicts"] += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    self._ok = False
+                    return Status.UNSAT
+                if self._decision_level() <= len(self._assumption_levels):
+                    # Conflict depends only on assumptions.
+                    self._backtrack(0)
+                    return Status.UNSAT
+                learned, backjump = self._analyze(conflict)
+                backjump = max(backjump, len(self._assumption_levels))
+                self._backtrack(backjump)
+                self._record_learned(learned)
+                self._decay_activities()
+                continue
+
+            if conflicts_since_restart >= conflicts_until_restart:
+                self.stats["restarts"] += 1
+                restart_count += 1
+                conflicts_since_restart = 0
+                conflicts_until_restart = self._restart_base * luby(restart_count + 1)
+                self._backtrack(len(self._assumption_levels))
+                continue
+
+            # Place any pending assumptions as pseudo-decisions.
+            if len(self._assumption_levels) < len(assumption_list):
+                lit = assumption_list[len(self._assumption_levels)]
+                value = self._value(lit)
+                if value == _FALSE:
+                    self._backtrack(0)
+                    return Status.UNSAT
+                self._new_decision_level()
+                self._assumption_levels.append(self._decision_level())
+                if value == _UNASSIGNED:
+                    self._enqueue(lit, None)
+                continue
+
+            var = self._pick_branch_var()
+            if var is None:
+                return Status.SAT
+            self.stats["decisions"] += 1
+            self._new_decision_level()
+            lit = var if self._phase[var] else -var
+            self._enqueue(lit, None)
+
+    def solve_with(self, assumptions: Iterable[Lit] = ()) -> Status:
+        """Alias of :meth:`solve`, kept for API compatibility."""
+        return self.solve(assumptions)
+
+    def model(self) -> Model:
+        """Extract the satisfying assignment after a SAT answer.
+
+        Unassigned variables (possible when the formula does not constrain
+        them) default to False.
+        """
+        values = {}
+        for var in range(1, self._num_vars + 1):
+            values[var] = self._assign[var] == _TRUE
+        return Model(values)
+
+
+def solve_cnf(cnf: CNF, assumptions: Iterable[Lit] = ()) -> tuple[Status, Model | None]:
+    """One-shot convenience: build a solver, load ``cnf``, solve."""
+    solver = Solver()
+    if not solver.add_cnf(cnf):
+        return Status.UNSAT, None
+    status = solver.solve_with(assumptions)
+    if status is Status.SAT:
+        return status, solver.model()
+    return status, None

@@ -1,0 +1,113 @@
+"""Core SAT types: variables, literals, clauses and assignments.
+
+Literals follow the DIMACS convention used by most solvers: a variable is a
+positive integer ``v >= 1``; the literal ``v`` asserts the variable is true
+and ``-v`` asserts it is false.  Internally the solver works with *encoded*
+literals (``2*v`` / ``2*v + 1``) for fast array indexing, but everything in
+the public API speaks DIMACS literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator, Sequence
+
+Lit = int
+Var = int
+
+
+def var_of(lit: Lit) -> Var:
+    """Return the variable underlying a DIMACS literal."""
+    return abs(lit)
+
+
+def is_positive(lit: Lit) -> bool:
+    """True when the literal asserts its variable."""
+    return lit > 0
+
+
+def negate(lit: Lit) -> Lit:
+    """Return the complementary literal."""
+    return -lit
+
+
+class Status(Enum):
+    """Result of a satisfiability query."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Clause:
+    """An immutable disjunction of literals.
+
+    Used at the API boundary; the solver keeps its own mutable clause
+    representation for the watched-literal scheme.
+    """
+
+    literals: tuple[Lit, ...]
+
+    def __post_init__(self) -> None:
+        for lit in self.literals:
+            if lit == 0:
+                raise ValueError("0 is not a valid DIMACS literal")
+
+    def __iter__(self) -> Iterator[Lit]:
+        return iter(self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def variables(self) -> set[Var]:
+        """The set of variables mentioned by this clause."""
+        return {var_of(lit) for lit in self.literals}
+
+    def is_tautology(self) -> bool:
+        """True when the clause contains both a literal and its negation."""
+        lits = set(self.literals)
+        return any(-lit in lits for lit in lits)
+
+    def simplified(self) -> "Clause":
+        """Return an equivalent clause without duplicate literals."""
+        seen: dict[Lit, None] = {}
+        for lit in self.literals:
+            seen.setdefault(lit, None)
+        return Clause(tuple(seen))
+
+
+def clause(*lits: Lit) -> Clause:
+    """Convenience constructor: ``clause(1, -2, 3)``."""
+    return Clause(tuple(lits))
+
+
+@dataclass
+class Model:
+    """A satisfying assignment, mapping every variable to a boolean."""
+
+    values: dict[Var, bool] = field(default_factory=dict)
+
+    def __getitem__(self, var: Var) -> bool:
+        return self.values[var]
+
+    def __contains__(self, var: Var) -> bool:
+        return var in self.values
+
+    def value_of(self, lit: Lit) -> bool:
+        """Truth value of a literal under this model."""
+        value = self.values[var_of(lit)]
+        return value if is_positive(lit) else not value
+
+    def satisfies_clause(self, cl: Clause | Sequence[Lit]) -> bool:
+        """True when at least one literal of ``cl`` is true."""
+        return any(self.value_of(lit) for lit in cl)
+
+    def satisfies(self, clauses: Iterable[Clause | Sequence[Lit]]) -> bool:
+        """True when every clause is satisfied."""
+        return all(self.satisfies_clause(cl) for cl in clauses)
+
+    def as_literals(self) -> list[Lit]:
+        """Render the model as a sorted list of true literals."""
+        return [v if value else -v for v, value in sorted(self.values.items())]

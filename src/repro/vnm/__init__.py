@@ -1,0 +1,33 @@
+"""Virtual network mapping: the paper's case-study application.
+
+Physical/virtual network models, mapping validity checking, k-shortest
+loop-free paths, and MCA-driven distributed embedding.
+"""
+
+from repro.vnm.embed import EmbeddingResult, agent_network_from_physical, embed
+from repro.vnm.mapping import Mapping, ValidationReport, validate_mapping
+from repro.vnm.paths import (
+    dijkstra_shortest_path,
+    k_shortest_paths,
+    path_cost,
+    path_is_loop_free,
+)
+from repro.vnm.physical import PhysicalNetwork, PhysicalNode
+from repro.vnm.virtual import VirtualNetwork, VirtualNode
+
+__all__ = [
+    "EmbeddingResult",
+    "Mapping",
+    "PhysicalNetwork",
+    "PhysicalNode",
+    "ValidationReport",
+    "VirtualNetwork",
+    "VirtualNode",
+    "agent_network_from_physical",
+    "dijkstra_shortest_path",
+    "embed",
+    "k_shortest_paths",
+    "path_cost",
+    "path_is_loop_free",
+    "validate_mapping",
+]

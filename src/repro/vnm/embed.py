@@ -1,0 +1,96 @@
+"""MCA-driven virtual network embedding.
+
+The case study end-to-end: physical nodes are MCA agents bidding on virtual
+nodes with the sub-modular residual-capacity utility; after the distributed
+auction converges, virtual links are mapped with k-shortest loop-free paths
+(Section II-B: "physical nodes can merely bid to host virtual nodes, and
+later run k-shortest path to map the virtual links").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mca.engine import RunResult, SynchronousEngine
+from repro.mca.network import AgentNetwork
+from repro.mca.policies import AgentPolicy, ResidualCapacityUtility
+from repro.vnm.mapping import Mapping, ValidationReport, validate_mapping
+from repro.vnm.paths import k_shortest_paths
+from repro.vnm.physical import PhysicalNetwork
+from repro.vnm.virtual import VirtualNetwork
+
+
+@dataclass
+class EmbeddingResult:
+    """Outcome of one embedding attempt."""
+
+    success: bool
+    mapping: Mapping
+    auction: RunResult
+    validation: ValidationReport | None
+    reason: str = ""
+
+
+def agent_network_from_physical(physical: PhysicalNetwork) -> AgentNetwork:
+    """MCA agents communicate along physical links."""
+    return AgentNetwork(
+        ((a, b) for a, b, _ in physical.links()),
+        nodes=[n.node_id for n in physical.nodes()],
+    )
+
+
+def embed(virtual: VirtualNetwork, physical: PhysicalNetwork,
+          target_per_node: int | None = None, k_paths: int = 3,
+          max_rounds: int = 200) -> EmbeddingResult:
+    """Run the node auction, then map virtual links over shortest paths."""
+    demands = virtual.demands()
+    items = virtual.names()
+    policies = {
+        node.node_id: AgentPolicy(
+            utility=ResidualCapacityUtility(node.cpu, demands),
+            target=len(items) if target_per_node is None else target_per_node,
+        )
+        for node in physical.nodes()
+    }
+    agents_net = agent_network_from_physical(physical)
+    engine = SynchronousEngine(agents_net, items, policies)
+    auction = engine.run(max_rounds=max_rounds)
+    mapping = Mapping()
+    if not auction.converged:
+        return EmbeddingResult(False, mapping, auction, None,
+                               reason=f"auction did not converge: {auction.outcome}")
+    unassigned = [j for j, w in auction.allocation.items() if w is None]
+    if unassigned:
+        return EmbeddingResult(False, mapping, auction, None,
+                               reason=f"virtual nodes not won: {unassigned}")
+    for item, winner in auction.allocation.items():
+        mapping.assign_node(item, winner)
+
+    # Link phase: k-shortest loop-free paths with sufficient bandwidth.
+    graph = physical.graph.copy()
+    residual = {tuple(sorted((a, b))): bw for a, b, bw in physical.links()}
+    for a, b, demand in virtual.links():
+        src = mapping.node_map[a]
+        dst = mapping.node_map[b]
+        if src == dst:
+            continue  # colocated endpoints need no path
+        chosen: list[int] | None = None
+        for path in k_shortest_paths(graph, src, dst, k_paths):
+            if all(
+                residual[tuple(sorted((u, v)))] >= demand
+                for u, v in zip(path, path[1:])
+            ):
+                chosen = path
+                break
+        if chosen is None:
+            return EmbeddingResult(
+                False, mapping, auction, None,
+                reason=f"no feasible path for virtual link ({a},{b})",
+            )
+        for u, v in zip(chosen, chosen[1:]):
+            residual[tuple(sorted((u, v)))] -= demand
+        mapping.assign_link(a, b, chosen)
+
+    validation = validate_mapping(virtual, physical, mapping)
+    return EmbeddingResult(validation.valid, mapping, auction, validation,
+                           reason="" if validation.valid else "validation failed")

@@ -1,0 +1,116 @@
+"""Mapping validity: the definition of Section II-B, executable.
+
+``M : H -> (V_G, P)`` is *valid* iff every virtual node maps to exactly one
+physical node with enough residual CPU, and every virtual link maps to at
+least one loop-free physical path whose endpoints host the link's endpoints
+and whose links have enough residual bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.vnm.paths import path_is_loop_free
+from repro.vnm.physical import PhysicalNetwork
+from repro.vnm.virtual import VirtualNetwork
+
+
+@dataclass
+class Mapping:
+    """A (possibly partial) virtual-to-physical mapping."""
+
+    node_map: dict[str, int] = field(default_factory=dict)
+    link_map: dict[tuple[str, str], list[int]] = field(default_factory=dict)
+
+    def assign_node(self, virtual: str, physical: int) -> None:
+        """Map a virtual node onto a physical node."""
+        self.node_map[virtual] = physical
+
+    def assign_link(self, a: str, b: str, path: list[int]) -> None:
+        """Map virtual link (a,b) onto a physical path."""
+        self.link_map[tuple(sorted((a, b)))] = list(path)
+
+    def path_for(self, a: str, b: str) -> list[int] | None:
+        """The path carrying virtual link (a, b), if mapped."""
+        return self.link_map.get(tuple(sorted((a, b))))
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating a mapping."""
+
+    valid: bool
+    errors: list[str] = field(default_factory=list)
+
+
+def validate_mapping(virtual: VirtualNetwork, physical: PhysicalNetwork,
+                     mapping: Mapping) -> ValidationReport:
+    """Check every constraint of the valid-mapping definition."""
+    errors: list[str] = []
+
+    # Every virtual node mapped to exactly one existing physical node.
+    for vnode in virtual.nodes():
+        if vnode.name not in mapping.node_map:
+            errors.append(f"virtual node {vnode.name!r} is unmapped")
+            continue
+        target = mapping.node_map[vnode.name]
+        try:
+            physical.node(target)
+        except KeyError:
+            errors.append(
+                f"virtual node {vnode.name!r} mapped to unknown node {target}"
+            )
+
+    # CPU capacity per physical node.
+    load: dict[int, float] = {}
+    for vname, pnode in mapping.node_map.items():
+        load[pnode] = load.get(pnode, 0.0) + virtual.node(vname).cpu
+    for pnode_id, used in load.items():
+        try:
+            capacity = physical.node(pnode_id).cpu
+        except KeyError:
+            continue
+        if used > capacity:
+            errors.append(
+                f"physical node {pnode_id} overloaded: {used} > {capacity}"
+            )
+
+    # Virtual links: loop-free connected paths with matching endpoints and
+    # sufficient bandwidth.
+    bandwidth_load: dict[tuple[int, int], float] = {}
+    for a, b, demand in virtual.links():
+        path = mapping.path_for(a, b)
+        if path is None:
+            errors.append(f"virtual link ({a},{b}) is unmapped")
+            continue
+        if len(path) < 2:
+            # Colocated endpoints would need path of length 1; the paper
+            # requires a loop-free physical path between distinct hosts.
+            if mapping.node_map.get(a) == mapping.node_map.get(b):
+                continue  # colocation: no physical path needed
+            errors.append(f"virtual link ({a},{b}) has a degenerate path")
+            continue
+        if not path_is_loop_free(path):
+            errors.append(f"virtual link ({a},{b}) path has a loop: {path}")
+        expected_ends = {mapping.node_map.get(a), mapping.node_map.get(b)}
+        if {path[0], path[-1]} != expected_ends:
+            errors.append(
+                f"virtual link ({a},{b}) path endpoints {path[0]},{path[-1]} "
+                f"do not match node mapping"
+            )
+        for u, v in zip(path, path[1:]):
+            if not physical.has_link(u, v):
+                errors.append(
+                    f"virtual link ({a},{b}) uses missing physical link ({u},{v})"
+                )
+            else:
+                key = (min(u, v), max(u, v))
+                bandwidth_load[key] = bandwidth_load.get(key, 0.0) + demand
+    for (u, v), used in bandwidth_load.items():
+        capacity = physical.bandwidth(u, v)
+        if used > capacity:
+            errors.append(
+                f"physical link ({u},{v}) overloaded: {used} > {capacity}"
+            )
+
+    return ValidationReport(valid=not errors, errors=errors)

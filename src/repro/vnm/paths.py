@@ -1,0 +1,111 @@
+"""Loop-free path enumeration: Yen's k-shortest simple paths.
+
+"physical nodes ... can merely bid to host virtual nodes, and later run
+k-shortest path to map the virtual links" (Section II-B).  Implemented from
+scratch on top of Dijkstra so the link-mapping phase has no hidden
+dependencies.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import networkx as nx
+
+
+def dijkstra_shortest_path(graph: nx.Graph, source: int, target: int,
+                           weight: str = "weight",
+                           banned_nodes: set[int] | None = None,
+                           banned_edges: set[tuple[int, int]] | None = None,
+                           ) -> tuple[float, list[int]] | None:
+    """Shortest simple path avoiding banned nodes/edges; None if unreachable."""
+    banned_nodes = banned_nodes or set()
+    banned_edges = banned_edges or set()
+    if source in banned_nodes or target in banned_nodes:
+        return None
+    distances: dict[int, float] = {source: 0.0}
+    previous: dict[int, int] = {}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    visited: set[int] = set()
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if node == target:
+            path = [target]
+            while path[-1] != source:
+                path.append(previous[path[-1]])
+            path.reverse()
+            return dist, path
+        for neighbor in graph.neighbors(node):
+            if neighbor in banned_nodes or neighbor in visited:
+                continue
+            if (node, neighbor) in banned_edges or (neighbor, node) in banned_edges:
+                continue
+            edge_weight = graph.edges[node, neighbor].get(weight, 1.0)
+            candidate = dist + edge_weight
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                previous[neighbor] = node
+                heapq.heappush(heap, (candidate, neighbor))
+    return None
+
+
+def k_shortest_paths(graph: nx.Graph, source: int, target: int, k: int,
+                     weight: str = "weight") -> list[list[int]]:
+    """Yen's algorithm: up to ``k`` loop-free paths, shortest first."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if source == target:
+        raise ValueError("source and target must differ")
+    first = dijkstra_shortest_path(graph, source, target, weight)
+    if first is None:
+        return []
+    paths: list[tuple[float, list[int]]] = [first]
+    candidates: list[tuple[float, list[int]]] = []
+    seen_candidates: set[tuple[int, ...]] = {tuple(first[1])}
+
+    while len(paths) < k:
+        _, last_path = paths[-1]
+        for i in range(len(last_path) - 1):
+            spur_node = last_path[i]
+            root_path = last_path[: i + 1]
+            banned_edges: set[tuple[int, int]] = set()
+            for _, existing in paths:
+                if existing[: i + 1] == root_path and len(existing) > i + 1:
+                    banned_edges.add((existing[i], existing[i + 1]))
+            banned_nodes = set(root_path[:-1])
+            spur = dijkstra_shortest_path(
+                graph, spur_node, target, weight,
+                banned_nodes=banned_nodes, banned_edges=banned_edges,
+            )
+            if spur is None:
+                continue
+            spur_cost, spur_path = spur
+            root_cost = sum(
+                graph.edges[a, b].get(weight, 1.0)
+                for a, b in zip(root_path, root_path[1:])
+            )
+            total = root_path[:-1] + spur_path
+            key = tuple(total)
+            if key in seen_candidates:
+                continue
+            seen_candidates.add(key)
+            heapq.heappush(candidates, (root_cost + spur_cost, total))
+        if not candidates:
+            break
+        paths.append(heapq.heappop(candidates))
+    return [p for _, p in paths]
+
+
+def path_is_loop_free(path: list[int]) -> bool:
+    """True when the path visits no node twice."""
+    return len(path) == len(set(path))
+
+
+def path_cost(graph: nx.Graph, path: list[int], weight: str = "weight") -> float:
+    """Total weight along a path."""
+    return sum(
+        graph.edges[a, b].get(weight, 1.0) for a, b in zip(path, path[1:])
+    )

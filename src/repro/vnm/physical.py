@@ -1,0 +1,116 @@
+"""Physical (substrate) networks for the virtual network mapping problem.
+
+``G = (V_G, E_G, C_G)``: capacitated physical nodes and links owned by one
+or more federated infrastructure providers (Section II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class PhysicalNode:
+    """A capacitated physical node (an MCA agent)."""
+
+    node_id: int
+    cpu: float
+    provider: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cpu < 0:
+            raise ValueError("cpu capacity must be non-negative")
+
+
+class PhysicalNetwork:
+    """An undirected capacitated substrate network."""
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self._nodes: dict[int, PhysicalNode] = {}
+
+    def add_node(self, node_id: int, cpu: float, provider: int = 0) -> PhysicalNode:
+        """Add a physical node with a CPU capacity."""
+        if node_id in self._nodes:
+            raise ValueError(f"duplicate physical node {node_id}")
+        node = PhysicalNode(node_id, cpu, provider)
+        self._nodes[node_id] = node
+        self._graph.add_node(node_id)
+        return node
+
+    def add_link(self, a: int, b: int, bandwidth: float) -> None:
+        """Add an undirected capacitated link."""
+        if a == b:
+            raise ValueError("self-links are not allowed")
+        for end in (a, b):
+            if end not in self._nodes:
+                raise KeyError(f"unknown physical node {end}")
+        if bandwidth < 0:
+            raise ValueError("bandwidth must be non-negative")
+        self._graph.add_edge(a, b, bandwidth=bandwidth)
+
+    def node(self, node_id: int) -> PhysicalNode:
+        """Look up a node."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise KeyError(f"unknown physical node {node_id}") from None
+
+    def nodes(self) -> list[PhysicalNode]:
+        """All nodes sorted by id."""
+        return [self._nodes[i] for i in sorted(self._nodes)]
+
+    def links(self) -> Iterator[tuple[int, int, float]]:
+        """All links as (a, b, bandwidth), a < b."""
+        for a, b, data in sorted(self._graph.edges(data=True)):
+            lo, hi = min(a, b), max(a, b)
+            yield lo, hi, data["bandwidth"]
+
+    def bandwidth(self, a: int, b: int) -> float:
+        """Bandwidth of a link."""
+        try:
+            return self._graph.edges[a, b]["bandwidth"]
+        except KeyError:
+            raise KeyError(f"no link between {a} and {b}") from None
+
+    def neighbors(self, node_id: int) -> list[int]:
+        """Neighbor node ids, sorted."""
+        return sorted(self._graph.neighbors(node_id))
+
+    def has_link(self, a: int, b: int) -> bool:
+        """True when a physical link exists."""
+        return self._graph.has_edge(a, b)
+
+    @property
+    def graph(self) -> nx.Graph:
+        """Underlying networkx graph."""
+        return self._graph
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def is_connected(self) -> bool:
+        """True when the substrate is connected."""
+        if len(self._nodes) <= 1:
+            return True
+        return nx.is_connected(self._graph)
+
+    @staticmethod
+    def grid(width: int, height: int, cpu: float = 100.0,
+             bandwidth: float = 100.0) -> "PhysicalNetwork":
+        """A width x height grid substrate (a common evaluation topology)."""
+        net = PhysicalNetwork()
+        for y in range(height):
+            for x in range(width):
+                net.add_node(y * width + x, cpu)
+        for y in range(height):
+            for x in range(width):
+                node = y * width + x
+                if x + 1 < width:
+                    net.add_link(node, node + 1, bandwidth)
+                if y + 1 < height:
+                    net.add_link(node, node + width, bandwidth)
+        return net

@@ -1,0 +1,103 @@
+"""Virtual network requests: ``H = (V_H, E_H, C_H)`` (Section II-B)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class VirtualNode:
+    """A virtual node with a CPU demand (an MCA item)."""
+
+    name: str
+    cpu: float
+
+    def __post_init__(self) -> None:
+        if self.cpu < 0:
+            raise ValueError("cpu demand must be non-negative")
+
+
+class VirtualNetwork:
+    """A capacitated virtual network request."""
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self._nodes: dict[str, VirtualNode] = {}
+
+    def add_node(self, name: str, cpu: float) -> VirtualNode:
+        """Add a virtual node with a CPU demand."""
+        if name in self._nodes:
+            raise ValueError(f"duplicate virtual node {name!r}")
+        node = VirtualNode(name, cpu)
+        self._nodes[name] = node
+        self._graph.add_node(name)
+        return node
+
+    def add_link(self, a: str, b: str, bandwidth: float) -> None:
+        """Add a virtual link with a bandwidth demand."""
+        if a == b:
+            raise ValueError("self-links are not allowed")
+        for end in (a, b):
+            if end not in self._nodes:
+                raise KeyError(f"unknown virtual node {end!r}")
+        if bandwidth < 0:
+            raise ValueError("bandwidth must be non-negative")
+        self._graph.add_edge(a, b, bandwidth=bandwidth)
+
+    def node(self, name: str) -> VirtualNode:
+        """Look up a virtual node."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise KeyError(f"unknown virtual node {name!r}") from None
+
+    def nodes(self) -> list[VirtualNode]:
+        """All virtual nodes sorted by name."""
+        return [self._nodes[n] for n in sorted(self._nodes)]
+
+    def names(self) -> list[str]:
+        """Virtual node names, sorted."""
+        return sorted(self._nodes)
+
+    def links(self) -> Iterator[tuple[str, str, float]]:
+        """Virtual links as (a, b, bandwidth), lexicographically ordered."""
+        for a, b, data in sorted(self._graph.edges(data=True)):
+            lo, hi = sorted((a, b))
+            yield lo, hi, data["bandwidth"]
+
+    def demands(self) -> dict[str, float]:
+        """CPU demand per virtual node (the MCA item demand map)."""
+        return {name: node.cpu for name, node in self._nodes.items()}
+
+    @property
+    def graph(self) -> nx.Graph:
+        """Underlying networkx graph."""
+        return self._graph
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @staticmethod
+    def chain(names: list[str], cpu: float = 10.0,
+              bandwidth: float = 10.0) -> "VirtualNetwork":
+        """A linear service chain (the classic NFV request shape)."""
+        vn = VirtualNetwork()
+        for name in names:
+            vn.add_node(name, cpu)
+        for a, b in zip(names, names[1:]):
+            vn.add_link(a, b, bandwidth)
+        return vn
+
+    @staticmethod
+    def star(center: str, leaves: list[str], cpu: float = 10.0,
+             bandwidth: float = 10.0) -> "VirtualNetwork":
+        """A hub-and-spoke request."""
+        vn = VirtualNetwork()
+        vn.add_node(center, cpu)
+        for leaf in leaves:
+            vn.add_node(leaf, cpu)
+            vn.add_link(center, leaf, bandwidth)
+        return vn

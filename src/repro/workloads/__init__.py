@@ -1,0 +1,13 @@
+"""Synthetic workload generators for the three MCA application domains.
+
+The paper motivates MCA with UAV task allocation [Choi 2009], distributed
+virtual network embedding [Esposito 2014] and smart-grid economic dispatch
+[Binetti 2014].  Remark 4: the protocol is application-agnostic, so these
+generators only differ in how they derive items, agents and utilities.
+"""
+
+from repro.workloads.uav import uav_task_allocation
+from repro.workloads.vnet import vn_embedding_workload
+from repro.workloads.smartgrid import economic_dispatch
+
+__all__ = ["economic_dispatch", "uav_task_allocation", "vn_embedding_workload"]

@@ -1,0 +1,52 @@
+"""Economic-dispatch workloads (Binetti et al. 2014 style).
+
+Generation units (agents) bid to take on power-block duties (items); a
+unit's utility for a block reflects its cost efficiency at its current
+loading, decreasing as it takes on more blocks (sub-modular: marginal
+efficiency falls with load).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.mca.network import AgentNetwork
+from repro.mca.policies import AgentPolicy, GeometricUtility
+
+
+@dataclass
+class DispatchWorkload:
+    """A generated dispatch scenario."""
+
+    network: AgentNetwork
+    items: list[str]
+    policies: dict[int, AgentPolicy]
+    unit_efficiency: dict[int, float]
+
+
+def economic_dispatch(num_units: int = 5, num_blocks: int = 8,
+                      capacity_blocks: int = 3, seed: int = 0
+                      ) -> DispatchWorkload:
+    """Generate a ring-connected set of generation units and power blocks."""
+    rng = random.Random(seed)
+    blocks = [f"block{b}" for b in range(num_blocks)]
+    efficiency = {u: round(rng.uniform(0.5, 1.0), 3) for u in range(num_units)}
+    policies = {}
+    for u in range(num_units):
+        base = {
+            b: round(100 * efficiency[u] * rng.uniform(0.8, 1.2), 2)
+            for b in blocks
+        }
+        policies[u] = AgentPolicy(
+            utility=GeometricUtility(base, growth=0.6),
+            target=capacity_blocks,
+        )
+    network = (AgentNetwork.ring(num_units) if num_units >= 3
+               else AgentNetwork.complete(num_units))
+    return DispatchWorkload(
+        network=network,
+        items=blocks,
+        policies=policies,
+        unit_efficiency=efficiency,
+    )

@@ -1,0 +1,45 @@
+"""Virtual-network-embedding workloads (Esposito et al. 2014 style)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.vnm.physical import PhysicalNetwork
+from repro.vnm.virtual import VirtualNetwork
+
+
+@dataclass
+class VnWorkload:
+    """A substrate plus a batch of virtual network requests."""
+
+    physical: PhysicalNetwork
+    requests: list[VirtualNetwork]
+
+
+def vn_embedding_workload(grid_width: int = 3, grid_height: int = 3,
+                          num_requests: int = 3, request_size: int = 3,
+                          cpu: float = 100.0, bandwidth: float = 100.0,
+                          demand_cpu: tuple[float, float] = (5.0, 25.0),
+                          demand_bw: tuple[float, float] = (1.0, 10.0),
+                          seed: int = 0) -> VnWorkload:
+    """A grid substrate with random chain/star virtual requests."""
+    rng = random.Random(seed)
+    physical = PhysicalNetwork.grid(grid_width, grid_height, cpu, bandwidth)
+    requests = []
+    for r in range(num_requests):
+        names = [f"r{r}v{i}" for i in range(request_size)]
+        if rng.random() < 0.5:
+            vn = VirtualNetwork.chain(
+                names,
+                cpu=round(rng.uniform(*demand_cpu), 1),
+                bandwidth=round(rng.uniform(*demand_bw), 1),
+            )
+        else:
+            vn = VirtualNetwork.star(
+                names[0], names[1:],
+                cpu=round(rng.uniform(*demand_cpu), 1),
+                bandwidth=round(rng.uniform(*demand_bw), 1),
+            )
+        requests.append(vn)
+    return VnWorkload(physical=physical, requests=requests)

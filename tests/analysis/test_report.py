@@ -1,0 +1,26 @@
+"""Tests for report rendering."""
+
+from repro.analysis import render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a  ")
+        assert "333" in lines[3]
+
+    def test_title_included(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        out = render_table(["col"], [])
+        assert "col" in out
+
+    def test_column_count_consistent(self):
+        out = render_table(["a", "b", "c"], [["x", "y", "z"]])
+        header, separator, row = out.splitlines()
+        assert header.count("|") == 2
+        assert row.count("|") == 2
+        assert separator.count("+") == 2

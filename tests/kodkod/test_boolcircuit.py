@@ -1,0 +1,156 @@
+"""Tests for the hash-consed boolean circuit factory."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kodkod.boolcircuit import FALSE, TRUE, BooleanFactory
+from repro.sat.solver import solve_cnf
+from repro.sat.types import Status
+
+
+class TestConstruction:
+    def setup_method(self):
+        self.f = BooleanFactory()
+
+    def test_and_constant_folding(self):
+        a = self.f.fresh_input()
+        assert self.f.and_([a, TRUE]) == a
+        assert self.f.and_([a, FALSE]) == FALSE
+        assert self.f.and_([]) == TRUE
+
+    def test_or_constant_folding(self):
+        a = self.f.fresh_input()
+        assert self.f.or_([a, FALSE]) == a
+        assert self.f.or_([a, TRUE]) == TRUE
+        assert self.f.or_([]) == FALSE
+
+    def test_complement_collapse(self):
+        a = self.f.fresh_input()
+        assert self.f.and_([a, -a]) == FALSE
+        assert self.f.or_([a, -a]) == TRUE
+
+    def test_duplicate_collapse(self):
+        a = self.f.fresh_input()
+        assert self.f.and_([a, a]) == a
+        assert self.f.or_([a, a]) == a
+
+    def test_hash_consing(self):
+        a, b = self.f.fresh_input(), self.f.fresh_input()
+        assert self.f.and_([a, b]) == self.f.and_([b, a])
+        assert self.f.or_([a, b]) == self.f.or_([b, a])
+
+    def test_negation_involution(self):
+        a = self.f.fresh_input()
+        assert self.f.not_(self.f.not_(a)) == a
+
+    def test_nested_and_flattened(self):
+        a, b, c = (self.f.fresh_input() for _ in range(3))
+        nested = self.f.and_([a, self.f.and_([b, c])])
+        flat = self.f.and_([a, b, c])
+        assert nested == flat
+
+    def test_implies(self):
+        a, b = self.f.fresh_input(), self.f.fresh_input()
+        node = self.f.implies(a, b)
+        assert self.f.evaluate(node, {a: True, b: False}) is False
+        assert self.f.evaluate(node, {a: False, b: False}) is True
+
+    def test_iff(self):
+        a, b = self.f.fresh_input(), self.f.fresh_input()
+        node = self.f.iff(a, b)
+        for va, vb in itertools.product([False, True], repeat=2):
+            assert self.f.evaluate(node, {a: va, b: vb}) == (va == vb)
+
+    def test_ite(self):
+        c, t, e = (self.f.fresh_input() for _ in range(3))
+        node = self.f.ite(c, t, e)
+        for vc, vt, ve in itertools.product([False, True], repeat=3):
+            expected = vt if vc else ve
+            assert self.f.evaluate(node, {c: vc, t: vt, e: ve}) == expected
+
+    def test_gate_count(self):
+        a, b = self.f.fresh_input(), self.f.fresh_input()
+        before = self.f.num_gates
+        self.f.and_([a, b])
+        self.f.and_([a, b])  # shared
+        assert self.f.num_gates == before + 1
+
+
+class TestCnfCompilation:
+    def test_root_asserted(self):
+        f = BooleanFactory()
+        a, b = f.fresh_input(), f.fresh_input()
+        root = f.and_([a, -b])
+        cnf, inputs = f.to_cnf([root])
+        status, model = solve_cnf(cnf)
+        assert status is Status.SAT
+        assert model[inputs[a]] is True
+        assert model[inputs[b]] is False
+
+    def test_false_root_unsat(self):
+        f = BooleanFactory()
+        a = f.fresh_input()
+        root = f.and_([a, -a])
+        cnf, _ = f.to_cnf([root])
+        assert solve_cnf(cnf)[0] is Status.UNSAT
+
+    def test_true_root_sat(self):
+        f = BooleanFactory()
+        cnf, _ = f.to_cnf([TRUE])
+        assert solve_cnf(cnf)[0] is Status.SAT
+
+    def test_multiple_roots_conjoined(self):
+        f = BooleanFactory()
+        a, b = f.fresh_input(), f.fresh_input()
+        cnf, inputs = f.to_cnf([a, -b])
+        status, model = solve_cnf(cnf)
+        assert status is Status.SAT
+        assert model[inputs[a]] and not model[inputs[b]]
+
+
+@st.composite
+def circuits(draw):
+    """Random circuits over up to 4 inputs, described as nested specs."""
+    f = BooleanFactory()
+    inputs = [f.fresh_input() for _ in range(draw(st.integers(1, 4)))]
+
+    def build(depth):
+        kind = draw(st.sampled_from(
+            ["input", "and", "or", "not"] if depth > 0 else ["input"]
+        ))
+        if kind == "input":
+            node = draw(st.sampled_from(inputs))
+            return node
+        if kind == "not":
+            return -build(depth - 1)
+        children = [build(depth - 1) for _ in range(draw(st.integers(1, 3)))]
+        return f.and_(children) if kind == "and" else f.or_(children)
+
+    root = build(draw(st.integers(0, 4)))
+    return f, inputs, root
+
+
+class TestCircuitSemantics:
+    @given(circuits())
+    @settings(max_examples=80, deadline=None)
+    def test_cnf_agrees_with_evaluation(self, circuit):
+        """Tseitin CNF must be satisfiable exactly when some input valuation
+        makes the root true, and models must evaluate to true."""
+        f, inputs, root = circuit
+        cnf, input_vars = f.to_cnf([root])
+        status, model = solve_cnf(cnf)
+        evaluations = [
+            f.evaluate(root, dict(zip(inputs, bits)))
+            for bits in itertools.product([False, True], repeat=len(inputs))
+        ]
+        assert (status is Status.SAT) == any(evaluations)
+        if model is not None:
+            valuation = {
+                node: model[var] for node, var in input_vars.items()
+            }
+            # Inputs simplified out of the circuit can take any value.
+            for node in inputs:
+                valuation.setdefault(node, False)
+            assert f.evaluate(root, valuation) is True

@@ -1,0 +1,113 @@
+"""Tests for universes and tuple sets."""
+
+import pytest
+
+from repro.kodkod.universe import TupleSet, Universe
+
+
+class TestUniverse:
+    def test_atoms_ordered(self):
+        u = Universe(["a", "b", "c"])
+        assert u.atoms == ("a", "b", "c")
+
+    def test_duplicate_atoms_rejected(self):
+        with pytest.raises(ValueError):
+            Universe(["a", "a"])
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValueError):
+            Universe([])
+
+    def test_index_and_atom_roundtrip(self):
+        u = Universe(["a", "b", "c"])
+        for i, atom in enumerate(u):
+            assert u.index(atom) == i
+            assert u.atom(i) == atom
+
+    def test_unknown_atom_raises(self):
+        u = Universe(["a"])
+        with pytest.raises(KeyError):
+            u.index("z")
+
+    def test_contains(self):
+        u = Universe(["a", "b"])
+        assert "a" in u
+        assert "z" not in u
+
+    def test_all_tuples_size(self):
+        u = Universe(["a", "b", "c"])
+        assert len(u.all_tuples(1)) == 3
+        assert len(u.all_tuples(2)) == 9
+        assert len(u.all_tuples(3)) == 27
+
+    def test_all_tuples_bad_arity(self):
+        with pytest.raises(ValueError):
+            Universe(["a"]).all_tuples(0)
+
+    def test_singletons(self):
+        u = Universe(["a", "b"])
+        singles = u.singletons()
+        assert [list(s) for s in singles] == [[("a",)], [("b",)]]
+
+
+class TestTupleSet:
+    def setup_method(self):
+        self.u = Universe(["a", "b", "c"])
+
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            self.u.tuple_set(2, [("a",)])
+
+    def test_atom_validation(self):
+        with pytest.raises(KeyError):
+            self.u.tuple_set(1, [("z",)])
+
+    def test_union(self):
+        s1 = self.u.tuple_set(1, [("a",)])
+        s2 = self.u.tuple_set(1, [("b",)])
+        assert set(s1.union(s2)) == {("a",), ("b",)}
+
+    def test_intersection(self):
+        s1 = self.u.tuple_set(1, [("a",), ("b",)])
+        s2 = self.u.tuple_set(1, [("b",), ("c",)])
+        assert set(s1.intersection(s2)) == {("b",)}
+
+    def test_difference(self):
+        s1 = self.u.tuple_set(1, [("a",), ("b",)])
+        s2 = self.u.tuple_set(1, [("b",)])
+        assert set(s1.difference(s2)) == {("a",)}
+
+    def test_issubset(self):
+        s1 = self.u.tuple_set(1, [("a",)])
+        s2 = self.u.tuple_set(1, [("a",), ("b",)])
+        assert s1.issubset(s2)
+        assert not s2.issubset(s1)
+
+    def test_product(self):
+        s1 = self.u.tuple_set(1, [("a",)])
+        s2 = self.u.tuple_set(1, [("b",), ("c",)])
+        assert set(s1.product(s2)) == {("a", "b"), ("a", "c")}
+        assert s1.product(s2).arity == 2
+
+    def test_arity_mismatch_rejected(self):
+        s1 = self.u.tuple_set(1, [("a",)])
+        s2 = self.u.tuple_set(2, [("a", "b")])
+        with pytest.raises(ValueError):
+            s1.union(s2)
+
+    def test_cross_universe_rejected(self):
+        other = Universe(["a", "b", "c"])
+        s1 = self.u.tuple_set(1, [("a",)])
+        s2 = other.tuple_set(1, [("a",)])
+        with pytest.raises(ValueError):
+            s1.union(s2)
+
+    def test_equality_and_hash(self):
+        s1 = self.u.tuple_set(1, [("a",)])
+        s2 = self.u.tuple_set(1, [("a",)])
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+
+    def test_iteration_sorted(self):
+        s = self.u.tuple_set(1, [("c",), ("a",), ("b",)])
+        assert list(s) == [("a",), ("b",), ("c",)]

@@ -1,0 +1,201 @@
+"""Tests for the agent's bidding and agreement behaviour."""
+
+from repro.mca.agent import Agent
+from repro.mca.items import ItemBelief, Timestamp
+from repro.mca.messages import BidMessage
+from repro.mca.policies import AgentPolicy, GeometricUtility, RebidStrategy, TableUtility
+
+ITEMS = ["A", "B", "C"]
+
+
+def make_agent(agent_id=0, base=None, growth=0.5, target=2,
+               release=False, rebid=RebidStrategy.HONEST):
+    base = base if base is not None else {"A": 10, "B": 8, "C": 6}
+    policy = AgentPolicy(
+        utility=GeometricUtility(base, growth=growth),
+        target=target,
+        release_outbid=release,
+        rebid=rebid,
+    )
+    return Agent(agent_id, policy, ITEMS)
+
+
+def message_from(sender_id, view, clock=10):
+    return BidMessage.from_view(sender_id, 0, view, clock)
+
+
+class TestBiddingPhase:
+    def test_greedy_order(self):
+        agent = make_agent()
+        agent.bid_phase()
+        assert agent.bundle == ["A", "B"]  # highest marginal first
+
+    def test_target_respected(self):
+        agent = make_agent(target=1)
+        agent.bid_phase()
+        assert agent.bundle == ["A"]
+
+    def test_zero_target_no_bids(self):
+        agent = make_agent(target=0)
+        assert not agent.bid_phase()
+        assert agent.bundle == []
+
+    def test_bids_recorded_in_beliefs(self):
+        agent = make_agent()
+        agent.bid_phase()
+        assert agent.beliefs["A"].winner == 0
+        assert agent.beliefs["A"].bid == 10
+
+    def test_submodular_marginals_shrink(self):
+        agent = make_agent()
+        agent.bid_phase()
+        assert agent.beliefs["B"].bid == 4  # 8 * 0.5
+
+    def test_does_not_bid_below_known_winner(self):
+        agent = make_agent()
+        agent.beliefs["A"] = ItemBelief(5, 100, Timestamp(1, 5), 5)
+        agent.bid_phase()
+        assert "A" not in agent.bundle
+
+    def test_equal_bid_tiebreak_lower_id_claims(self):
+        agent = make_agent(agent_id=0)
+        agent.beliefs["A"] = ItemBelief(5, 10, Timestamp(1, 5), 5)
+        agent.bid_phase()
+        assert "A" in agent.bundle  # 10 == 10 but id 0 < 5
+
+    def test_equal_bid_tiebreak_higher_id_defers(self):
+        agent = make_agent(agent_id=9)
+        agent.beliefs["A"] = ItemBelief(5, 10, Timestamp(1, 5), 5)
+        agent.bid_phase()
+        assert "A" not in agent.bundle
+
+    def test_idempotent_when_no_opportunity(self):
+        agent = make_agent()
+        agent.bid_phase()
+        assert not agent.bid_phase()
+
+
+class TestAgreement:
+    def test_adopts_higher_bid(self):
+        agent = make_agent()
+        agent.bid_phase()
+        incoming = {
+            "A": ItemBelief(1, 50, Timestamp(2, 1), 1),
+            "B": ItemBelief.unassigned(),
+            "C": ItemBelief.unassigned(),
+        }
+        changed = agent.receive(message_from(1, incoming))
+        assert changed
+        assert agent.beliefs["A"].winner == 1
+
+    def test_outbid_removes_from_bundle(self):
+        agent = make_agent()
+        agent.bid_phase()
+        incoming = {"A": ItemBelief(1, 50, Timestamp(2, 1), 1)}
+        agent.receive(message_from(1, incoming))
+        assert "A" not in agent.bundle
+
+    def test_keep_policy_retains_subsequent_items(self):
+        agent = make_agent(release=False)
+        agent.bid_phase()
+        assert agent.bundle == ["A", "B"]
+        agent.receive(message_from(1, {"A": ItemBelief(1, 50, Timestamp(2, 1), 1)}))
+        assert agent.bundle == ["B"]
+        assert agent.beliefs["B"].winner == 0
+
+    def test_release_policy_releases_subsequent_items(self):
+        agent = make_agent(release=True)
+        agent.bid_phase()
+        agent.receive(message_from(1, {"A": ItemBelief(1, 50, Timestamp(2, 1), 1)}))
+        assert agent.bundle == []
+        assert agent.beliefs["B"].winner is None  # released (Remark 2)
+
+    def test_outbid_on_last_item_releases_nothing(self):
+        agent = make_agent(release=True)
+        agent.bid_phase()
+        agent.receive(message_from(1, {"B": ItemBelief(1, 50, Timestamp(2, 1), 1)}))
+        assert agent.bundle == ["A"]
+        assert agent.beliefs["A"].winner == 0
+
+    def test_outbid_log_records_events(self):
+        agent = make_agent(release=True)
+        agent.bid_phase()
+        agent.receive(message_from(1, {"A": ItemBelief(1, 50, Timestamp(2, 1), 1)}))
+        assert len(agent.outbid_log) == 1
+        event = agent.outbid_log[0]
+        assert event.item == "A"
+        assert event.new_winner == 1
+        assert event.released == ("B",)
+
+    def test_clock_advances_past_message(self):
+        agent = make_agent()
+        agent.receive(message_from(1, {"A": ItemBelief(1, 5, Timestamp(2, 1), 1)},
+                                   clock=100))
+        assert agent.clock > 100
+
+    def test_unknown_items_ignored(self):
+        agent = make_agent()
+        incoming = {"Z": ItemBelief(1, 50, Timestamp(2, 1), 1)}
+        assert not agent.receive(message_from(1, incoming))
+
+    def test_own_stale_claim_echo_rejected_after_release(self):
+        agent = make_agent(release=True)
+        agent.bid_phase()
+        old_claim_b = agent.beliefs["B"]
+        agent.receive(message_from(1, {"A": ItemBelief(1, 50, Timestamp(2, 1), 1)}))
+        assert agent.beliefs["B"].winner is None
+        # A neighbor echoes the agent's own pre-release claim on B.
+        assert not agent.receive(message_from(1, {"B": old_claim_b}))
+        assert agent.beliefs["B"].winner is None
+
+
+class TestMaliciousStrategies:
+    def test_escalate_overbids_lost_items(self):
+        agent = make_agent(rebid=RebidStrategy.ESCALATE,
+                           base={"A": 1, "B": 0, "C": 0})
+        agent.receive(message_from(1, {"A": ItemBelief(1, 50, Timestamp(2, 1), 1)}))
+        agent.bid_phase()
+        assert agent.beliefs["A"].winner == 0
+        assert agent.beliefs["A"].bid == 51
+
+    def test_escalate_respects_bid_cap(self):
+        policy = AgentPolicy(
+            utility=TableUtility({}), rebid=RebidStrategy.ESCALATE,
+            extra={"bid_cap": 10},
+        )
+        agent = Agent(0, policy, ITEMS)
+        agent.receive(message_from(1, {"A": ItemBelief(1, 50, Timestamp(2, 1), 1)}))
+        agent.bid_phase()
+        assert agent.beliefs["A"].winner == 1  # 51 > cap: attack throttled
+
+    def test_flipflop_claims_then_releases(self):
+        agent = make_agent(rebid=RebidStrategy.FLIPFLOP,
+                           base={"A": 1, "B": 0, "C": 0})
+        agent.receive(message_from(1, {"A": ItemBelief(1, 50, Timestamp(2, 1), 1)}))
+        agent.bid_phase()
+        assert agent.beliefs["A"].winner == 0  # hijacked
+        agent.bid_phase()
+        assert agent.beliefs["A"].winner is None  # released again
+
+    def test_honest_never_overbids_beyond_utility(self):
+        agent = make_agent(base={"A": 10, "B": 0, "C": 0})
+        agent.receive(message_from(1, {"A": ItemBelief(1, 50, Timestamp(2, 1), 1)}))
+        agent.bid_phase()
+        assert agent.beliefs["A"].winner == 1  # utility 10 < 50: no rebid
+
+
+class TestViewSignature:
+    def test_signature_ignores_timestamps(self):
+        a = make_agent()
+        b = make_agent()
+        a.bid_phase()
+        b.bid_phase()
+        b.clock += 100  # different clocks, same logical view
+        assert a.view_signature() == b.view_signature()
+
+    def test_signature_reflects_bundle(self):
+        a = make_agent(target=1)
+        b = make_agent(target=2)
+        a.bid_phase()
+        b.bid_phase()
+        assert a.view_signature() != b.view_signature()

@@ -1,0 +1,123 @@
+"""Tests for the asynchronous conflict-resolution table."""
+
+from repro.mca.conflict import ConflictResolver
+from repro.mca.items import ItemBelief, Timestamp
+
+
+def claim(winner, bid, counter, origin=None):
+    origin = winner if origin is None else origin
+    return ItemBelief(winner, bid, Timestamp(counter, origin), origin)
+
+
+def reset(origin, counter):
+    return ItemBelief(None, 0.0, Timestamp(counter, origin), origin)
+
+
+class TestClaims:
+    def setup_method(self):
+        self.resolver = ConflictResolver(agent_id=0)
+        self.free = ItemBelief.unassigned()
+
+    def test_claim_on_unassigned_adopted(self):
+        out = self.resolver.resolve("j", self.free, claim(1, 10, 1))
+        assert out.changed
+        assert out.adopted.winner == 1
+
+    def test_higher_bid_displaces(self):
+        local = claim(1, 10, 1)
+        out = self.resolver.resolve("j", local, claim(2, 20, 1))
+        assert out.changed
+        assert out.adopted.winner == 2
+
+    def test_lower_bid_ignored(self):
+        local = claim(1, 20, 1)
+        out = self.resolver.resolve("j", local, claim(2, 10, 1))
+        assert not out.changed
+        assert out.adopted.winner == 1
+
+    def test_equal_bid_lower_id_wins(self):
+        local = claim(2, 10, 1)
+        out = self.resolver.resolve("j", local, claim(1, 10, 1))
+        assert out.changed
+        assert out.adopted.winner == 1
+
+    def test_same_winner_fresher_info_adopted(self):
+        local = claim(1, 10, 1)
+        out = self.resolver.resolve("j", local, claim(1, 4, 5))
+        assert out.changed
+        assert out.adopted.bid == 4  # bids may be refreshed downward
+
+    def test_initial_belief_carries_no_information(self):
+        local = claim(1, 10, 1)
+        out = self.resolver.resolve("j", local, ItemBelief.unassigned())
+        assert not out.changed
+
+
+class TestStaleness:
+    def setup_method(self):
+        self.resolver = ConflictResolver(agent_id=0)
+
+    def test_stale_from_same_origin_ignored(self):
+        fresh = claim(1, 10, 5)
+        out = self.resolver.resolve("j", ItemBelief.unassigned(), fresh)
+        assert out.changed
+        stale = claim(1, 99, 2)
+        out = self.resolver.resolve("j", out.adopted, stale)
+        assert not out.changed
+
+    def test_duplicate_delivery_idempotent(self):
+        incoming = claim(1, 10, 5)
+        first = self.resolver.resolve("j", ItemBelief.unassigned(), incoming)
+        second = self.resolver.resolve("j", first.adopted, incoming)
+        assert first.changed
+        assert not second.changed
+
+    def test_staleness_tracked_per_item(self):
+        self.resolver.resolve("j", ItemBelief.unassigned(), claim(1, 10, 5))
+        out = self.resolver.resolve("k", ItemBelief.unassigned(), claim(1, 7, 2))
+        assert out.changed  # older counter, but different item
+
+    def test_staleness_tracked_per_origin(self):
+        self.resolver.resolve("j", ItemBelief.unassigned(), claim(1, 10, 5))
+        out = self.resolver.resolve("j", claim(1, 10, 5), claim(2, 20, 2))
+        assert out.changed  # different origin, not stale
+
+
+class TestResets:
+    def setup_method(self):
+        self.resolver = ConflictResolver(agent_id=0)
+
+    def test_reset_by_current_winner_honoured(self):
+        local = claim(1, 10, 1)
+        out = self.resolver.resolve("j", local, reset(1, 3))
+        assert out.changed
+        assert out.adopted.winner is None
+
+    def test_reset_by_other_agent_ignored(self):
+        local = claim(1, 10, 1)
+        out = self.resolver.resolve("j", local, reset(2, 3))
+        assert not out.changed
+        assert out.adopted.winner == 1
+
+    def test_reset_then_stale_claim_rejected(self):
+        """The crucial out-of-order case: a release must not be undone by a
+        late-arriving echo of the old claim."""
+        local = ItemBelief.unassigned()
+        out = self.resolver.resolve("j", local, claim(1, 10, 2))
+        out = self.resolver.resolve("j", out.adopted, reset(1, 6))
+        assert out.adopted.winner is None
+        late_echo = claim(1, 10, 2)
+        out = self.resolver.resolve("j", out.adopted, late_echo)
+        assert not out.changed
+        assert out.adopted.winner is None
+
+    def test_reclaim_after_reset_adopted(self):
+        out = self.resolver.resolve("j", ItemBelief.unassigned(), claim(1, 10, 2))
+        out = self.resolver.resolve("j", out.adopted, reset(1, 4))
+        out = self.resolver.resolve("j", out.adopted, claim(1, 6, 7))
+        assert out.adopted.winner == 1
+        assert out.adopted.bid == 6
+
+    def test_reset_on_unassigned_noop(self):
+        out = self.resolver.resolve("j", ItemBelief.unassigned(), reset(1, 3))
+        assert not out.changed

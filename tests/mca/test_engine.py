@@ -1,0 +1,265 @@
+"""Tests for the synchronous and asynchronous protocol engines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mca import (
+    AgentNetwork,
+    AgentPolicy,
+    AsynchronousEngine,
+    GeometricUtility,
+    Outcome,
+    RebidStrategy,
+    SynchronousEngine,
+    consensus_report,
+    detect_cycle,
+    example1_engine,
+    example1_expected_allocation,
+    figure2_engine,
+    max_consensus_target,
+    message_bound,
+)
+
+
+def honest_policies(n_agents, items, seed_base=0, target=2, growth=0.5):
+    """Distinct-valued honest policies (distinct bids avoid tie storms)."""
+    policies = {}
+    for a in range(n_agents):
+        base = {
+            item: 10 + 7 * a + 3 * k + seed_base
+            for k, item in enumerate(items)
+        }
+        policies[a] = AgentPolicy(
+            utility=GeometricUtility(base, growth=growth), target=target
+        )
+    return policies
+
+
+class TestExample1:
+    def test_converges_to_paper_allocation(self):
+        engine = example1_engine()
+        result = engine.run()
+        assert result.converged
+        assert result.allocation == example1_expected_allocation()
+
+    def test_final_bids_are_componentwise_max(self):
+        engine = example1_engine()
+        engine.run()
+        agent = engine.agents[0]
+        assert agent.beliefs["A"].bid == 20
+        assert agent.beliefs["B"].bid == 15
+        assert agent.beliefs["C"].bid == 30
+
+    def test_consensus_predicate_holds(self):
+        engine = example1_engine()
+        engine.run()
+        assert consensus_report(engine.agents).consensus
+
+
+class TestFigure2:
+    def test_submodular_release_converges(self):
+        result = figure2_engine(submodular=True, release_outbid=True).run()
+        assert result.converged
+        assert result.allocation == {"VN1": 0, "VN2": 1}
+
+    def test_non_submodular_release_oscillates(self):
+        result = figure2_engine(submodular=False, release_outbid=True).run(50)
+        assert result.oscillated
+        assert result.cycle_length is not None and result.cycle_length >= 2
+
+    def test_non_submodular_keep_converges(self):
+        result = figure2_engine(submodular=False, release_outbid=False).run(50)
+        assert result.converged
+
+    def test_submodular_keep_converges(self):
+        result = figure2_engine(submodular=True, release_outbid=False).run(50)
+        assert result.converged
+
+    def test_oscillation_visible_in_trace(self):
+        result = figure2_engine(submodular=False, release_outbid=True).run(50)
+        cycle = detect_cycle(result.trace)
+        assert cycle is not None
+
+
+class TestSynchronousEngine:
+    def test_single_agent_wins_everything(self):
+        net = AgentNetwork.complete(1)
+        items = ["A", "B"]
+        policies = honest_policies(1, items)
+        result = SynchronousEngine(net, items, policies).run()
+        assert result.converged
+        assert set(result.allocation.values()) == {0}
+
+    def test_more_items_than_capacity_leaves_unassigned(self):
+        net = AgentNetwork.complete(2)
+        items = ["A", "B", "C", "D", "E", "F"]
+        policies = honest_policies(2, items, target=1)
+        engine = SynchronousEngine(net, items, policies)
+        result = engine.run()
+        assert result.converged
+        assigned = [w for w in result.allocation.values() if w is not None]
+        assert len(assigned) == 2  # one per agent
+
+    def test_missing_policy_rejected(self):
+        net = AgentNetwork.complete(2)
+        with pytest.raises(ValueError):
+            SynchronousEngine(net, ["A"], {0: honest_policies(1, ["A"])[0]})
+
+    def test_conflict_free_allocations(self):
+        net = AgentNetwork.line(3)
+        items = ["A", "B", "C"]
+        engine = SynchronousEngine(net, items, honest_policies(3, items))
+        result = engine.run()
+        assert result.converged
+        report = consensus_report(engine.agents)
+        assert report.conflict_free
+        assert report.views_agree
+
+    def test_message_count_grows_with_rounds(self):
+        net = AgentNetwork.line(4)
+        items = ["A", "B"]
+        engine = SynchronousEngine(net, items, honest_policies(4, items))
+        result = engine.run()
+        assert result.messages_processed > 0
+
+    @pytest.mark.parametrize("topology", ["complete", "line", "ring", "star"])
+    def test_honest_submodular_always_converges(self, topology):
+        factory = getattr(AgentNetwork, topology)
+        net = factory(4)
+        items = ["A", "B", "C"]
+        engine = SynchronousEngine(net, items, honest_policies(4, items))
+        result = engine.run()
+        assert result.converged
+        assert consensus_report(engine.agents).consensus
+
+    def test_convergence_within_message_bound_rounds(self):
+        """Consensus within D*|J| rounds (paper's val bound)."""
+        for n, topo in [(3, AgentNetwork.line), (5, AgentNetwork.ring),
+                        (4, AgentNetwork.star)]:
+            net = topo(n)
+            items = ["A", "B", "C"]
+            engine = SynchronousEngine(net, items, honest_policies(n, items))
+            result = engine.run()
+            assert result.converged
+            bound = message_bound(net, items)
+            # +1 round for the quiescence check that detects convergence.
+            assert result.rounds <= bound + 1
+
+
+class TestAsynchronousEngine:
+    def test_fifo_converges(self):
+        net = AgentNetwork.line(3)
+        items = ["A", "B"]
+        engine = AsynchronousEngine(net, items, honest_policies(3, items))
+        result = engine.run()
+        assert result.converged
+        assert consensus_report(engine.agents).consensus
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_schedules_converge(self, seed):
+        net = AgentNetwork.ring(4)
+        items = ["A", "B", "C"]
+        engine = AsynchronousEngine(
+            net, items, honest_policies(4, items), scheduler="random", seed=seed
+        )
+        result = engine.run()
+        assert result.converged
+        assert consensus_report(engine.agents).consensus
+
+    def test_schedules_agree_on_allocation(self):
+        net = AgentNetwork.line(3)
+        items = ["A", "B"]
+        allocations = []
+        for seed in range(5):
+            engine = AsynchronousEngine(
+                net, items, honest_policies(3, items),
+                scheduler="random", seed=seed,
+            )
+            engine.run()
+            allocations.append(tuple(sorted(engine.agents[0].beliefs[j].winner
+                                            for j in items)))
+        assert len(set(allocations)) == 1
+
+    def test_unknown_scheduler_rejected(self):
+        net = AgentNetwork.complete(2)
+        with pytest.raises(ValueError):
+            AsynchronousEngine(net, ["A"], honest_policies(2, ["A"]),
+                               scheduler="chaotic")
+
+    def test_message_cap(self):
+        net = AgentNetwork.complete(2)
+        items = ["A"]
+        policies = {
+            0: AgentPolicy(utility=GeometricUtility({"A": 10}, 0.5)),
+            1: AgentPolicy(utility=GeometricUtility({"A": 1}, 0.5),
+                           rebid=RebidStrategy.FLIPFLOP),
+        }
+        engine = AsynchronousEngine(net, items, policies)
+        result = engine.run(max_messages=5)
+        assert result.outcome in (Outcome.EXHAUSTED, Outcome.OSCILLATION)
+
+
+class TestAttacks:
+    def test_flipflop_attack_prevents_convergence(self):
+        net = AgentNetwork.complete(2)
+        items = ["A"]
+        policies = {
+            0: AgentPolicy(utility=GeometricUtility({"A": 10}, 0.5)),
+            1: AgentPolicy(utility=GeometricUtility({"A": 1}, 0.5),
+                           rebid=RebidStrategy.FLIPFLOP),
+        }
+        result = SynchronousEngine(net, items, policies).run(100)
+        assert result.oscillated
+
+    def test_escalate_attack_hijacks_allocation(self):
+        net = AgentNetwork.complete(2)
+        items = ["A"]
+        policies = {
+            0: AgentPolicy(utility=GeometricUtility({"A": 10}, 0.5)),
+            1: AgentPolicy(utility=GeometricUtility({"A": 1}, 0.5),
+                           rebid=RebidStrategy.ESCALATE),
+        }
+        result = SynchronousEngine(net, items, policies).run(100)
+        assert result.converged
+        assert result.allocation == {"A": 1}  # attacker stole the item
+
+    def test_all_honest_baseline_converges(self):
+        net = AgentNetwork.complete(2)
+        items = ["A"]
+        policies = {
+            0: AgentPolicy(utility=GeometricUtility({"A": 10}, 0.5)),
+            1: AgentPolicy(utility=GeometricUtility({"A": 1}, 0.5)),
+        }
+        result = SynchronousEngine(net, items, policies).run(100)
+        assert result.converged
+        assert result.allocation == {"A": 0}
+
+
+class TestMaxConsensus:
+    def test_target_is_componentwise_max(self):
+        bids = {0: {"A": 3.0, "B": 9.0}, 1: {"A": 7.0, "B": 2.0}}
+        assert max_consensus_target(bids) == {"A": 7.0, "B": 9.0}
+
+    @given(st.integers(min_value=2, max_value=5), st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_final_bid_is_max_of_initial_bids(self, n_agents, seed):
+        """Definition 1 / Eq. (2): after convergence every agent's bid
+        vector equals the component-wise maximum of the placed bids."""
+        items = ["A", "B"]
+        net = AgentNetwork.line(n_agents)
+        policies = honest_policies(n_agents, items, seed_base=seed, target=1)
+        engine = SynchronousEngine(net, items, policies)
+        result = engine.run()
+        assert result.converged
+        # The winning bid per item must equal the max first-slot utility.
+        for item in items:
+            placed = [
+                policies[a].utility.marginal(item, [])
+                for a in range(n_agents)
+            ]
+            winning = engine.agents[0].beliefs[item].bid
+            # Winners bid their top item first; for the second item the max
+            # *placed* bid wins, which is at most max utility.
+            assert winning <= max(placed)
+            assert winning > 0

@@ -1,0 +1,55 @@
+"""Tests for timestamps and item beliefs."""
+
+from repro.mca.items import ItemBelief, Timestamp, ZERO_TIME
+
+
+class TestTimestamp:
+    def test_ordering_by_counter(self):
+        assert Timestamp(1, 5) < Timestamp(2, 0)
+
+    def test_tie_break_by_agent(self):
+        assert Timestamp(1, 0) < Timestamp(1, 1)
+
+    def test_next_for(self):
+        ts = Timestamp(3, 0).next_for(2)
+        assert ts == Timestamp(4, 2)
+
+    def test_zero_time_is_minimal(self):
+        assert ZERO_TIME < Timestamp(1, 0)
+
+
+class TestItemBelief:
+    def test_unassigned(self):
+        belief = ItemBelief.unassigned()
+        assert belief.winner is None
+        assert belief.bid == 0.0
+        assert not belief.is_claim()
+
+    def test_claim(self):
+        belief = ItemBelief(winner=2, bid=10.0, time=Timestamp(1, 2), origin=2)
+        assert belief.is_claim()
+
+    def test_higher_bid_beats(self):
+        low = ItemBelief(1, 10.0, Timestamp(1, 1), 1)
+        high = ItemBelief(2, 20.0, Timestamp(1, 2), 2)
+        assert high.beats(low)
+        assert not low.beats(high)
+
+    def test_equal_bid_lower_id_wins(self):
+        a = ItemBelief(1, 10.0, Timestamp(1, 1), 1)
+        b = ItemBelief(2, 10.0, Timestamp(1, 2), 2)
+        assert a.beats(b)
+        assert not b.beats(a)
+
+    def test_claim_beats_unassigned(self):
+        claim = ItemBelief(1, 5.0, Timestamp(1, 1), 1)
+        assert claim.beats(ItemBelief.unassigned())
+
+    def test_unassigned_never_beats(self):
+        claim = ItemBelief(1, 5.0, Timestamp(1, 1), 1)
+        assert not ItemBelief.unassigned().beats(claim)
+
+    def test_beats_is_asymmetric_for_distinct_claims(self):
+        a = ItemBelief(1, 10.0, Timestamp(1, 1), 1)
+        b = ItemBelief(2, 12.0, Timestamp(1, 2), 2)
+        assert a.beats(b) != b.beats(a)

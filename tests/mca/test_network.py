@@ -1,0 +1,76 @@
+"""Tests for agent network topologies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mca.network import AgentNetwork
+
+
+class TestConstruction:
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            AgentNetwork([(0, 0)])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            AgentNetwork([(0, 1), (2, 3)])
+
+    def test_single_agent(self):
+        net = AgentNetwork([], nodes=[0])
+        assert len(net) == 1
+        assert net.diameter() == 0
+
+    def test_neighbors_sorted(self):
+        net = AgentNetwork([(0, 2), (0, 1)])
+        assert net.neighbors(0) == [1, 2]
+
+    def test_contains(self):
+        net = AgentNetwork([(0, 1)])
+        assert 0 in net
+        assert 5 not in net
+
+
+class TestTopologies:
+    def test_complete_diameter(self):
+        assert AgentNetwork.complete(5).diameter() == 1
+
+    def test_complete_edge_count(self):
+        assert len(list(AgentNetwork.complete(4).edges())) == 6
+
+    def test_line_diameter(self):
+        assert AgentNetwork.line(6).diameter() == 5
+
+    def test_ring_diameter(self):
+        assert AgentNetwork.ring(6).diameter() == 3
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            AgentNetwork.ring(2)
+
+    def test_star_diameter(self):
+        assert AgentNetwork.star(5).diameter() == 2
+
+    def test_star_hub_degree(self):
+        net = AgentNetwork.star(5)
+        assert len(net.neighbors(0)) == 4
+
+    def test_single_node_factories(self):
+        assert len(AgentNetwork.complete(1)) == 1
+        assert len(AgentNetwork.line(1)) == 1
+
+    def test_zero_agents_rejected(self):
+        with pytest.raises(ValueError):
+            AgentNetwork.complete(0)
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_random_connected_is_connected(self, n, seed):
+        net = AgentNetwork.random_connected(n, seed=seed)
+        assert len(net) == n
+        assert net.diameter() >= 1  # connectivity implied by construction
+
+    def test_random_deterministic_per_seed(self):
+        a = AgentNetwork.random_connected(8, seed=42)
+        b = AgentNetwork.random_connected(8, seed=42)
+        assert list(a.edges()) == list(b.edges())

@@ -1,0 +1,110 @@
+"""Tests for utility functions and policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mca.policies import (
+    AgentPolicy,
+    GeometricUtility,
+    RebidStrategy,
+    ResidualCapacityUtility,
+    TableUtility,
+    non_submodular_policy,
+    submodular_policy,
+)
+
+ITEMS = ["A", "B", "C"]
+
+
+class TestGeometricUtility:
+    def test_base_value_on_empty_bundle(self):
+        u = GeometricUtility({"A": 10}, growth=0.5)
+        assert u.marginal("A", []) == 10
+
+    def test_diminishing(self):
+        u = GeometricUtility({"A": 10}, growth=0.5)
+        assert u.marginal("A", ["B"]) == 5
+        assert u.marginal("A", ["B", "C"]) == 2.5
+
+    def test_growing(self):
+        u = GeometricUtility({"A": 10}, growth=2.0)
+        assert u.marginal("A", ["B"]) == 20
+
+    def test_unknown_item_zero(self):
+        u = GeometricUtility({"A": 10}, growth=0.5)
+        assert u.marginal("Z", []) == 0
+
+    def test_invalid_growth(self):
+        with pytest.raises(ValueError):
+            GeometricUtility({}, growth=0)
+
+    def test_submodularity_detection(self):
+        shrinking = GeometricUtility({i: 10 for i in ITEMS}, growth=0.5)
+        growing = GeometricUtility({i: 10 for i in ITEMS}, growth=2.0)
+        flat = GeometricUtility({i: 10 for i in ITEMS}, growth=1.0)
+        assert shrinking.is_submodular_on(ITEMS, 3)
+        assert not growing.is_submodular_on(ITEMS, 3)
+        assert flat.is_submodular_on(ITEMS, 3)
+
+    @given(st.floats(min_value=0.1, max_value=1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_growth_le_one_always_submodular(self, growth):
+        u = GeometricUtility({i: 7 for i in ITEMS}, growth=growth)
+        assert u.is_submodular_on(ITEMS, 3)
+
+
+class TestTableUtility:
+    def test_lookup(self):
+        u = TableUtility({("A", 0): 10, ("A", 1): 30})
+        assert u.marginal("A", []) == 10
+        assert u.marginal("A", ["B"]) == 30
+
+    def test_missing_defaults_zero(self):
+        u = TableUtility({})
+        assert u.marginal("A", []) == 0
+
+
+class TestResidualCapacityUtility:
+    def test_empty_bundle_full_capacity(self):
+        u = ResidualCapacityUtility(100, {"A": 10})
+        assert u.marginal("A", []) == 100
+
+    def test_residual_shrinks(self):
+        u = ResidualCapacityUtility(100, {"A": 10, "B": 30})
+        assert u.marginal("A", ["B"]) == 70
+
+    def test_zero_when_does_not_fit(self):
+        u = ResidualCapacityUtility(25, {"A": 10, "B": 20})
+        assert u.marginal("A", ["B"]) == 0
+
+    def test_zero_demand_items_not_bid(self):
+        u = ResidualCapacityUtility(100, {})
+        assert u.marginal("A", []) == 0
+
+    def test_is_submodular(self):
+        u = ResidualCapacityUtility(100, {"A": 10, "B": 20, "C": 30})
+        assert u.is_submodular_on(ITEMS, 3)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResidualCapacityUtility(-1, {})
+
+
+class TestAgentPolicy:
+    def test_defaults(self):
+        p = AgentPolicy(utility=TableUtility({}))
+        assert p.target == 1
+        assert p.release_outbid is False
+        assert p.rebid is RebidStrategy.HONEST
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            AgentPolicy(utility=TableUtility({}), target=-1)
+
+    def test_convenience_constructors(self):
+        sub = submodular_policy({"A": 10})
+        non = non_submodular_policy({"A": 10})
+        assert sub.utility.is_submodular_on(["A", "B"], 2)
+        assert not non.utility.is_submodular_on(["A", "B"], 2)
+        assert non.release_outbid

@@ -1,0 +1,126 @@
+"""Property-based protocol invariants under randomized scenarios.
+
+These are the paper's implicit correctness conditions, checked over random
+topologies, utilities and message schedules:
+
+* honest sub-modular runs always converge, conflict-free, within the bound;
+* final winning bids equal the component-wise max of placed bids (Def. 1);
+* out-of-order message delivery never breaks agreement (the time-stamp
+  mechanism of Section II-A);
+* bundles never exceed targets; winners are consistent with allocations.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mca import (
+    AgentNetwork,
+    AgentPolicy,
+    AsynchronousEngine,
+    GeometricUtility,
+    SynchronousEngine,
+    consensus_report,
+    message_bound,
+)
+
+
+@st.composite
+def honest_scenarios(draw):
+    n_agents = draw(st.integers(min_value=2, max_value=5))
+    n_items = draw(st.integers(min_value=1, max_value=4))
+    topology = draw(st.sampled_from(["complete", "line", "star", "random"]))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    if topology == "random":
+        network = AgentNetwork.random_connected(n_agents, seed=seed)
+    elif topology == "star":
+        network = AgentNetwork.star(n_agents)
+    elif topology == "line":
+        network = AgentNetwork.line(n_agents)
+    else:
+        network = AgentNetwork.complete(n_agents)
+    items = [f"i{k}" for k in range(n_items)]
+    rng = random.Random(seed)
+    target = draw(st.integers(min_value=1, max_value=3))
+    policies = {}
+    used_values: set[int] = set()
+    for a in network.agents():
+        base = {}
+        for item in items:
+            # Distinct base utilities avoid tie-storms in expectations.
+            value = rng.randint(1, 1000)
+            while value in used_values:
+                value = rng.randint(1, 1000)
+            used_values.add(value)
+            base[item] = value
+        policies[a] = AgentPolicy(
+            utility=GeometricUtility(base, growth=0.5), target=target
+        )
+    return network, items, policies
+
+
+class TestHonestInvariants:
+    @given(honest_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_convergence_conflict_freedom_and_bound(self, scenario):
+        network, items, policies = scenario
+        engine = SynchronousEngine(network, items, policies)
+        result = engine.run(max_rounds=message_bound(network, items) + 5)
+        assert result.converged
+        report = consensus_report(engine.agents)
+        assert report.consensus
+        assert result.rounds <= message_bound(network, items) + 1
+
+    @given(honest_scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_bundles_respect_targets(self, scenario):
+        network, items, policies = scenario
+        engine = SynchronousEngine(network, items, policies)
+        engine.run()
+        for agent in engine.agents.values():
+            assert len(agent.bundle) <= agent.policy.target
+
+    @given(honest_scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_winners_consistent_with_bundles(self, scenario):
+        network, items, policies = scenario
+        engine = SynchronousEngine(network, items, policies)
+        result = engine.run()
+        assert result.converged
+        for item, winner in result.allocation.items():
+            if winner is None:
+                continue
+            assert item in engine.agents[winner].bundle
+
+    @given(honest_scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_submodular_bids_never_exceed_first_slot_utility(self, scenario):
+        """With growth < 1 every placed bid is at most the base utility."""
+        network, items, policies = scenario
+        engine = SynchronousEngine(network, items, policies)
+        engine.run()
+        for item in items:
+            max_base = max(
+                policies[a].utility.marginal(item, []) for a in network.agents()
+            )
+            final = engine.agents[network.agents()[0]].beliefs[item].bid
+            assert final <= max_base
+
+
+class TestAsynchronousInvariants:
+    @given(honest_scenarios(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_random_schedules_converge_consistently(self, scenario, seed):
+        """Out-of-order delivery (random scheduler) must still converge to
+        the same allocation as FIFO: the timestamp mechanism at work."""
+        network, items, policies = scenario
+        fifo = AsynchronousEngine(network, items, policies, scheduler="fifo")
+        fifo_result = fifo.run(max_messages=20_000)
+        shuffled = AsynchronousEngine(network, items, policies,
+                                      scheduler="random", seed=seed)
+        shuffled_result = shuffled.run(max_messages=20_000)
+        assert fifo_result.converged
+        assert shuffled_result.converged
+        assert fifo_result.allocation == shuffled_result.allocation
+        assert consensus_report(shuffled.agents).consensus

@@ -1,0 +1,102 @@
+"""Tests for the dynamic MCA model: Results 1 and 2, push-button."""
+
+import pytest
+
+from repro.model import (
+    ALL_POLICY_COMBINATIONS,
+    PolicyCombination,
+    build_dynamic,
+    check_combination,
+    model_for,
+    policy_matrix,
+)
+
+
+class TestHonestDynamics:
+    def test_model_is_consistent(self):
+        model = build_dynamic(num_pnodes=2, num_vnodes=2, max_value=4)
+        assert model.run_consistency().satisfiable
+
+    def test_honest_consensus_holds(self):
+        model = build_dynamic(num_pnodes=2, num_vnodes=2, max_value=4)
+        assert not model.check_consensus().satisfiable
+
+    def test_honest_consensus_holds_one_item(self):
+        model = build_dynamic(num_pnodes=2, num_vnodes=1, max_value=3)
+        assert not model.check_consensus().satisfiable
+
+    def test_honest_line_of_three(self):
+        model = build_dynamic(num_pnodes=3, num_vnodes=1, max_value=3,
+                              edges=[(0, 1), (1, 2)])
+        assert not model.check_consensus().satisfiable
+
+    def test_default_state_count_is_paper_bound(self):
+        model = build_dynamic(num_pnodes=2, num_vnodes=2, max_value=3)
+        # 2-clique: D = 1; val = D * |vnode| = 2; states = val + 1.
+        assert model.num_states == 3
+
+    def test_disconnected_graph_rejected(self):
+        with pytest.raises(ValueError):
+            build_dynamic(num_pnodes=3, num_vnodes=1, edges=[(0, 1)])
+
+
+class TestResult2RebidAttack:
+    def test_attacker_breaks_consensus(self):
+        model = build_dynamic(num_pnodes=2, num_vnodes=2, max_value=4,
+                              rebid_attackers={1})
+        assert model.check_consensus().satisfiable
+
+    def test_counterexample_shows_persistent_disagreement(self):
+        model = build_dynamic(num_pnodes=2, num_vnodes=1, max_value=3,
+                              rebid_attackers={1})
+        solution = model.check_consensus()
+        assert solution.satisfiable
+        assert solution.instance is not None
+
+
+class TestResult1ReleaseNonSubmodular:
+    def test_release_nonsub_breaks_consensus(self):
+        model = build_dynamic(num_pnodes=2, num_vnodes=2, max_value=6,
+                              release_nonsub={0, 1})
+        assert model.check_consensus().satisfiable
+
+    def test_single_release_agent_suffices(self):
+        model = build_dynamic(num_pnodes=2, num_vnodes=2, max_value=6,
+                              release_nonsub={0})
+        assert model.check_consensus().satisfiable
+
+
+class TestPolicyMatrix:
+    @pytest.fixture(scope="class")
+    def verdicts(self):
+        return policy_matrix(num_pnodes=2, num_vnodes=2, max_value=6)
+
+    def test_exactly_one_combination_fails(self, verdicts):
+        """Result 1: MCA always reaches consensus *except* when the utility
+        is non-sub-modular and outbid items are released."""
+        failing = [v.combination.label for v in verdicts if not v.converges]
+        assert failing == ["nonsub+release"]
+
+    def test_all_other_combinations_converge(self, verdicts):
+        for verdict in verdicts:
+            expected = not (
+                not verdict.combination.submodular
+                and verdict.combination.release_outbid
+            )
+            assert verdict.converges == expected, verdict.combination.label
+
+    def test_matrix_covers_grid(self, verdicts):
+        assert len(verdicts) == len(ALL_POLICY_COMBINATIONS) == 4
+
+    def test_rebid_attack_fails_even_submodular(self):
+        combo = PolicyCombination(submodular=True, release_outbid=False,
+                                  rebid_allowed=True)
+        verdict = check_combination(combo, num_pnodes=2, num_vnodes=1,
+                                    max_value=3)
+        assert verdict.counterexample_found
+
+    def test_model_for_gates_release(self):
+        honest = model_for(PolicyCombination(True, False))
+        deviant = model_for(PolicyCombination(False, True))
+        assert not honest.check_consensus().satisfiable
+        assert deviant.check_consensus().satisfiable

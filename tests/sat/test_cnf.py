@@ -1,0 +1,147 @@
+"""Unit tests for the CNF container and Tseitin gate encodings."""
+
+import itertools
+
+import pytest
+
+from repro.sat.cnf import CNF
+from repro.sat.types import Model
+
+
+def all_models(cnf: CNF):
+    """Enumerate all full assignments satisfying the CNF (test helper)."""
+    clauses = list(cnf.clauses())
+    for bits in itertools.product([False, True], repeat=cnf.num_vars):
+        model = Model({i + 1: bit for i, bit in enumerate(bits)})
+        if model.satisfies(clauses):
+            yield model
+
+
+class TestCNFBasics:
+    def test_new_var_sequence(self):
+        cnf = CNF()
+        assert cnf.new_var() == 1
+        assert cnf.new_var() == 2
+
+    def test_new_vars_bulk(self):
+        cnf = CNF()
+        assert cnf.new_vars(3) == [1, 2, 3]
+
+    def test_add_clause_grows_vars(self):
+        cnf = CNF()
+        cnf.add_clause([5, -7])
+        assert cnf.num_vars == 7
+
+    def test_zero_literal_rejected(self):
+        cnf = CNF()
+        with pytest.raises(ValueError):
+            cnf.add_clause([1, 0])
+
+    def test_negative_initial_vars_rejected(self):
+        with pytest.raises(ValueError):
+            CNF(-1)
+
+    def test_len_and_iteration(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1])
+        assert len(cnf) == 2
+        assert list(cnf) == [(1, 2), (-1,)]
+
+    def test_extend(self):
+        cnf = CNF()
+        cnf.extend([[1], [2, 3]])
+        assert cnf.num_clauses == 2
+
+    def test_copy_is_independent(self):
+        cnf = CNF()
+        cnf.add_clause([1])
+        dup = cnf.copy()
+        dup.add_clause([2])
+        assert cnf.num_clauses == 1
+        assert dup.num_clauses == 2
+
+
+class TestGates:
+    def _check_gate(self, build, semantics, arity):
+        """Verify a gate encoding agrees with ``semantics`` on all inputs."""
+        cnf = CNF()
+        out = cnf.new_var()
+        inputs = cnf.new_vars(arity)
+        build(cnf, out, inputs)
+        models = {tuple(m.values[v] for v in [out] + inputs) for m in all_models(cnf)}
+        expected = set()
+        for bits in itertools.product([False, True], repeat=arity):
+            expected.add((semantics(bits),) + bits)
+        assert models == expected
+
+    def test_and_gate(self):
+        self._check_gate(
+            lambda c, o, ins: c.add_and_gate(o, ins), lambda bits: all(bits), 3
+        )
+
+    def test_or_gate(self):
+        self._check_gate(
+            lambda c, o, ins: c.add_or_gate(o, ins), lambda bits: any(bits), 3
+        )
+
+    def test_xor_gate(self):
+        self._check_gate(
+            lambda c, o, ins: c.add_xor_gate(o, ins[0], ins[1]),
+            lambda bits: bits[0] != bits[1],
+            2,
+        )
+
+    def test_ite_gate(self):
+        self._check_gate(
+            lambda c, o, ins: c.add_ite_gate(o, ins[0], ins[1], ins[2]),
+            lambda bits: bits[1] if bits[0] else bits[2],
+            3,
+        )
+
+    def test_empty_and_is_true(self):
+        cnf = CNF()
+        out = cnf.new_var()
+        cnf.add_and_gate(out, [])
+        assert all(m.values[out] for m in all_models(cnf))
+
+    def test_empty_or_is_false(self):
+        cnf = CNF()
+        out = cnf.new_var()
+        cnf.add_or_gate(out, [])
+        assert all(not m.values[out] for m in all_models(cnf))
+
+    def test_equiv(self):
+        cnf = CNF()
+        a, b = cnf.new_vars(2)
+        cnf.add_equiv(a, b)
+        assert all(m.values[a] == m.values[b] for m in all_models(cnf))
+
+    def test_implies(self):
+        cnf = CNF()
+        a, b = cnf.new_vars(2)
+        cnf.add_implies(a, b)
+        assert all((not m.values[a]) or m.values[b] for m in all_models(cnf))
+
+
+class TestCardinality:
+    def test_at_most_one(self):
+        cnf = CNF()
+        lits = cnf.new_vars(4)
+        cnf.add_at_most_one(lits)
+        for model in all_models(cnf):
+            assert sum(model.values[v] for v in lits) <= 1
+
+    def test_exactly_one_count(self):
+        cnf = CNF()
+        lits = cnf.new_vars(4)
+        cnf.add_exactly_one(lits)
+        models = list(all_models(cnf))
+        assert len(models) == 4
+        for model in models:
+            assert sum(model.values[v] for v in lits) == 1
+
+    def test_exactly_one_empty_rejected(self):
+        cnf = CNF()
+        with pytest.raises(ValueError):
+            cnf.add_exactly_one([])

@@ -1,0 +1,88 @@
+"""Tests for DIMACS serialization."""
+
+import pytest
+
+from repro.sat.cnf import CNF
+from repro.sat.dimacs import DimacsError, dumps, load_file, loads, dump_file
+from repro.sat.solver import solve_cnf
+from repro.sat.types import Status
+
+
+class TestRoundTrip:
+    def _sample(self):
+        cnf = CNF()
+        cnf.new_vars(4)
+        cnf.extend([[1, -2], [3], [-1, 2, -4]])
+        return cnf
+
+    def test_dump_format(self):
+        text = dumps(self._sample())
+        lines = text.strip().splitlines()
+        assert lines[0] == "p cnf 4 3"
+        assert lines[1] == "1 -2 0"
+        assert lines[2] == "3 0"
+        assert lines[3] == "-1 2 -4 0"
+
+    def test_comments_emitted(self):
+        text = dumps(self._sample(), comments=["hello", "world"])
+        assert text.startswith("c hello\nc world\n")
+
+    def test_roundtrip_preserves_clauses(self):
+        original = self._sample()
+        recovered = loads(dumps(original))
+        assert list(recovered.clauses()) == list(original.clauses())
+        assert recovered.num_vars == original.num_vars
+
+    def test_file_roundtrip(self, tmp_path):
+        original = self._sample()
+        path = tmp_path / "instance.cnf"
+        dump_file(original, path)
+        recovered = load_file(path)
+        assert list(recovered.clauses()) == list(original.clauses())
+
+    def test_roundtrip_solvable(self):
+        cnf = loads(dumps(self._sample()))
+        assert solve_cnf(cnf)[0] is Status.SAT
+
+
+class TestParsing:
+    def test_comments_and_blank_lines_skipped(self):
+        cnf = loads("c a comment\n\np cnf 2 1\nc another\n1 -2 0\n")
+        assert list(cnf.clauses()) == [(1, -2)]
+
+    def test_multiple_clauses_per_line(self):
+        cnf = loads("p cnf 2 2\n1 0 -2 0\n")
+        assert list(cnf.clauses()) == [(1,), (-2,)]
+
+    def test_clause_spanning_lines(self):
+        cnf = loads("p cnf 3 1\n1 2\n3 0\n")
+        assert list(cnf.clauses()) == [(1, 2, 3)]
+
+    def test_missing_final_zero_tolerated(self):
+        cnf = loads("p cnf 2 1\n1 -2\n")
+        assert list(cnf.clauses()) == [(1, -2)]
+
+    def test_header_var_count_respected(self):
+        cnf = loads("p cnf 5 1\n1 0\n")
+        assert cnf.num_vars == 5
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(DimacsError):
+            loads("p dnf 2 1\n1 0\n")
+
+    def test_non_integer_literal_rejected(self):
+        with pytest.raises(DimacsError):
+            loads("p cnf 2 1\n1 x 0\n")
+
+    def test_var_overflow_rejected(self):
+        with pytest.raises(DimacsError):
+            loads("p cnf 1 1\n2 0\n")
+
+    def test_clause_count_mismatch_rejected(self):
+        with pytest.raises(DimacsError):
+            loads("p cnf 2 5\n1 0\n")
+
+    def test_no_header_accepted(self):
+        cnf = loads("1 2 0\n-1 0\n")
+        assert cnf.num_clauses == 2
+        assert cnf.num_vars == 2

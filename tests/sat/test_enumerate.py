@@ -1,0 +1,90 @@
+"""Tests for model enumeration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.cnf import CNF
+from repro.sat.enumerate import count_models, iter_models
+from repro.sat.simplify import brute_force_count
+
+
+class TestEnumeration:
+    def test_unsat_yields_nothing(self):
+        cnf = CNF()
+        v = cnf.new_var()
+        cnf.add_clause([v])
+        cnf.add_clause([-v])
+        assert list(iter_models(cnf)) == []
+
+    def test_free_variables_enumerate_fully(self):
+        cnf = CNF(3)  # no clauses: 8 assignments
+        assert count_models(cnf) == 8
+
+    def test_exactly_one_has_n_models(self):
+        cnf = CNF()
+        lits = cnf.new_vars(5)
+        cnf.add_exactly_one(lits)
+        assert count_models(cnf) == 5
+
+    def test_models_are_distinct(self):
+        cnf = CNF(4)
+        cnf.add_clause([1, 2])
+        seen = set()
+        for model in iter_models(cnf):
+            key = tuple(model.as_literals())
+            assert key not in seen
+            seen.add(key)
+
+    def test_limit_respected(self):
+        cnf = CNF(4)
+        assert count_models(cnf, limit=3) == 3
+
+    def test_limit_zero(self):
+        cnf = CNF(2)
+        assert count_models(cnf, limit=0) == 0
+
+    def test_negative_limit_rejected(self):
+        cnf = CNF(2)
+        with pytest.raises(ValueError):
+            list(iter_models(cnf, limit=-1))
+
+    def test_projection_collapses_aux_vars(self):
+        # y is free; projecting on {x} should give exactly 2 models.
+        cnf = CNF()
+        x = cnf.new_var()
+        cnf.new_var()
+        assert count_models(cnf, projection=[x]) == 2
+
+    def test_empty_projection_single_model(self):
+        cnf = CNF(3)
+        cnf.add_clause([1, 2])
+        assert count_models(cnf, projection=[]) == 1
+
+    def test_every_model_satisfies(self):
+        cnf = CNF(4)
+        clauses = [[1, -2], [2, 3], [-3, 4]]
+        cnf.extend(clauses)
+        models = list(iter_models(cnf))
+        assert models
+        for model in models:
+            assert model.satisfies(clauses)
+
+    @given(st.integers(min_value=1, max_value=6), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_count_matches_brute_force(self, num_vars, data):
+        num_clauses = data.draw(st.integers(min_value=0, max_value=10))
+        cnf = CNF(num_vars)
+        for _ in range(num_clauses):
+            width = data.draw(st.integers(min_value=1, max_value=min(3, num_vars)))
+            variables = data.draw(
+                st.lists(
+                    st.integers(min_value=1, max_value=num_vars),
+                    min_size=width,
+                    max_size=width,
+                    unique=True,
+                )
+            )
+            signs = data.draw(st.lists(st.booleans(), min_size=width, max_size=width))
+            cnf.add_clause([v if s else -v for v, s in zip(variables, signs)])
+        assert count_models(cnf) == brute_force_count(cnf)

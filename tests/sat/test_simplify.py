@@ -1,0 +1,136 @@
+"""Tests for CNF preprocessing."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.cnf import CNF
+from repro.sat.simplify import (
+    brute_force_satisfiable,
+    eliminate_pure_literals,
+    propagate_units,
+    simplify,
+)
+from repro.sat.solver import solve_cnf
+from repro.sat.types import Status
+
+import pytest
+
+
+class TestUnitPropagation:
+    def test_single_unit_fixed(self):
+        cnf = CNF()
+        v = cnf.new_var()
+        cnf.add_clause([v])
+        result = propagate_units(cnf)
+        assert result.fixed == {v: True}
+        assert result.cnf.num_clauses == 0
+        assert not result.unsat
+
+    def test_chain_propagates(self):
+        cnf = CNF(3)
+        cnf.extend([[1], [-1, 2], [-2, 3]])
+        result = propagate_units(cnf)
+        assert result.fixed == {1: True, 2: True, 3: True}
+
+    def test_conflict_detected(self):
+        cnf = CNF(1)
+        cnf.extend([[1], [-1]])
+        assert propagate_units(cnf).unsat
+
+    def test_satisfied_clauses_removed(self):
+        cnf = CNF(3)
+        cnf.extend([[1], [1, 2, 3]])
+        result = propagate_units(cnf)
+        assert result.cnf.num_clauses == 0
+
+    def test_falsified_literals_shrink_clause(self):
+        cnf = CNF(3)
+        cnf.extend([[1], [-1, 2, 3]])
+        result = propagate_units(cnf)
+        # [-1,2,3] shrinks to [2,3]: not unit, stays.
+        assert list(result.cnf.clauses()) == [(2, 3)]
+
+
+class TestPureLiterals:
+    def test_pure_positive(self):
+        cnf = CNF(2)
+        cnf.extend([[1, 2], [1, -2]])
+        result = eliminate_pure_literals(cnf)
+        assert result.fixed[1] is True
+        assert result.cnf.num_clauses == 0
+
+    def test_mixed_polarity_not_pure(self):
+        cnf = CNF(1)
+        cnf.extend([[1], [-1]])
+        result = eliminate_pure_literals(cnf)
+        assert 1 not in result.fixed
+
+
+class TestSimplifyFixpoint:
+    def test_fully_solved_instance(self):
+        cnf = CNF(3)
+        cnf.extend([[1], [-1, 2], [3, -2]])
+        result = simplify(cnf)
+        assert not result.unsat
+        assert result.cnf.num_clauses == 0
+        assert result.fixed[1] and result.fixed[2] and result.fixed[3]
+
+    def test_unsat_detected(self):
+        cnf = CNF(2)
+        cnf.extend([[1], [-1, 2], [-2]])
+        assert simplify(cnf).unsat
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_simplification_preserves_satisfiability(self, data):
+        num_vars = data.draw(st.integers(min_value=1, max_value=7))
+        num_clauses = data.draw(st.integers(min_value=0, max_value=15))
+        cnf = CNF(num_vars)
+        for _ in range(num_clauses):
+            width = data.draw(st.integers(min_value=1, max_value=min(3, num_vars)))
+            variables = data.draw(
+                st.lists(
+                    st.integers(min_value=1, max_value=num_vars),
+                    min_size=width,
+                    max_size=width,
+                    unique=True,
+                )
+            )
+            signs = data.draw(st.lists(st.booleans(), min_size=width, max_size=width))
+            cnf.add_clause([v if s else -v for v, s in zip(variables, signs)])
+        before = brute_force_satisfiable(cnf)
+        result = simplify(cnf)
+        if result.unsat:
+            after = False
+        else:
+            after = solve_cnf(result.cnf)[0] is Status.SAT
+        assert before == after
+
+    def test_fixed_variables_consistent_with_solver_model(self):
+        cnf = CNF(4)
+        cnf.extend([[1], [-1, 2], [3, 4], [-4]])
+        result = simplify(cnf)
+        status, model = solve_cnf(cnf)
+        assert status is Status.SAT
+        for var, value in result.fixed.items():
+            # Unit-derived facts must hold in any model; pure-literal fixes
+            # are only guaranteed to be *extendable*, so restrict the check
+            # to unit consequences here (vars 1, 2, 4).
+            if var in (1, 2, 4):
+                assert model[var] == value
+
+
+class TestBruteForce:
+    def test_rejects_large_instances(self):
+        with pytest.raises(ValueError):
+            brute_force_satisfiable(CNF(30))
+
+    def test_simple_sat(self):
+        cnf = CNF(2)
+        cnf.extend([[1, 2]])
+        assert brute_force_satisfiable(cnf)
+
+    def test_simple_unsat(self):
+        cnf = CNF(1)
+        cnf.extend([[1], [-1]])
+        assert not brute_force_satisfiable(cnf)

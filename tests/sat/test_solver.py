@@ -1,0 +1,267 @@
+"""Unit and property-based tests for the CDCL solver."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.cnf import CNF
+from repro.sat.simplify import brute_force_satisfiable
+from repro.sat.solver import Solver, luby, solve_cnf
+from repro.sat.types import Status
+
+
+class TestLuby:
+    def test_first_terms(self):
+        expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+        assert [luby(i) for i in range(1, 16)] == expected
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            luby(0)
+
+
+class TestBasicSolving:
+    def test_empty_formula_is_sat(self):
+        assert solve_cnf(CNF())[0] is Status.SAT
+
+    def test_single_unit(self):
+        cnf = CNF()
+        v = cnf.new_var()
+        cnf.add_clause([v])
+        status, model = solve_cnf(cnf)
+        assert status is Status.SAT
+        assert model[v]
+
+    def test_contradicting_units(self):
+        cnf = CNF()
+        v = cnf.new_var()
+        cnf.add_clause([v])
+        cnf.add_clause([-v])
+        assert solve_cnf(cnf)[0] is Status.UNSAT
+
+    def test_empty_clause_unsat(self):
+        cnf = CNF()
+        cnf.new_var()
+        cnf.add_clause([1])
+        solver = Solver()
+        assert solver.add_cnf(cnf)
+        assert not solver.add_clause([-1])
+        assert solver.solve() is Status.UNSAT
+
+    def test_implication_chain(self):
+        cnf = CNF()
+        vs = cnf.new_vars(10)
+        cnf.add_clause([vs[0]])
+        for a, b in zip(vs, vs[1:]):
+            cnf.add_clause([-a, b])
+        status, model = solve_cnf(cnf)
+        assert status is Status.SAT
+        assert all(model[v] for v in vs)
+
+    def test_model_satisfies_all_clauses(self):
+        cnf = CNF()
+        cnf.new_vars(4)
+        clauses = [[1, 2], [-1, 3], [-2, -3], [2, 4], [-4, 1]]
+        cnf.extend(clauses)
+        status, model = solve_cnf(cnf)
+        assert status is Status.SAT
+        assert model.satisfies(clauses)
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # Three pigeons, two holes: var p*2+h means pigeon p in hole h.
+        cnf = CNF()
+        var = {}
+        for p in range(3):
+            for h in range(2):
+                var[p, h] = cnf.new_var()
+        for p in range(3):
+            cnf.add_clause([var[p, 0], var[p, 1]])
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    cnf.add_clause([-var[p1, h], -var[p2, h]])
+        assert solve_cnf(cnf)[0] is Status.UNSAT
+
+    def test_pigeonhole_4_into_3_unsat(self):
+        cnf = CNF()
+        var = {}
+        for p in range(4):
+            for h in range(3):
+                var[p, h] = cnf.new_var()
+        for p in range(4):
+            cnf.add_clause([var[p, h] for h in range(3)])
+        for h in range(3):
+            for p1 in range(4):
+                for p2 in range(p1 + 1, 4):
+                    cnf.add_clause([-var[p1, h], -var[p2, h]])
+        assert solve_cnf(cnf)[0] is Status.UNSAT
+
+    def test_graph_coloring_triangle_2_colors_unsat(self):
+        # A triangle is not 2-colorable: var (node, color).
+        cnf = CNF()
+        var = {}
+        for n in range(3):
+            for c in range(2):
+                var[n, c] = cnf.new_var()
+        for n in range(3):
+            cnf.add_exactly_one([var[n, c] for c in range(2)])
+        for a, b in [(0, 1), (1, 2), (0, 2)]:
+            for c in range(2):
+                cnf.add_clause([-var[a, c], -var[b, c]])
+        assert solve_cnf(cnf)[0] is Status.UNSAT
+
+    def test_graph_coloring_triangle_3_colors_sat(self):
+        cnf = CNF()
+        var = {}
+        for n in range(3):
+            for c in range(3):
+                var[n, c] = cnf.new_var()
+        for n in range(3):
+            cnf.add_exactly_one([var[n, c] for c in range(3)])
+        for a, b in [(0, 1), (1, 2), (0, 2)]:
+            for c in range(3):
+                cnf.add_clause([-var[a, c], -var[b, c]])
+        status, model = solve_cnf(cnf)
+        assert status is Status.SAT
+        colors = {n: next(c for c in range(3) if model[var[n, c]]) for n in range(3)}
+        assert len(set(colors.values())) == 3
+
+    def test_tautological_clause_ignored(self):
+        solver = Solver()
+        solver.new_var()
+        assert solver.add_clause([1, -1])
+        assert solver.solve() is Status.SAT
+
+
+class TestAssumptions:
+    def _xor_instance(self):
+        # x XOR y: models are (T,F) and (F,T).
+        cnf = CNF()
+        x, y = cnf.new_vars(2)
+        cnf.add_clause([x, y])
+        cnf.add_clause([-x, -y])
+        return cnf, x, y
+
+    def test_assumption_forces_branch(self):
+        cnf, x, y = self._xor_instance()
+        solver = Solver()
+        solver.add_cnf(cnf)
+        assert solver.solve([x]) is Status.SAT
+        assert solver.model()[x] and not solver.model()[y]
+        assert solver.solve([y]) is Status.SAT
+        assert solver.model()[y] and not solver.model()[x]
+
+    def test_conflicting_assumptions(self):
+        cnf, x, y = self._xor_instance()
+        solver = Solver()
+        solver.add_cnf(cnf)
+        assert solver.solve([x, y]) is Status.UNSAT
+        # Solver remains usable afterwards.
+        assert solver.solve() is Status.SAT
+
+    def test_assumption_of_fixed_variable(self):
+        cnf = CNF()
+        v = cnf.new_var()
+        cnf.add_clause([v])
+        solver = Solver()
+        solver.add_cnf(cnf)
+        assert solver.solve([-v]) is Status.UNSAT
+        assert solver.solve([v]) is Status.SAT
+
+
+class TestIncremental:
+    def test_adding_clauses_between_solves(self):
+        solver = Solver()
+        a = solver.new_var()
+        b = solver.new_var()
+        solver.add_clause([a, b])
+        assert solver.solve() is Status.SAT
+        solver.add_clause([-a])
+        assert solver.solve() is Status.SAT
+        assert solver.model()[b]
+        solver.add_clause([-b])
+        assert solver.solve() is Status.UNSAT
+
+    def test_stats_populated(self):
+        cnf = CNF()
+        cnf.new_vars(6)
+        random_gen = random.Random(7)
+        for _ in range(30):
+            clause = random_gen.sample(range(1, 7), 3)
+            cnf.add_clause([v if random_gen.random() < 0.5 else -v for v in clause])
+        solver = Solver()
+        solver.add_cnf(cnf)
+        solver.solve()
+        assert solver.stats["propagations"] > 0
+
+
+def random_cnf(draw_vars, draw_clauses, rng):
+    cnf = CNF()
+    cnf.new_vars(draw_vars)
+    for _ in range(draw_clauses):
+        width = rng.randint(1, min(3, draw_vars))
+        chosen = rng.sample(range(1, draw_vars + 1), width)
+        cnf.add_clause([v if rng.random() < 0.5 else -v for v in chosen])
+    return cnf
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_3cnf_agrees_with_brute_force(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(3, 10)
+        num_clauses = rng.randint(1, 4 * num_vars)
+        cnf = random_cnf(num_vars, num_clauses, rng)
+        status, model = solve_cnf(cnf)
+        expected = brute_force_satisfiable(cnf)
+        assert (status is Status.SAT) == expected
+        if model is not None:
+            assert model.satisfies(cnf.clauses())
+
+
+@st.composite
+def cnf_instances(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=8))
+    num_clauses = draw(st.integers(min_value=0, max_value=24))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=min(3, num_vars)))
+        variables = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=num_vars),
+                min_size=width,
+                max_size=width,
+                unique=True,
+            )
+        )
+        signs = draw(st.lists(st.booleans(), min_size=width, max_size=width))
+        clauses.append([v if s else -v for v, s in zip(variables, signs)])
+    return num_vars, clauses
+
+
+class TestSolverProperties:
+    @given(cnf_instances())
+    @settings(max_examples=120, deadline=None)
+    def test_sat_answer_matches_oracle(self, instance):
+        num_vars, clauses = instance
+        cnf = CNF(num_vars)
+        cnf.extend(clauses)
+        status, model = solve_cnf(cnf)
+        assert (status is Status.SAT) == brute_force_satisfiable(cnf)
+        if model is not None:
+            assert model.satisfies(clauses)
+
+    @given(cnf_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_solving_twice_is_stable(self, instance):
+        num_vars, clauses = instance
+        cnf = CNF(num_vars)
+        cnf.extend(clauses)
+        solver = Solver()
+        if not solver.add_cnf(cnf):
+            return
+        first = solver.solve()
+        second = solver.solve()
+        assert first == second

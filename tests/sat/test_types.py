@@ -1,0 +1,82 @@
+"""Unit tests for SAT core types."""
+
+import pytest
+
+from repro.sat.types import Clause, Model, clause, is_positive, negate, var_of
+
+
+class TestLiterals:
+    def test_var_of_positive(self):
+        assert var_of(5) == 5
+
+    def test_var_of_negative(self):
+        assert var_of(-7) == 7
+
+    def test_negate_roundtrip(self):
+        assert negate(negate(3)) == 3
+
+    def test_negate_sign(self):
+        assert negate(4) == -4
+        assert negate(-4) == 4
+
+    def test_is_positive(self):
+        assert is_positive(2)
+        assert not is_positive(-2)
+
+
+class TestClause:
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            Clause((1, 0, 2))
+
+    def test_iteration_preserves_order(self):
+        assert list(clause(3, -1, 2)) == [3, -1, 2]
+
+    def test_len(self):
+        assert len(clause(1, 2, 3)) == 3
+
+    def test_variables(self):
+        assert clause(1, -2, 2).variables() == {1, 2}
+
+    def test_tautology_detected(self):
+        assert clause(1, -1).is_tautology()
+
+    def test_non_tautology(self):
+        assert not clause(1, 2, -3).is_tautology()
+
+    def test_simplified_removes_duplicates(self):
+        assert clause(1, 1, -2, 1).simplified() == clause(1, -2)
+
+    def test_empty_clause_allowed(self):
+        assert len(clause()) == 0
+
+
+class TestModel:
+    def test_value_of_positive_literal(self):
+        model = Model({1: True, 2: False})
+        assert model.value_of(1)
+        assert not model.value_of(2)
+
+    def test_value_of_negative_literal(self):
+        model = Model({1: True, 2: False})
+        assert not model.value_of(-1)
+        assert model.value_of(-2)
+
+    def test_satisfies_clause(self):
+        model = Model({1: False, 2: True})
+        assert model.satisfies_clause([1, 2])
+        assert not model.satisfies_clause([1, -2])
+
+    def test_satisfies_formula(self):
+        model = Model({1: True, 2: True})
+        assert model.satisfies([[1], [2], [1, -2]])
+        assert not model.satisfies([[-1]])
+
+    def test_as_literals_sorted(self):
+        model = Model({2: False, 1: True, 3: True})
+        assert model.as_literals() == [1, -2, 3]
+
+    def test_contains(self):
+        model = Model({4: True})
+        assert 4 in model
+        assert 5 not in model

@@ -1,0 +1,146 @@
+"""Tests for mapping validation and MCA-driven embedding."""
+
+import pytest
+
+from repro.vnm import (
+    Mapping,
+    PhysicalNetwork,
+    VirtualNetwork,
+    embed,
+    validate_mapping,
+)
+
+
+@pytest.fixture
+def small_substrate():
+    net = PhysicalNetwork()
+    for i in range(3):
+        net.add_node(i, cpu=50)
+    net.add_link(0, 1, 20)
+    net.add_link(1, 2, 20)
+    return net
+
+
+@pytest.fixture
+def small_request():
+    return VirtualNetwork.chain(["v0", "v1"], cpu=10, bandwidth=5)
+
+
+class TestValidation:
+    def test_valid_mapping(self, small_substrate, small_request):
+        mapping = Mapping()
+        mapping.assign_node("v0", 0)
+        mapping.assign_node("v1", 1)
+        mapping.assign_link("v0", "v1", [0, 1])
+        report = validate_mapping(small_request, small_substrate, mapping)
+        assert report.valid, report.errors
+
+    def test_unmapped_node_detected(self, small_substrate, small_request):
+        mapping = Mapping()
+        mapping.assign_node("v0", 0)
+        report = validate_mapping(small_request, small_substrate, mapping)
+        assert not report.valid
+        assert any("unmapped" in e for e in report.errors)
+
+    def test_cpu_overload_detected(self, small_substrate):
+        vn = VirtualNetwork.chain(["v0", "v1"], cpu=40)
+        mapping = Mapping()
+        mapping.assign_node("v0", 0)
+        mapping.assign_node("v1", 0)  # 80 > 50
+        report = validate_mapping(vn, small_substrate, mapping)
+        assert not report.valid
+        assert any("overloaded" in e for e in report.errors)
+
+    def test_unmapped_link_detected(self, small_substrate, small_request):
+        mapping = Mapping()
+        mapping.assign_node("v0", 0)
+        mapping.assign_node("v1", 1)
+        report = validate_mapping(small_request, small_substrate, mapping)
+        assert any("link" in e for e in report.errors)
+
+    def test_loopy_path_detected(self, small_substrate, small_request):
+        mapping = Mapping()
+        mapping.assign_node("v0", 0)
+        mapping.assign_node("v1", 1)
+        mapping.assign_link("v0", "v1", [0, 1, 0, 1])
+        report = validate_mapping(small_request, small_substrate, mapping)
+        assert any("loop" in e for e in report.errors)
+
+    def test_endpoint_mismatch_detected(self, small_substrate, small_request):
+        mapping = Mapping()
+        mapping.assign_node("v0", 0)
+        mapping.assign_node("v1", 2)
+        mapping.assign_link("v0", "v1", [0, 1])  # ends at 1, not 2
+        report = validate_mapping(small_request, small_substrate, mapping)
+        assert any("endpoints" in e for e in report.errors)
+
+    def test_bandwidth_overload_detected(self, small_substrate):
+        vn = VirtualNetwork.chain(["v0", "v1"], cpu=1, bandwidth=30)
+        mapping = Mapping()
+        mapping.assign_node("v0", 0)
+        mapping.assign_node("v1", 1)
+        mapping.assign_link("v0", "v1", [0, 1])  # 30 > 20
+        report = validate_mapping(vn, small_substrate, mapping)
+        assert any("overloaded" in e for e in report.errors)
+
+    def test_missing_physical_link_detected(self, small_substrate,
+                                            small_request):
+        mapping = Mapping()
+        mapping.assign_node("v0", 0)
+        mapping.assign_node("v1", 2)
+        mapping.assign_link("v0", "v1", [0, 2])  # 0-2 not a link
+        report = validate_mapping(small_request, small_substrate, mapping)
+        assert any("missing physical link" in e for e in report.errors)
+
+    def test_colocated_endpoints_need_no_path(self, small_substrate):
+        vn = VirtualNetwork.chain(["v0", "v1"], cpu=10, bandwidth=5)
+        mapping = Mapping()
+        mapping.assign_node("v0", 0)
+        mapping.assign_node("v1", 0)
+        mapping.assign_link("v0", "v1", [0])
+        report = validate_mapping(vn, small_substrate, mapping)
+        assert report.valid, report.errors
+
+
+class TestEmbedding:
+    def test_successful_embedding_is_valid(self):
+        phys = PhysicalNetwork.grid(3, 3, cpu=50, bandwidth=100)
+        vn = VirtualNetwork.chain(["v1", "v2", "v3"], cpu=20, bandwidth=10)
+        result = embed(vn, phys)
+        assert result.success, result.reason
+        assert result.validation.valid
+        assert result.auction.converged
+
+    def test_node_mapping_complete(self):
+        phys = PhysicalNetwork.grid(2, 2, cpu=100, bandwidth=50)
+        vn = VirtualNetwork.star("hub", ["a", "b"], cpu=10, bandwidth=5)
+        result = embed(vn, phys)
+        assert result.success
+        assert set(result.mapping.node_map) == {"hub", "a", "b"}
+
+    def test_infeasible_cpu_fails_cleanly(self):
+        phys = PhysicalNetwork()
+        phys.add_node(0, cpu=5)
+        phys.add_node(1, cpu=5)
+        phys.add_link(0, 1, 10)
+        vn = VirtualNetwork.chain(["v1", "v2", "v3"], cpu=10, bandwidth=1)
+        result = embed(vn, phys)
+        assert not result.success
+        assert result.reason
+
+    def test_capacity_constrains_colocations(self):
+        """Each physical node can host only what fits its CPU."""
+        phys = PhysicalNetwork.grid(2, 2, cpu=25, bandwidth=50)
+        vn = VirtualNetwork.chain(["v1", "v2"], cpu=20, bandwidth=5)
+        result = embed(vn, phys)
+        assert result.success, result.reason
+        hosts = set(result.mapping.node_map.values())
+        assert len(hosts) == 2  # 40 > 25: cannot colocate
+
+    def test_auction_is_distributed_consensus(self):
+        from repro.mca import consensus_report
+
+        phys = PhysicalNetwork.grid(3, 2, cpu=60, bandwidth=50)
+        vn = VirtualNetwork.chain(["v1", "v2"], cpu=15, bandwidth=5)
+        result = embed(vn, phys)
+        assert result.success

@@ -1,0 +1,100 @@
+"""Tests for physical and virtual network models."""
+
+import pytest
+
+from repro.vnm import PhysicalNetwork, VirtualNetwork
+
+
+class TestPhysicalNetwork:
+    def test_add_and_lookup_node(self):
+        net = PhysicalNetwork()
+        net.add_node(0, cpu=50)
+        assert net.node(0).cpu == 50
+
+    def test_duplicate_node_rejected(self):
+        net = PhysicalNetwork()
+        net.add_node(0, 10)
+        with pytest.raises(ValueError):
+            net.add_node(0, 10)
+
+    def test_negative_cpu_rejected(self):
+        net = PhysicalNetwork()
+        with pytest.raises(ValueError):
+            net.add_node(0, -5)
+
+    def test_link_requires_known_nodes(self):
+        net = PhysicalNetwork()
+        net.add_node(0, 10)
+        with pytest.raises(KeyError):
+            net.add_link(0, 1, 5)
+
+    def test_self_link_rejected(self):
+        net = PhysicalNetwork()
+        net.add_node(0, 10)
+        with pytest.raises(ValueError):
+            net.add_link(0, 0, 5)
+
+    def test_bandwidth_lookup(self):
+        net = PhysicalNetwork()
+        net.add_node(0, 10)
+        net.add_node(1, 10)
+        net.add_link(0, 1, 7.5)
+        assert net.bandwidth(0, 1) == 7.5
+        assert net.bandwidth(1, 0) == 7.5
+
+    def test_missing_link_raises(self):
+        net = PhysicalNetwork()
+        net.add_node(0, 10)
+        net.add_node(1, 10)
+        with pytest.raises(KeyError):
+            net.bandwidth(0, 1)
+
+    def test_grid_structure(self):
+        net = PhysicalNetwork.grid(3, 2)
+        assert len(net) == 6
+        assert net.has_link(0, 1)
+        assert net.has_link(0, 3)
+        assert not net.has_link(0, 4)
+        assert net.is_connected()
+
+    def test_grid_link_count(self):
+        # 3x2 grid: 2 horizontal links per row * 2 rows + 3 vertical = 7.
+        net = PhysicalNetwork.grid(3, 2)
+        assert len(list(net.links())) == 7
+
+    def test_neighbors(self):
+        net = PhysicalNetwork.grid(2, 2)
+        assert net.neighbors(0) == [1, 2]
+
+
+class TestVirtualNetwork:
+    def test_chain_factory(self):
+        vn = VirtualNetwork.chain(["a", "b", "c"], cpu=5, bandwidth=2)
+        assert len(vn) == 3
+        assert list(vn.links()) == [("a", "b", 2), ("b", "c", 2)]
+
+    def test_star_factory(self):
+        vn = VirtualNetwork.star("hub", ["l1", "l2"], cpu=5, bandwidth=2)
+        assert len(vn) == 3
+        assert len(list(vn.links())) == 2
+
+    def test_demands(self):
+        vn = VirtualNetwork.chain(["a", "b"], cpu=7)
+        assert vn.demands() == {"a": 7, "b": 7}
+
+    def test_duplicate_node_rejected(self):
+        vn = VirtualNetwork()
+        vn.add_node("a", 1)
+        with pytest.raises(ValueError):
+            vn.add_node("a", 1)
+
+    def test_negative_demand_rejected(self):
+        vn = VirtualNetwork()
+        with pytest.raises(ValueError):
+            vn.add_node("a", -1)
+
+    def test_names_sorted(self):
+        vn = VirtualNetwork()
+        vn.add_node("z", 1)
+        vn.add_node("a", 1)
+        assert vn.names() == ["a", "z"]

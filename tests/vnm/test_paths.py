@@ -1,0 +1,121 @@
+"""Tests for k-shortest loop-free paths."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vnm.paths import (
+    dijkstra_shortest_path,
+    k_shortest_paths,
+    path_cost,
+    path_is_loop_free,
+)
+
+
+def diamond():
+    """A graph with multiple distinct simple paths 0 -> 3."""
+    g = nx.Graph()
+    g.add_edge(0, 1, weight=1)
+    g.add_edge(1, 3, weight=1)
+    g.add_edge(0, 2, weight=2)
+    g.add_edge(2, 3, weight=2)
+    g.add_edge(1, 2, weight=1)
+    return g
+
+
+class TestDijkstra:
+    def test_shortest_path(self):
+        cost, path = dijkstra_shortest_path(diamond(), 0, 3)
+        assert path == [0, 1, 3]
+        assert cost == 2
+
+    def test_unreachable(self):
+        g = nx.Graph()
+        g.add_node(0)
+        g.add_node(1)
+        assert dijkstra_shortest_path(g, 0, 1) is None
+
+    def test_banned_nodes_respected(self):
+        result = dijkstra_shortest_path(diamond(), 0, 3, banned_nodes={1})
+        assert result is not None
+        cost, path = result
+        assert 1 not in path
+
+    def test_banned_edges_respected(self):
+        result = dijkstra_shortest_path(diamond(), 0, 3,
+                                        banned_edges={(1, 3)})
+        assert result is not None
+        _, path = result
+        assert (1, 3) not in zip(path, path[1:])
+
+    def test_default_weight_one(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        cost, path = dijkstra_shortest_path(g, 0, 2)
+        assert cost == 2
+
+
+class TestKShortest:
+    def test_paths_sorted_by_cost(self):
+        g = diamond()
+        paths = k_shortest_paths(g, 0, 3, 4)
+        costs = [path_cost(g, p) for p in paths]
+        assert costs == sorted(costs)
+
+    def test_all_loop_free(self):
+        paths = k_shortest_paths(diamond(), 0, 3, 5)
+        assert all(path_is_loop_free(p) for p in paths)
+
+    def test_all_distinct(self):
+        paths = k_shortest_paths(diamond(), 0, 3, 5)
+        assert len({tuple(p) for p in paths}) == len(paths)
+
+    def test_first_is_shortest(self):
+        g = diamond()
+        paths = k_shortest_paths(g, 0, 3, 3)
+        assert paths[0] == [0, 1, 3]
+
+    def test_k_exceeding_path_count(self):
+        paths = k_shortest_paths(diamond(), 0, 3, 100)
+        # Diamond has exactly 4 simple 0->3 paths.
+        assert len(paths) == 4
+
+    def test_no_path(self):
+        g = nx.Graph()
+        g.add_node(0)
+        g.add_node(1)
+        assert k_shortest_paths(g, 0, 1, 3) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            k_shortest_paths(diamond(), 0, 3, 0)
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            k_shortest_paths(diamond(), 0, 0, 1)
+
+    @given(st.integers(min_value=4, max_value=9), st.integers(0, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_networkx_on_random_graphs(self, n, seed):
+        import random
+
+        rng = random.Random(seed)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < 0.5:
+                    g.add_edge(i, j, weight=rng.randint(1, 5))
+        if not nx.has_path(g, 0, n - 1):
+            return
+        ours = k_shortest_paths(g, 0, n - 1, 3)
+        reference = []
+        for path in nx.shortest_simple_paths(g, 0, n - 1, weight="weight"):
+            reference.append(path)
+            if len(reference) == 3:
+                break
+        assert [path_cost(g, p) for p in ours] == [
+            path_cost(g, p) for p in reference
+        ]

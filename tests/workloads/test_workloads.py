@@ -1,0 +1,75 @@
+"""Tests for the application-domain workload generators."""
+
+from repro.mca import SynchronousEngine, consensus_report
+from repro.vnm import embed
+from repro.workloads import (
+    economic_dispatch,
+    uav_task_allocation,
+    vn_embedding_workload,
+)
+
+
+class TestUavWorkload:
+    def test_generation_deterministic(self):
+        a = uav_task_allocation(seed=5)
+        b = uav_task_allocation(seed=5)
+        assert a.positions == b.positions
+        assert a.task_locations == b.task_locations
+
+    def test_network_connected(self):
+        wl = uav_task_allocation(num_uavs=6, num_tasks=4, seed=1)
+        assert wl.network.diameter() >= 1
+
+    def test_utilities_submodular(self):
+        wl = uav_task_allocation(seed=2)
+        for policy in wl.policies.values():
+            assert policy.utility.is_submodular_on(wl.items[:3], 2)
+
+    def test_auction_converges(self):
+        wl = uav_task_allocation(num_uavs=3, num_tasks=4, seed=3)
+        engine = SynchronousEngine(wl.network, wl.items, wl.policies)
+        result = engine.run()
+        assert result.converged
+        assert consensus_report(engine.agents).consensus
+
+    def test_allocation_conflict_free(self):
+        wl = uav_task_allocation(num_uavs=4, num_tasks=5, seed=4)
+        engine = SynchronousEngine(wl.network, wl.items, wl.policies)
+        result = engine.run()
+        winners = [w for w in result.allocation.values() if w is not None]
+        report = consensus_report(engine.agents)
+        assert report.conflict_free
+
+
+class TestVnWorkload:
+    def test_generation(self):
+        wl = vn_embedding_workload(num_requests=2, seed=7)
+        assert len(wl.requests) == 2
+        assert wl.physical.is_connected()
+
+    def test_requests_embeddable(self):
+        wl = vn_embedding_workload(grid_width=3, grid_height=3,
+                                   num_requests=1, request_size=3, seed=0)
+        result = embed(wl.requests[0], wl.physical)
+        assert result.success, result.reason
+
+
+class TestDispatchWorkload:
+    def test_generation_deterministic(self):
+        a = economic_dispatch(seed=9)
+        b = economic_dispatch(seed=9)
+        assert a.unit_efficiency == b.unit_efficiency
+
+    def test_auction_converges(self):
+        wl = economic_dispatch(num_units=4, num_blocks=5, seed=2)
+        engine = SynchronousEngine(wl.network, wl.items, wl.policies)
+        result = engine.run()
+        assert result.converged
+
+    def test_capacity_respected(self):
+        wl = economic_dispatch(num_units=3, num_blocks=9,
+                               capacity_blocks=2, seed=5)
+        engine = SynchronousEngine(wl.network, wl.items, wl.policies)
+        engine.run()
+        for agent in engine.agents.values():
+            assert len(agent.bundle) <= 2
