@@ -7,9 +7,13 @@ and check times scale with scope, which is the decision-relevant curve for
 anyone extending the model.
 """
 
+import copy
+
 import pytest
 
 from repro.analysis import render_table
+from repro.checking import explore_message_orders
+from repro.mca import AgentNetwork, AgentPolicy, GeometricUtility
 from repro.model import build_dynamic
 
 SCOPES = [
@@ -31,10 +35,58 @@ def test_consensus_check_at_scope(benchmark, report, label, params):
     solution = benchmark(run)
     assert not solution.satisfiable  # honest consensus holds at all scopes
     report.append(render_table(
-        ["scope", "primary vars", "cnf vars", "clauses", "solve (s)"],
+        ["scope", "primary vars", "cnf vars", "clauses", "solve (s)",
+         "conflicts", "learned", "db reductions"],
         [[label, solution.stats.num_primary_vars, solution.stats.num_cnf_vars,
-          solution.stats.num_clauses, f"{solution.solve_seconds:.3f}"]],
+          solution.stats.num_clauses, f"{solution.solve_seconds:.3f}",
+          solution.solver_stats.get("conflicts", 0),
+          solution.solver_stats.get("learned", 0),
+          solution.solver_stats.get("db_reductions", 0)]],
         title="check consensus scaling (paper at 3p/2v: <2h on Alloy 4)",
+    ))
+
+
+EXPLORER_SCOPES = [
+    ("2 agents / 2 items", 2, ["A", "B"]),
+    ("3 agents / 2 items", 3, ["A", "B"]),
+    ("3 agents / 3 items", 3, ["A", "B", "C"]),
+]
+
+
+@pytest.mark.parametrize("label,agents,items", EXPLORER_SCOPES,
+                         ids=[s[0] for s in EXPLORER_SCOPES])
+def test_explorer_scaling_without_deepcopy(benchmark, report, monkeypatch,
+                                           label, agents, items):
+    """The snapshot/restore explorer never deep-copies on the branch hot
+    path: branching over every activation order at every depth runs on one
+    engine with O(agents * items) snapshots.  deepcopy is poisoned for the
+    whole run to prove it."""
+    def poisoned(*_args, **_kwargs):
+        raise AssertionError("copy.deepcopy called on the explorer hot path")
+
+    monkeypatch.setattr(copy, "deepcopy", poisoned)
+    # One shared policy: all agents interchangeable, maximal memo sharing.
+    policy = AgentPolicy(
+        utility=GeometricUtility(
+            {j: 10 + 2 * k for k, j in enumerate(items)}, growth=0.5
+        ),
+        target=2,
+    )
+    policies = {a: policy for a in range(agents)}
+    network = AgentNetwork.complete(agents)
+
+    def run():
+        return explore_message_orders(
+            network, items, policies, max_rounds=10, max_paths=100_000
+        )
+
+    result = benchmark(run)
+    assert result.all_converged
+    report.append(render_table(
+        ["scope", "paths", "worst rounds", "memo hits", "states memoized"],
+        [[label, result.paths_explored, result.max_rounds_to_converge,
+          result.memo_hits, result.states_memoized]],
+        title="explorer scaling (snapshot/restore, deepcopy poisoned)",
     ))
 
 

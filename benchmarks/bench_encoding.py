@@ -48,7 +48,7 @@ def test_gap_grows_with_scope():
 
 
 @pytest.mark.parametrize("encoding", ["naive", "optim"])
-def test_solve_time_per_encoding(benchmark, encoding):
+def test_solve_time_per_encoding(benchmark, report, encoding):
     """Paper: the optimized model's checks ran ~12x faster.  We measure
     end-to-end (translate + solve) consistency finding per encoding."""
     def run():
@@ -62,3 +62,83 @@ def test_solve_time_per_encoding(benchmark, encoding):
 
     solution = benchmark(run)
     assert solution.satisfiable
+    report.append(render_table(
+        ["encoding", "conflicts", "propagations", "learned", "db reductions"],
+        [[encoding, solution.solver_stats.get("conflicts", 0),
+          solution.solver_stats.get("propagations", 0),
+          solution.solver_stats.get("learned", 0),
+          solution.solver_stats.get("db_reductions", 0)]],
+        title=f"solver search statistics ({encoding} encoding at (3,2))",
+    ))
+
+
+def test_enumeration_with_symmetry_breaking(benchmark, report):
+    """Symmetry breaking on a scenario with interchangeable agents: every
+    item goes to exactly one of four indistinguishable agents, so models
+    that only rename agents are isomorphic.  Lex-leader predicates must
+    strictly reduce the enumerated count without losing satisfiability."""
+    from repro.kodkod import Bounds, Universe, ast, forall, variable
+    from repro.kodkod.engine import Session
+
+    agents = [f"p{i}" for i in range(4)]
+    items = [f"v{i}" for i in range(3)]
+    universe = Universe(agents + items)
+    item_sig = ast.Relation("item", 1)
+    alloc = ast.Relation("alloc", 2)
+    bounds = Bounds(universe)
+    bounds.bound_exactly(item_sig, universe.tuple_set(1, [(v,) for v in items]))
+    bounds.bound(
+        alloc,
+        universe.empty(2),
+        universe.tuple_set(2, [(v, p) for v in items for p in agents]),
+    )
+    x = variable("x")
+    every_item_assigned = forall(x, item_sig, x.join(alloc).one())
+
+    def enumerate_plain():
+        return sum(
+            1 for _ in Session(every_item_assigned, bounds).iter_solutions()
+        )
+
+    plain = benchmark(enumerate_plain)
+    broken_session = Session(every_item_assigned, bounds, symmetry=20)
+    broken = sum(1 for _ in broken_session.iter_solutions())
+    assert plain == len(agents) ** len(items)  # 4 choices per item
+    assert 0 < broken < plain
+    report.append(render_table(
+        ["models (plain)", "models (symmetry)", "ratio"],
+        [[plain, broken, f"{broken / plain:.2f}"]],
+        title="enumeration with 4 interchangeable agents, 3 items",
+    ))
+
+
+def test_incremental_enumeration_clause_db(benchmark, report):
+    """Enumerate optimized-model instances through one incremental Session
+    (blocking clauses on a single live solver) with a deliberately small
+    learned-clause budget: the clause database must be reduced along the
+    way instead of growing without bound."""
+    from repro.kodkod.engine import Session
+    from repro.sat.solver import Solver
+
+    model = build_optim_static(max_value=3)
+    _, bounds, facts = model.compile(2, 2)
+
+    def enumerate_capped():
+        session = Session(
+            facts, bounds, solver=Solver(max_learned=150, reduce_growth=1.1)
+        )
+        count = sum(1 for _ in session.iter_solutions(limit=300))
+        return count, session.clause_db_stats()
+
+    count, db = benchmark(enumerate_capped)
+    assert count == 300
+    assert db["db_reductions"] > 0
+    assert db["learned_deleted"] > 0
+    report.append(render_table(
+        ["models", "learned total", "learned kept", "deleted",
+         "db reductions", "glue", "avg lbd"],
+        [[count, int(db["learned_total"]), int(db["learned_clauses"]),
+          int(db["learned_deleted"]), int(db["db_reductions"]),
+          int(db["glue_clauses"]), f"{db['avg_lbd']:.1f}"]],
+        title="incremental enumeration at (2,2) with a 150-clause DB budget",
+    ))

@@ -1,5 +1,13 @@
 """Explicit-state dynamic checking of the MCA protocol."""
 
-from repro.checking.explorer import ExplorationResult, explore_message_orders
+from repro.checking.explorer import (
+    ExplorationResult,
+    StateCanonicalizer,
+    explore_message_orders,
+)
 
-__all__ = ["ExplorationResult", "explore_message_orders"]
+__all__ = [
+    "ExplorationResult",
+    "StateCanonicalizer",
+    "explore_message_orders",
+]

@@ -27,6 +27,7 @@ from repro.kodkod.ast import (
 )
 from repro.kodkod.bounds import Bounds
 from repro.kodkod.engine import (
+    Session,
     Solution,
     count_solutions,
     iter_solutions,
@@ -35,11 +36,22 @@ from repro.kodkod.engine import (
 )
 from repro.kodkod.evaluator import Evaluator, brute_force_instances
 from repro.kodkod.instance import Instance, extract_instance
+from repro.kodkod.symmetry import (
+    DEFAULT_SBP_LENGTH,
+    SymmetryInfo,
+    atom_partition,
+    break_predicates,
+)
 from repro.kodkod.translate import TranslationStats, Translator
 from repro.kodkod.universe import TupleSet, Universe
 
 __all__ = [
     "Bounds",
+    "DEFAULT_SBP_LENGTH",
+    "Session",
+    "SymmetryInfo",
+    "atom_partition",
+    "break_predicates",
     "Evaluator",
     "Expr",
     "FalseF",

@@ -4,20 +4,29 @@ This is the public face of the mini-Kodkod stack — the equivalent of
 ``kodkod.engine.Solver``.  It ties together translation
 (:mod:`repro.kodkod.translate`), SAT solving (:mod:`repro.sat`) and instance
 extraction (:mod:`repro.kodkod.instance`).
+
+The core abstraction is the :class:`Session`: one translation, one live
+:class:`~repro.sat.solver.Solver`, reused across queries.  Follow-up
+queries go through *assumptions* and enumeration goes through *blocking
+clauses* on the same solver, so learned clauses are retained between
+queries instead of being thrown away by a rebuild.  ``solve``,
+``iter_solutions`` and ``count_solutions`` are thin conveniences over a
+session.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Iterator
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 from repro.kodkod import ast
 from repro.kodkod.bounds import Bounds
 from repro.kodkod.instance import Instance, extract_instance
+from repro.kodkod.symmetry import DEFAULT_SBP_LENGTH
 from repro.kodkod.translate import Translation, TranslationStats, Translator
 from repro.sat.solver import Solver
-from repro.sat.types import Status
+from repro.sat.types import Lit, Status
 
 
 @dataclass
@@ -28,6 +37,9 @@ class Solution:
     instance: Instance | None
     stats: TranslationStats
     solve_seconds: float
+    solver_stats: dict = field(default_factory=dict)
+    """Cumulative search statistics of the deciding solver (conflicts,
+    decisions, clause-database reductions, ...)."""
 
     @property
     def unsatisfiable(self) -> bool:
@@ -35,54 +47,162 @@ class Solution:
         return not self.satisfiable
 
 
-def translate(formula: ast.Formula, bounds: Bounds) -> Translation:
+def translate(formula: ast.Formula, bounds: Bounds,
+              symmetry: int = 0) -> Translation:
     """Translate a problem without solving it (used by encoding benchmarks)."""
-    return Translator(bounds).translate(formula)
+    return Translator(bounds, symmetry=symmetry).translate(formula)
 
 
-def solve(formula: ast.Formula, bounds: Bounds) -> Solution:
-    """Find one instance satisfying ``formula`` within ``bounds``."""
-    translation = translate(formula, bounds)
-    solver = Solver()
-    started = time.perf_counter()
-    if not solver.add_cnf(translation.cnf):
-        status = Status.UNSAT
-    else:
-        status = solver.solve()
-    elapsed = time.perf_counter() - started
-    if status is Status.SAT:
-        instance = extract_instance(translation, solver.model())
-        return Solution(True, instance, translation.stats, elapsed)
-    return Solution(False, None, translation.stats, elapsed)
+class Session:
+    """An incremental model-finding session over one translated problem.
+
+    The session keeps a single solver alive for its whole lifetime:
+
+    * :meth:`solve` decides the problem (optionally under assumptions)
+      without destroying state — clauses learned by one query speed up the
+      next;
+    * :meth:`block_current` excludes the most recent model with a blocking
+      clause over the primary variables, which is how :meth:`iter_solutions`
+      walks the model space without ever rebuilding the solver;
+    * :meth:`assume_tuple` turns a (relation, tuple) presence/absence into
+      an assumption literal for hypothetical queries.
+
+    ``symmetry`` is the lex-leader predicate length passed to the
+    translator (0 disables breaking; see :mod:`repro.kodkod.symmetry`).
+
+    .. warning::
+       Symmetry breaking restricts the model space to one canonical
+       representative per orbit, so combining ``symmetry > 0`` with
+       assumptions (:meth:`assume_tuple`) can refute assumptions that
+       describe a *non-canonical* model: the answer is then "no
+       canonical model satisfies this", not "no model does".  Sessions
+       meant for hypothetical tuple-level queries should be built with
+       ``symmetry=0`` (the default).
+    """
+
+    def __init__(self, formula: ast.Formula, bounds: Bounds,
+                 symmetry: int = 0, solver: Solver | None = None) -> None:
+        self._translation = Translator(bounds, symmetry=symmetry).translate(formula)
+        self._solver = solver if solver is not None else Solver()
+        self._ok = self._solver.add_cnf(self._translation.cnf)
+        self._primary_vars = self._translation.primary_vars()
+        self._last_model = None
+
+    @property
+    def translation(self) -> Translation:
+        """The translation this session decides."""
+        return self._translation
+
+    @property
+    def solver(self) -> Solver:
+        """The live solver (one per session, shared across queries)."""
+        return self._solver
+
+    def clause_db_stats(self) -> dict[str, float]:
+        """Clause-database statistics of the live solver."""
+        return self._solver.clause_db_stats()
+
+    def assume_tuple(self, relation: ast.Relation, atoms: tuple[str, ...],
+                     present: bool = True) -> Lit:
+        """Assumption literal asserting a free tuple's presence/absence.
+
+        Raises ``KeyError`` for tuples that are not free under the bounds
+        (inside the lower bound or outside the upper bound): their value is
+        fixed by translation and cannot be assumed away.
+
+        With ``symmetry > 0`` the query is answered over *canonical*
+        models only — an assumption satisfied solely by non-canonical
+        models comes back UNSAT (see the class-level warning).
+        """
+        universe = self._translation.bounds.universe
+        index = tuple(universe.index(a) for a in atoms)
+        try:
+            node = self._translation.tuple_inputs[(relation, index)]
+        except KeyError:
+            raise KeyError(
+                f"tuple {atoms!r} of {relation.name!r} is not a free tuple"
+            ) from None
+        var = self._translation.input_vars[node]
+        return var if present else -var
+
+    def solve(self, assumptions: Iterable[Lit] = ()) -> Solution:
+        """Decide the problem under optional assumption literals."""
+        started = time.perf_counter()
+        if not self._ok:
+            status = Status.UNSAT
+        else:
+            status = self._solver.solve(assumptions)
+        elapsed = time.perf_counter() - started
+        solver_stats = dict(self._solver.stats)
+        if status is Status.SAT:
+            self._last_model = self._solver.model()
+            instance = extract_instance(self._translation, self._last_model)
+            return Solution(True, instance, self._translation.stats, elapsed,
+                            solver_stats)
+        self._last_model = None
+        return Solution(False, None, self._translation.stats, elapsed,
+                        solver_stats)
+
+    def block_current(self) -> bool:
+        """Exclude the most recent model from future queries.
+
+        Adds a blocking clause over the primary variables (the relation
+        tuples, not auxiliary Tseitin variables), so the next :meth:`solve`
+        yields a semantically different instance.  Returns False when the
+        model space is exhausted (no model to block, an empty projection,
+        or the solver became UNSAT).
+        """
+        if self._last_model is None or not self._primary_vars:
+            return False
+        model = self._last_model
+        blocking = [-v if model[v] else v for v in self._primary_vars]
+        self._last_model = None
+        if not self._solver.add_clause(blocking):
+            self._ok = False
+            return False
+        return True
+
+    def iter_solutions(self, limit: int | None = None) -> Iterator[Instance]:
+        """Enumerate instances, distinct on the bounded relations' valuations."""
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be non-negative")
+        produced = 0
+        while limit is None or produced < limit:
+            solution = self.solve()
+            if not solution.satisfiable:
+                return
+            yield solution.instance
+            produced += 1
+            if not self.block_current():
+                return
+
+
+def solve(formula: ast.Formula, bounds: Bounds,
+          symmetry: int = DEFAULT_SBP_LENGTH) -> Solution:
+    """Find one instance satisfying ``formula`` within ``bounds``.
+
+    Symmetry breaking is on by default: it preserves the SAT/UNSAT verdict
+    (every orbit keeps a canonical representative) and prunes isomorphic
+    regions of the search space.  Pass ``symmetry=0`` to see every model.
+    """
+    return Session(formula, bounds, symmetry=symmetry).solve()
 
 
 def iter_solutions(formula: ast.Formula, bounds: Bounds,
-                   limit: int | None = None) -> Iterator[Instance]:
-    """Enumerate instances, distinct on the bounded relations' valuations."""
-    if limit is not None and limit < 0:
-        raise ValueError("limit must be non-negative")
-    translation = translate(formula, bounds)
-    solver = Solver()
-    if not solver.add_cnf(translation.cnf):
-        return
-    primary_vars = sorted(
-        translation.input_vars[node] for node in translation.tuple_inputs.values()
-    )
-    produced = 0
-    while limit is None or produced < limit:
-        if solver.solve() is not Status.SAT:
-            return
-        model = solver.model()
-        yield extract_instance(translation, model)
-        produced += 1
-        if not primary_vars:
-            return
-        blocking = [-v if model[v] else v for v in primary_vars]
-        if not solver.add_clause(blocking):
-            return
+                   limit: int | None = None,
+                   symmetry: int = 0) -> Iterator[Instance]:
+    """Enumerate instances, distinct on the bounded relations' valuations.
+
+    Symmetry breaking defaults to *off* so that every model is produced;
+    pass ``symmetry > 0`` to enumerate only canonical representatives of
+    each isomorphism orbit (fewer instances, same coverage up to atom
+    renaming).
+    """
+    session = Session(formula, bounds, symmetry=symmetry)
+    yield from session.iter_solutions(limit)
 
 
 def count_solutions(formula: ast.Formula, bounds: Bounds,
-                    limit: int | None = None) -> int:
+                    limit: int | None = None, symmetry: int = 0) -> int:
     """Count instances (up to ``limit``)."""
-    return sum(1 for _ in iter_solutions(formula, bounds, limit))
+    return sum(1 for _ in iter_solutions(formula, bounds, limit, symmetry))

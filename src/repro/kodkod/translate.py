@@ -15,12 +15,13 @@ from __future__ import annotations
 
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.kodkod import ast
 from repro.kodkod.boolcircuit import FALSE, TRUE, BooleanFactory
 from repro.kodkod.bounds import Bounds
 from repro.kodkod.matrix import BoolMatrix
+from repro.kodkod.symmetry import SymmetryInfo, atom_partition, break_predicates
 from repro.sat.cnf import CNF
 
 Env = dict[ast.Variable, int]
@@ -38,7 +39,14 @@ class Translation:
     # simplified away and may take either value)
     input_vars: dict[int, int]
     bounds: Bounds
-    stats: "TranslationStats" = field(default=None)  # type: ignore[assignment]
+    stats: "TranslationStats"
+    symmetry: SymmetryInfo | None = None
+
+    def primary_vars(self) -> list[int]:
+        """Sorted CNF variables of the primary (free tuple) inputs."""
+        return sorted(
+            self.input_vars[node] for node in self.tuple_inputs.values()
+        )
 
 
 @dataclass
@@ -49,6 +57,8 @@ class TranslationStats:
     num_cnf_vars: int = 0
     num_clauses: int = 0
     num_gates: int = 0
+    num_symmetry_classes: int = 0
+    num_sbp_predicates: int = 0
     translation_seconds: float = 0.0
 
 
@@ -57,11 +67,18 @@ class UnboundRelationError(KeyError):
 
 
 class Translator:
-    """Translates formulas to CNF within a :class:`Bounds`."""
+    """Translates formulas to CNF within a :class:`Bounds`.
 
-    def __init__(self, bounds: Bounds) -> None:
+    ``symmetry`` bounds the length of the lex-leader symmetry-breaking
+    predicates conjoined onto the root formula (0 disables symmetry
+    breaking entirely).  Breaking preserves SAT/UNSAT but prunes models
+    that only differ by a permutation of interchangeable atoms.
+    """
+
+    def __init__(self, bounds: Bounds, symmetry: int = 0) -> None:
         self._bounds = bounds
         self._universe = bounds.universe
+        self._symmetry = symmetry
         self._factory = BooleanFactory()
         self._relation_matrices: dict[ast.Relation, BoolMatrix] = {}
         self._tuple_inputs: dict[tuple[ast.Relation, tuple[int, ...]], int] = {}
@@ -278,6 +295,18 @@ class Translator:
             for rel in self._bounds.relations():
                 self._relation_matrix(rel)
             root = self._formula(formula, {})
+            symmetry_info: SymmetryInfo | None = None
+            if self._symmetry > 0:
+                classes = atom_partition(self._bounds)
+                sbp = break_predicates(
+                    self._factory, self._bounds, self._tuple_inputs,
+                    classes, self._symmetry,
+                )
+                root = self._factory.and_([root] + sbp)
+                symmetry_info = SymmetryInfo(
+                    classes=tuple(tuple(c) for c in classes),
+                    num_predicates=len(sbp),
+                )
             cnf, input_vars = self._factory.to_cnf([root])
             # Inputs never mentioned by the root circuit still need CNF
             # variables so instances can be extracted deterministically.
@@ -291,6 +320,12 @@ class Translator:
             num_cnf_vars=cnf.num_vars,
             num_clauses=cnf.num_clauses,
             num_gates=self._factory.num_gates,
+            num_symmetry_classes=(
+                symmetry_info.num_classes if symmetry_info else 0
+            ),
+            num_sbp_predicates=(
+                symmetry_info.num_predicates if symmetry_info else 0
+            ),
             translation_seconds=time.perf_counter() - started,
         )
         return Translation(
@@ -300,4 +335,5 @@ class Translator:
             input_vars=input_vars,
             bounds=self._bounds,
             stats=stats,
+            symmetry=symmetry_info,
         )

@@ -6,7 +6,7 @@ outbid, honest/malicious rebidding), synchronous and asynchronous execution
 engines, and convergence analysis.
 """
 
-from repro.mca.agent import Agent, OutbidEvent
+from repro.mca.agent import Agent, AgentSnapshot, OutbidEvent
 from repro.mca.conflict import ConflictResolver, ResolutionOutcome
 from repro.mca.convergence import (
     ConsensusReport,
@@ -14,9 +14,11 @@ from repro.mca.convergence import (
     detect_cycle,
     max_consensus_target,
     message_bound,
+    round_bound,
 )
 from repro.mca.engine import (
     AsynchronousEngine,
+    EngineSnapshot,
     Outcome,
     RoundRecord,
     RunResult,
@@ -47,8 +49,10 @@ __all__ = [
     "AgentId",
     "AgentNetwork",
     "AgentPolicy",
+    "AgentSnapshot",
     "AsynchronousEngine",
     "BidMessage",
+    "EngineSnapshot",
     "ConflictResolver",
     "ConsensusReport",
     "GeometricUtility",
@@ -75,5 +79,6 @@ __all__ = [
     "max_consensus_target",
     "message_bound",
     "non_submodular_policy",
+    "round_bound",
     "submodular_policy",
 ]

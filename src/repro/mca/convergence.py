@@ -76,6 +76,26 @@ def message_bound(network: AgentNetwork, items: list[ItemId]) -> int:
     return max(1, network.diameter()) * max(1, len(items))
 
 
+def round_bound(network: AgentNetwork, items: list[ItemId],
+                targets: dict[AgentId, int] | None = None) -> int:
+    """Upper bound on *synchronous rounds* to converge with bundles.
+
+    ``message_bound`` covers the single-bid flooding of Definition 1, but
+    with greedy bundle construction (targets > 1) an outbid can empty an
+    agent's bundle and *raise* its first-slot marginal (sub-modular
+    utilities diminish with bundle size), triggering a re-auction wave for
+    an item whose winner looked settled.  Each agent can start at most
+    ``target`` such waves per item (its marginal takes one of ``target``
+    values, each beating the standing bid at most once), so rounds are
+    bounded by the flooding term plus one wave term per bundle slot.
+    """
+    if targets is None:
+        slots = len(network)
+    else:
+        slots = sum(max(1, t) for t in targets.values())
+    return message_bound(network, items) + slots + 1
+
+
 def max_consensus_target(initial_bids: dict[AgentId, dict[ItemId, float]]
                          ) -> dict[ItemId, float]:
     """Definition 1's fixpoint: the component-wise maximum of initial bids."""

@@ -8,7 +8,10 @@ this solver decides them.  It implements the standard modern architecture:
 * first-UIP conflict analysis with clause learning,
 * VSIDS variable activities with phase saving,
 * Luby-sequence restarts,
-* solving under assumptions (used for incremental model enumeration).
+* solving under assumptions (used for incremental model enumeration),
+* a managed clause database: learned clauses are kept separate from
+  problem clauses, carry LBD ("glue") and activity scores, and are
+  periodically reduced so long enumeration sessions do not degrade.
 
 The implementation favours clarity over raw speed, but is careful about the
 data structures that dominate runtime (watch lists, the trail, activity
@@ -46,16 +49,43 @@ def luby(i: int) -> int:
     return 1 << seq
 
 
+class _Clause:
+    """One clause in the solver's database.
+
+    Watch lists and reasons reference clause objects directly (rather than
+    indices into a shared arena), so learned clauses can be deleted without
+    invalidating anything: a deleted clause is flagged and dropped lazily
+    the next time a watch list containing it is traversed.
+    """
+
+    __slots__ = ("lits", "learned", "lbd", "activity", "deleted")
+
+    def __init__(self, lits: list[Lit], learned: bool = False,
+                 lbd: int = 0) -> None:
+        self.lits = lits
+        self.learned = learned
+        self.lbd = lbd
+        self.activity = 0.0
+        self.deleted = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "learned" if self.learned else "problem"
+        return f"_Clause({self.lits}, {kind}, lbd={self.lbd})"
+
+
 class Solver:
     """CDCL SAT solver over DIMACS-style integer literals."""
 
-    def __init__(self, restart_base: int = 100, decay: float = 0.95) -> None:
+    def __init__(self, restart_base: int = 100, decay: float = 0.95,
+                 clause_decay: float = 0.999, max_learned: int = 4000,
+                 reduce_growth: float = 1.3, glue_lbd: int = 2) -> None:
         self._num_vars = 0
-        self._clauses: list[list[Lit]] = []
-        self._watches: dict[Lit, list[int]] = {}
+        self._problem_db: list[_Clause] = []
+        self._learned_db: list[_Clause] = []
+        self._watches: dict[Lit, list[_Clause]] = {}
         self._assign: list[int] = [_UNASSIGNED]  # index 0 unused
         self._level: list[int] = [0]
-        self._reason: list[int | None] = [None]
+        self._reason: list[_Clause | None] = [None]
         self._phase: list[bool] = [False]
         self._activity: list[float] = [0.0]
         self._trail: list[Lit] = []
@@ -63,6 +93,11 @@ class Solver:
         self._qhead = 0
         self._activity_inc = 1.0
         self._decay = decay
+        self._clause_inc = 1.0
+        self._clause_decay = clause_decay
+        self._max_learned = max_learned
+        self._reduce_growth = reduce_growth
+        self._glue_lbd = glue_lbd
         self._restart_base = restart_base
         self._ok = True  # False once a top-level conflict is found
         self._assumption_levels: list[int] = []
@@ -75,6 +110,8 @@ class Solver:
             "propagations": 0,
             "restarts": 0,
             "learned": 0,
+            "learned_deleted": 0,
+            "db_reductions": 0,
         }
 
     # ------------------------------------------------------------------
@@ -102,11 +139,13 @@ class Solver:
             self.new_var()
 
     def add_clause(self, lits: Sequence[Lit]) -> bool:
-        """Add a clause; returns False if the solver becomes trivially UNSAT.
+        """Add a problem clause; returns False if the solver becomes UNSAT.
 
         The solver backtracks to decision level 0 first, so clauses may be
         added between ``solve`` calls (e.g. blocking clauses for model
-        enumeration).
+        enumeration).  Problem clauses are never removed by clause-database
+        reduction, so blocking clauses stay in force for the lifetime of
+        the solver.
         """
         if not self._ok:
             return False
@@ -140,10 +179,10 @@ class Solver:
                 self._ok = False
                 return False
             return True
-        index = len(self._clauses)
-        self._clauses.append(cleaned)
-        self._watch(cleaned[0], index)
-        self._watch(cleaned[1], index)
+        clause = _Clause(cleaned)
+        self._problem_db.append(clause)
+        self._watch(cleaned[0], clause)
+        self._watch(cleaned[1], clause)
         return True
 
     def add_cnf(self, cnf: CNF) -> bool:
@@ -164,10 +203,10 @@ class Solver:
             return _UNASSIGNED
         return value if lit > 0 else -value
 
-    def _watch(self, lit: Lit, clause_index: int) -> None:
-        self._watches.setdefault(lit, []).append(clause_index)
+    def _watch(self, lit: Lit, clause: _Clause) -> None:
+        self._watches.setdefault(lit, []).append(clause)
 
-    def _enqueue(self, lit: Lit, reason: int | None) -> bool:
+    def _enqueue(self, lit: Lit, reason: _Clause | None) -> bool:
         value = self._value(lit)
         if value == _FALSE:
             return False
@@ -181,8 +220,8 @@ class Solver:
         self._trail.append(lit)
         return True
 
-    def _propagate(self) -> int | None:
-        """Unit propagation; returns a conflicting clause index or None."""
+    def _propagate(self) -> _Clause | None:
+        """Unit propagation; returns a conflicting clause or None."""
         while self._qhead < len(self._trail):
             lit = self._trail[self._qhead]
             self._qhead += 1
@@ -191,37 +230,39 @@ class Solver:
             watch_list = self._watches.get(false_lit)
             if not watch_list:
                 continue
-            kept: list[int] = []
+            kept: list[_Clause] = []
             i = 0
             n = len(watch_list)
             while i < n:
-                ci = watch_list[i]
+                clause = watch_list[i]
                 i += 1
-                cl = self._clauses[ci]
+                if clause.deleted:
+                    continue  # lazily drop clauses removed by reduce_db
+                cl = clause.lits
                 # Normalize: put the false literal in slot 1.
                 if cl[0] == false_lit:
                     cl[0], cl[1] = cl[1], cl[0]
                 first = cl[0]
                 if self._value(first) == _TRUE:
-                    kept.append(ci)
+                    kept.append(clause)
                     continue
                 # Search for a replacement watch.
                 found = False
                 for k in range(2, len(cl)):
                     if self._value(cl[k]) != _FALSE:
                         cl[1], cl[k] = cl[k], cl[1]
-                        self._watch(cl[1], ci)
+                        self._watch(cl[1], clause)
                         found = True
                         break
                 if found:
                     continue
                 # Clause is unit or conflicting.
-                kept.append(ci)
-                if not self._enqueue(first, ci):
+                kept.append(clause)
+                if not self._enqueue(first, clause):
                     # Conflict: keep remaining watches and report.
                     kept.extend(watch_list[i:n])
                     self._watches[false_lit] = kept
-                    return ci
+                    return clause
             self._watches[false_lit] = kept
         return None
 
@@ -257,16 +298,26 @@ class Solver:
         if self._assign[var] == _UNASSIGNED:
             heapq.heappush(self._order_heap, (-self._activity[var], var))
 
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._clause_inc
+        if clause.activity > 1e20:
+            for c in self._learned_db:
+                c.activity *= 1e-20
+            self._clause_inc *= 1e-20
+
     def _decay_activities(self) -> None:
         self._activity_inc /= self._decay
+        self._clause_inc /= self._clause_decay
 
-    def _analyze(self, conflict: int) -> tuple[list[Lit], int]:
+    def _analyze(self, conflict: _Clause) -> tuple[list[Lit], int]:
         """First-UIP analysis; returns (learned clause, backjump level)."""
         learned: list[Lit] = []
         seen = [False] * (self._num_vars + 1)
         counter = 0
         lit: Lit | None = None
-        reason_clause: list[Lit] = list(self._clauses[conflict])
+        if conflict.learned:
+            self._bump_clause(conflict)
+        reason_clause: list[Lit] = list(conflict.lits)
         index = len(self._trail)
         current_level = self._decision_level()
 
@@ -293,9 +344,11 @@ class Solver:
             if counter == 0:
                 learned.insert(0, -lit)
                 break
-            reason_index = self._reason[abs(lit)]
-            assert reason_index is not None, "UIP literal must have a reason"
-            reason_clause = self._clauses[reason_index]
+            reason = self._reason[abs(lit)]
+            assert reason is not None, "UIP literal must have a reason"
+            if reason.learned:
+                self._bump_clause(reason)
+            reason_clause = reason.lits
 
         # Clause minimization: drop literals implied by the rest.
         learned = self._minimize(learned, seen)
@@ -317,15 +370,19 @@ class Solver:
         marked = set(abs(q) for q in learned)
         result = [learned[0]]
         for q in learned[1:]:
-            reason_index = self._reason[abs(q)]
-            if reason_index is None:
+            reason = self._reason[abs(q)]
+            if reason is None:
                 result.append(q)
                 continue
-            reason = self._clauses[reason_index]
-            if all(abs(r) in marked or self._level[abs(r)] == 0 for r in reason if r != -q):
+            if all(abs(r) in marked or self._level[abs(r)] == 0
+                   for r in reason.lits if r != -q):
                 continue  # q is redundant
             result.append(q)
         return result
+
+    def _compute_lbd(self, lits: Sequence[Lit]) -> int:
+        """Literal block distance: number of distinct decision levels."""
+        return len({self._level[abs(q)] for q in lits})
 
     def _record_learned(self, learned: list[Lit]) -> None:
         self.stats["learned"] += 1
@@ -333,12 +390,72 @@ class Solver:
             enqueued = self._enqueue(learned[0], None)
             assert enqueued, "learned unit must be assignable after backjump"
             return
-        index = len(self._clauses)
-        self._clauses.append(learned)
-        self._watch(learned[0], index)
-        self._watch(learned[1], index)
-        enqueued = self._enqueue(learned[0], index)
+        clause = _Clause(learned, learned=True, lbd=self._compute_lbd(learned))
+        self._learned_db.append(clause)
+        self._watch(learned[0], clause)
+        self._watch(learned[1], clause)
+        enqueued = self._enqueue(learned[0], clause)
         assert enqueued, "learned clause must be asserting"
+
+    # ------------------------------------------------------------------
+    # Clause database management
+    # ------------------------------------------------------------------
+
+    def reduce_db(self) -> int:
+        """Discard the less useful half of the learned clauses.
+
+        Clauses currently acting as a reason for an assignment ("locked"),
+        binary clauses and low-LBD "glue" clauses are always kept; the rest
+        are ranked by (LBD, activity) and the worse half is deleted.
+        Deleted clauses are flagged and evicted from watch lists lazily
+        during propagation.  Returns the number of clauses deleted.
+        """
+        locked = {id(c) for c in self._reason if c is not None}
+        keep: list[_Clause] = []
+        candidates: list[_Clause] = []
+        for clause in self._learned_db:
+            if clause.deleted:
+                continue
+            if (id(clause) in locked or len(clause.lits) <= 2
+                    or clause.lbd <= self._glue_lbd):
+                keep.append(clause)
+            else:
+                candidates.append(clause)
+        candidates.sort(key=lambda c: (c.lbd, -c.activity))
+        half = len(candidates) // 2
+        for clause in candidates[half:]:
+            clause.deleted = True
+        deleted = len(candidates) - half
+        self._learned_db = keep + candidates[:half]
+        self.stats["learned_deleted"] += deleted
+        self.stats["db_reductions"] += 1
+        # Grow the budget geometrically, but never by less than one (small
+        # budgets would otherwise truncate to zero growth), and never below
+        # the survivors plus slack (an always-kept set at the budget would
+        # otherwise re-trigger a no-op reduction on every conflict).
+        self._max_learned = max(
+            int(self._max_learned * self._reduce_growth),
+            self._max_learned + 1,
+            len(self._learned_db) + 16,
+        )
+        return deleted
+
+    def clause_db_stats(self) -> dict[str, float]:
+        """Snapshot of the clause database (feeds benchmark reports)."""
+        learned = [c for c in self._learned_db if not c.deleted]
+        return {
+            "problem_clauses": len(self._problem_db),
+            "learned_clauses": len(learned),
+            "learned_total": self.stats["learned"],
+            "learned_deleted": self.stats["learned_deleted"],
+            "db_reductions": self.stats["db_reductions"],
+            "glue_clauses": sum(
+                1 for c in learned if c.lbd <= self._glue_lbd
+            ),
+            "avg_lbd": (
+                sum(c.lbd for c in learned) / len(learned) if learned else 0.0
+            ),
+        }
 
     # ------------------------------------------------------------------
     # Decisions
@@ -401,6 +518,8 @@ class Solver:
                 self._backtrack(backjump)
                 self._record_learned(learned)
                 self._decay_activities()
+                if len(self._learned_db) >= self._max_learned:
+                    self.reduce_db()
                 continue
 
             if conflicts_since_restart >= conflicts_until_restart:

@@ -268,6 +268,34 @@ class TestEnumeration:
         b.bound(r, three_atoms.empty(1), three_atoms.all_tuples(1))
         assert count_solutions(ast.TrueF(), b, limit=3) == 3
 
+    def test_limit_zero(self, three_atoms):
+        r = relation("r", 1)
+        b = Bounds(three_atoms)
+        b.bound(r, three_atoms.empty(1), three_atoms.all_tuples(1))
+        assert count_solutions(ast.TrueF(), b, limit=0) == 0
+        assert list(iter_solutions(ast.TrueF(), b, limit=0)) == []
+
+    def test_negative_limit_rejected(self, three_atoms):
+        r = relation("r", 1)
+        b = Bounds(three_atoms)
+        b.bound(r, three_atoms.empty(1), three_atoms.all_tuples(1))
+        with pytest.raises(ValueError):
+            list(iter_solutions(ast.TrueF(), b, limit=-1))
+
+    def test_symmetry_enumerates_only_canonical_instances(self, three_atoms):
+        # 3 interchangeable atoms: 8 subsets fall into 4 isomorphism
+        # classes (one per cardinality); symmetry breaking yields exactly
+        # the canonical representative of each.
+        r = relation("r", 1)
+        b = Bounds(three_atoms)
+        b.bound(r, three_atoms.empty(1), three_atoms.all_tuples(1))
+        sizes = sorted(
+            len(inst.value_of(r))
+            for inst in iter_solutions(ast.TrueF(), b, symmetry=20)
+        )
+        assert sizes == [0, 1, 2, 3]
+        assert count_solutions(ast.TrueF(), b) == 8
+
     def test_solutions_distinct(self, three_atoms):
         r = relation("r", 1)
         b = Bounds(three_atoms)

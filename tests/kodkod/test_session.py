@@ -1,0 +1,147 @@
+"""Tests for the incremental model-finding Session."""
+
+import pytest
+
+from repro.kodkod import Bounds, Session, Universe, relation
+from repro.kodkod import ast
+from repro.sat.solver import Solver
+
+
+@pytest.fixture
+def three_atoms():
+    return Universe(["a", "b", "c"])
+
+
+def _free_unary(universe):
+    r = relation("r", 1)
+    bounds = Bounds(universe)
+    bounds.bound(r, universe.empty(1), universe.all_tuples(1))
+    return r, bounds
+
+
+class TestSessionSolving:
+    def test_single_solve(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        session = Session(r.some(), bounds)
+        solution = session.solve()
+        assert solution.satisfiable
+        assert len(solution.instance.value_of(r)) >= 1
+
+    def test_solver_persists_across_queries(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        session = Session(r.some(), bounds)
+        first_solver = session.solver
+        session.solve()
+        session.solve()
+        assert session.solver is first_solver
+
+    def test_solver_stats_accumulate(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        session = Session(r.some(), bounds)
+        solution = session.solve()
+        assert "conflicts" in solution.solver_stats
+        assert "db_reductions" in solution.solver_stats
+        assert session.clause_db_stats()["problem_clauses"] > 0
+
+    def test_custom_solver_injected(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        solver = Solver(max_learned=10)
+        session = Session(r.some(), bounds, solver=solver)
+        assert session.solver is solver
+        assert session.solve().satisfiable
+
+
+class TestSessionAssumptions:
+    def test_assume_tuple_present(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        session = Session(ast.TrueF(), bounds)
+        lit = session.assume_tuple(r, ("b",), present=True)
+        solution = session.solve([lit])
+        assert solution.satisfiable
+        assert ("b",) in solution.instance.value_of(r)
+
+    def test_assume_tuple_absent(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        session = Session(r.count_eq(3), bounds)
+        lit = session.assume_tuple(r, ("b",), present=False)
+        assert not session.solve([lit]).satisfiable
+        # The session survives an UNSAT answer under assumptions.
+        assert session.solve().satisfiable
+
+    def test_conflicting_assumptions_do_not_poison_session(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        session = Session(ast.TrueF(), bounds)
+        yes = session.assume_tuple(r, ("a",), present=True)
+        no = session.assume_tuple(r, ("a",), present=False)
+        assert not session.solve([yes, no]).satisfiable
+        assert session.solve().satisfiable
+
+    def test_assumptions_with_symmetry_are_canonical_only(self, three_atoms):
+        # Documented caveat: with symmetry breaking on, assumptions are
+        # answered over canonical models only, so an assumption that only
+        # a non-canonical model satisfies may be refuted.  The default
+        # (symmetry=0) answers over the full model space.
+        r, bounds = _free_unary(three_atoms)
+        full = Session(ast.TrueF(), bounds, symmetry=0)
+        lit = full.assume_tuple(r, ("a",), present=True)
+        assert full.solve([lit]).satisfiable
+        canonical = Session(ast.TrueF(), bounds, symmetry=20)
+        results = [
+            canonical.solve([canonical.assume_tuple(r, (atom,), present=True)])
+            for atom in ("a", "b", "c")
+        ]
+        # At least one singleton-ish assumption survives (the orbit keeps
+        # a witness), even though some atoms' assumptions may be refuted.
+        assert any(res.satisfiable for res in results)
+
+    def test_assume_non_free_tuple_raises(self, three_atoms):
+        r = relation("r", 1)
+        bounds = Bounds(three_atoms)
+        bounds.bound_exactly(r, three_atoms.tuple_set(1, [("a",)]))
+        session = Session(ast.TrueF(), bounds)
+        with pytest.raises(KeyError):
+            session.assume_tuple(r, ("a",))
+
+
+class TestSessionEnumeration:
+    def test_blocking_walks_all_models(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        session = Session(ast.TrueF(), bounds)
+        seen = set()
+        for instance in session.iter_solutions():
+            key = frozenset(instance.value_of(r))
+            assert key not in seen
+            seen.add(key)
+        assert len(seen) == 8
+
+    def test_limit_zero_yields_nothing(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        session = Session(ast.TrueF(), bounds)
+        assert list(session.iter_solutions(limit=0)) == []
+
+    def test_negative_limit_rejected(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        session = Session(ast.TrueF(), bounds)
+        with pytest.raises(ValueError):
+            list(session.iter_solutions(limit=-1))
+
+    def test_block_current_requires_a_model(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        session = Session(ast.FalseF(), bounds)
+        assert not session.solve().satisfiable
+        assert not session.block_current()
+
+    def test_enumeration_resumable_after_assumption_query(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        session = Session(ast.TrueF(), bounds)
+        # Taking one model via next() suspends the generator before it
+        # blocks, so the session still holds the model for block_current.
+        first = next(iter(session.iter_solutions(limit=1)))
+        assert session.block_current()
+        lit = session.assume_tuple(r, ("a",), present=True)
+        assert session.solve([lit]).satisfiable
+        # Remaining enumeration excludes the first model.
+        rest = {
+            frozenset(i.value_of(r)) for i in session.iter_solutions()
+        }
+        assert frozenset(first.value_of(r)) not in rest

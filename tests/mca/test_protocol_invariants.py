@@ -23,6 +23,7 @@ from repro.mca import (
     SynchronousEngine,
     consensus_report,
     message_bound,
+    round_bound,
 )
 
 
@@ -64,13 +65,19 @@ class TestHonestInvariants:
     @given(honest_scenarios())
     @settings(max_examples=40, deadline=None)
     def test_convergence_conflict_freedom_and_bound(self, scenario):
+        # The D*|J| message bound does not cap *rounds* once bundle
+        # targets exceed 1: an outbid empties a bundle and raises a
+        # first-slot marginal, starting a re-auction wave.  round_bound
+        # adds one wave term per bundle slot.
         network, items, policies = scenario
+        targets = {a: p.target for a, p in policies.items()}
+        bound = round_bound(network, items, targets)
         engine = SynchronousEngine(network, items, policies)
-        result = engine.run(max_rounds=message_bound(network, items) + 5)
+        result = engine.run(max_rounds=bound + 2)
         assert result.converged
         report = consensus_report(engine.agents)
         assert report.consensus
-        assert result.rounds <= message_bound(network, items) + 1
+        assert result.rounds <= bound
 
     @given(honest_scenarios())
     @settings(max_examples=25, deadline=None)

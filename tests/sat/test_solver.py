@@ -197,6 +197,83 @@ class TestIncremental:
         assert solver.stats["propagations"] > 0
 
 
+class TestClauseDatabase:
+    def _pigeonhole(self, pigeons, holes):
+        cnf = CNF()
+        var = {}
+        for p in range(pigeons):
+            for h in range(holes):
+                var[p, h] = cnf.new_var()
+        for p in range(pigeons):
+            cnf.add_clause([var[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    cnf.add_clause([-var[p1, h], -var[p2, h]])
+        return cnf
+
+    def test_learned_kept_separate_from_problem(self):
+        cnf = self._pigeonhole(4, 3)
+        solver = Solver()
+        solver.add_cnf(cnf)
+        solver.solve()
+        db = solver.clause_db_stats()
+        assert db["problem_clauses"] == cnf.num_clauses
+        assert db["learned_total"] > 0
+
+    def test_reduction_triggers_and_preserves_verdict(self):
+        cnf = self._pigeonhole(6, 5)
+        solver = Solver(max_learned=20, reduce_growth=1.1)
+        solver.add_cnf(cnf)
+        assert solver.solve() is Status.UNSAT
+        assert solver.stats["db_reductions"] > 0
+        assert solver.stats["learned_deleted"] > 0
+
+    def test_reduction_never_deletes_problem_clauses(self):
+        cnf = self._pigeonhole(6, 5)
+        solver = Solver(max_learned=20, reduce_growth=1.1)
+        solver.add_cnf(cnf)
+        solver.solve()
+        db = solver.clause_db_stats()
+        assert db["problem_clauses"] == cnf.num_clauses
+
+    def test_manual_reduce_respects_glue_and_binary(self):
+        cnf = self._pigeonhole(5, 4)
+        solver = Solver()
+        solver.add_cnf(cnf)
+        solver.solve()
+        before = [c for c in solver._learned_db if not c.deleted]
+        solver.reduce_db()
+        after = [c for c in solver._learned_db if not c.deleted]
+        kept_always = [
+            c for c in before if len(c.lits) <= 2 or c.lbd <= 2
+        ]
+        assert all(c in after for c in kept_always)
+
+    def test_lbd_recorded_on_learned_clauses(self):
+        cnf = self._pigeonhole(5, 4)
+        solver = Solver()
+        solver.add_cnf(cnf)
+        solver.solve()
+        learned = [c for c in solver._learned_db if not c.deleted]
+        assert learned
+        assert all(c.lbd >= 1 for c in learned)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_aggressive_reduction_agrees_with_brute_force(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(6, 12)
+        cnf = random_cnf(num_vars, int(4.2 * num_vars), rng)
+        solver = Solver(max_learned=5, reduce_growth=1.05)
+        if not solver.add_cnf(cnf):
+            assert not brute_force_satisfiable(cnf)
+            return
+        status = solver.solve()
+        assert (status is Status.SAT) == brute_force_satisfiable(cnf)
+        if status is Status.SAT:
+            assert solver.model().satisfies(cnf.clauses())
+
+
 def random_cnf(draw_vars, draw_clauses, rng):
     cnf = CNF()
     cnf.new_vars(draw_vars)
