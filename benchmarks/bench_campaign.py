@@ -1,0 +1,61 @@
+"""Benchmark: campaign throughput and result-cache effectiveness.
+
+Asserts the campaign acceptance shape: a randomized sweep across several
+families and oracles completes with zero disagreements, and a warm re-run
+is served entirely from the result cache, much faster than the cold run.
+"""
+
+import pytest
+
+from repro.analysis import campaign_summary
+from repro.campaign import build_default_campaign, run_campaign
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    return build_default_campaign(instances=36, base_seed=7)
+
+
+def test_campaign_runs_clean(small_campaign, tmp_path, report):
+    cold = run_campaign(small_campaign, shards=1,
+                        cache_dir=tmp_path / "cache")
+    summary = campaign_summary(cold.results)
+    report.append(
+        f"[campaign] {cold.total} tasks, "
+        f"{summary['totals']['disagreements']} disagreements, "
+        f"{summary['totals']['errors']} errors, "
+        f"{cold.wall_seconds:.2f}s cold"
+    )
+    assert cold.clean
+    families = {r.family for r in cold.results}
+    oracles = {r.oracle for r in cold.results}
+    assert len(families) >= 3
+    assert len(oracles) >= 4
+
+
+def test_cache_hit_speedup(small_campaign, tmp_path, report):
+    cache_dir = tmp_path / "cache"
+    cold = run_campaign(small_campaign, shards=1, cache_dir=cache_dir)
+    warm = run_campaign(small_campaign, shards=1, cache_dir=cache_dir)
+    speedup = cold.wall_seconds / max(warm.wall_seconds, 1e-9)
+    report.append(
+        f"[campaign] warm: {warm.cache_hits}/{warm.total} hits, "
+        f"{warm.wall_seconds:.3f}s ({speedup:.0f}x vs cold)"
+    )
+    assert warm.cache_hits == warm.total
+    assert warm.executed == 0
+    assert speedup >= 5.0
+
+
+def test_sharded_matches_inline(small_campaign, tmp_path):
+    inline = run_campaign(small_campaign, shards=1, cache_dir=None)
+    sharded = run_campaign(small_campaign, shards=2, cache_dir=None)
+    inline_verdicts = {
+        (r.spec_hash, r.oracle): (r.agree, r.error is None)
+        for r in inline.results
+    }
+    sharded_verdicts = {
+        (r.spec_hash, r.oracle): (r.agree, r.error is None)
+        for r in sharded.results
+    }
+    assert inline_verdicts == sharded_verdicts

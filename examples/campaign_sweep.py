@@ -1,0 +1,63 @@
+"""Campaign sweep: randomized differential verification of the whole stack.
+
+Builds the default campaign (random MCA auctions, dispatch grids, UAV task
+sets, vnet topologies and random relational problems, each paired with the
+applicable differential oracle), runs it cold through a sharded process
+pool, then re-runs it to demonstrate the content-addressed result cache.
+
+Run:  python examples/campaign_sweep.py
+
+Environment:
+  CAMPAIGN_SWEEP_INSTANCES  minimum task count (default 120)
+  CAMPAIGN_SWEEP_SHARDS     worker processes (default 2)
+"""
+
+import os
+import sys
+import tempfile
+
+from repro.analysis import render_campaign_table, write_campaign_json
+from repro.campaign import build_default_campaign, run_campaign
+
+
+def main() -> int:
+    instances = int(os.environ.get("CAMPAIGN_SWEEP_INSTANCES", "120"))
+    shards = int(os.environ.get("CAMPAIGN_SWEEP_SHARDS", "2"))
+    tasks = build_default_campaign(instances=instances)
+    families = {spec.family for spec, _ in tasks}
+    oracles = {oracle for _, oracle in tasks}
+    print(f"campaign: {len(tasks)} tasks over {len(families)} families "
+          f"({', '.join(sorted(families))}) and {len(oracles)} oracles "
+          f"({', '.join(sorted(oracles))})")
+
+    # A fresh cache directory so the first run is genuinely cold.
+    with tempfile.TemporaryDirectory(prefix="campaign_cache_") as cache_dir:
+        cold = run_campaign(tasks, shards=shards, cache_dir=cache_dir)
+        print(render_campaign_table(
+            cold.results,
+            title=f"cold run: {cold.wall_seconds:.2f}s wall, "
+                  f"{cold.shards} shard(s)"))
+        artifact = write_campaign_json(
+            cold.results, "BENCH_campaign.json",
+            wall_seconds=cold.wall_seconds, shards=cold.shards)
+        print(f"artifact: BENCH_campaign.json "
+              f"({artifact['summary']['totals']['tasks']} results)")
+
+        warm = run_campaign(tasks, shards=shards, cache_dir=cache_dir)
+        speedup = cold.wall_seconds / max(warm.wall_seconds, 1e-9)
+        print(f"\nwarm re-run: {warm.wall_seconds:.3f}s wall, "
+              f"{warm.cache_hits}/{warm.total} cache hits, "
+              f"{speedup:.0f}x faster")
+
+    ok = cold.clean and warm.clean
+    if not ok:
+        for bad in cold.disagreements + cold.errors:
+            print(f"FAILED: {bad.family}#{bad.seed} / {bad.oracle}: "
+                  f"{bad.error or bad.detail}", file=sys.stderr)
+    assert warm.cache_hits == warm.total, "warm run missed the cache"
+    print("\nall oracles agree" if ok else "\nORACLE DISAGREEMENT", flush=True)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,5 +1,15 @@
 """Experiment drivers and reporting for the paper's evaluation."""
 
-from repro.analysis.report import render_table
+from repro.analysis.report import (
+    campaign_summary,
+    render_campaign_table,
+    render_table,
+    write_campaign_json,
+)
 
-__all__ = ["render_table"]
+__all__ = [
+    "campaign_summary",
+    "render_campaign_table",
+    "render_table",
+    "write_campaign_json",
+]

@@ -1,8 +1,20 @@
-"""Plain-text table rendering for experiment reports."""
+"""Plain-text table rendering and campaign aggregation for reports.
+
+Besides the monospace tables the benchmarks print, this module aggregates
+campaign sweeps (:mod:`repro.campaign`) into a per-oracle/per-family
+summary table and a ``BENCH_*.json``-style artifact, so randomized
+regression sweeps land in the same reporting trajectory as the paper's
+benchmarks.
+"""
 
 from __future__ import annotations
 
-from typing import Sequence
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.campaign.runner import CampaignResult
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
@@ -22,3 +34,110 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
     for row in str_rows:
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Campaign aggregation
+# ----------------------------------------------------------------------
+
+
+def campaign_summary(results: Iterable["CampaignResult"]) -> dict:
+    """Aggregate campaign results per (oracle, family) cell.
+
+    Returns a JSON-able dict with per-cell counts (tasks, disagreements,
+    errors, cache hits, executed seconds) plus campaign-wide totals.
+    """
+    cells: dict[tuple[str, str], dict] = {}
+    totals = {
+        "tasks": 0,
+        "disagreements": 0,
+        "errors": 0,
+        "cache_hits": 0,
+        "executed_seconds": 0.0,
+    }
+    for result in results:
+        cell = cells.setdefault(
+            (result.oracle, result.family),
+            {
+                "oracle": result.oracle,
+                "family": result.family,
+                "tasks": 0,
+                "disagreements": 0,
+                "errors": 0,
+                "cache_hits": 0,
+                "executed_seconds": 0.0,
+            },
+        )
+        cell["tasks"] += 1
+        totals["tasks"] += 1
+        if result.error is not None:
+            cell["errors"] += 1
+            totals["errors"] += 1
+        elif not result.agree:
+            cell["disagreements"] += 1
+            totals["disagreements"] += 1
+        if result.cached:
+            cell["cache_hits"] += 1
+            totals["cache_hits"] += 1
+        else:
+            cell["executed_seconds"] += result.seconds
+            totals["executed_seconds"] += result.seconds
+    totals["executed_seconds"] = round(totals["executed_seconds"], 3)
+    ordered = [cells[key] for key in sorted(cells)]
+    for cell in ordered:
+        cell["executed_seconds"] = round(cell["executed_seconds"], 3)
+    return {"cells": ordered, "totals": totals}
+
+
+def render_campaign_table(results: Iterable["CampaignResult"],
+                          title: str = "campaign sweep") -> str:
+    """The campaign summary as an aligned monospace table."""
+    summary = campaign_summary(results)
+    rows = [
+        [
+            cell["oracle"],
+            cell["family"],
+            cell["tasks"],
+            cell["disagreements"],
+            cell["errors"],
+            cell["cache_hits"],
+            f"{cell['executed_seconds']:.3f}",
+        ]
+        for cell in summary["cells"]
+    ]
+    totals = summary["totals"]
+    rows.append([
+        "TOTAL",
+        "-",
+        totals["tasks"],
+        totals["disagreements"],
+        totals["errors"],
+        totals["cache_hits"],
+        f"{totals['executed_seconds']:.3f}",
+    ])
+    return render_table(
+        ["oracle", "family", "tasks", "disagree", "errors", "cached", "exec s"],
+        rows,
+        title=title,
+    )
+
+
+def write_campaign_json(results: Sequence["CampaignResult"],
+                        path: str | Path,
+                        wall_seconds: float = 0.0,
+                        shards: int = 1) -> dict:
+    """Write the ``BENCH_*.json``-style campaign artifact; returns it."""
+    summary = campaign_summary(results)
+    artifact = {
+        "benchmark": "campaign",
+        "shards": shards,
+        "wall_seconds": round(wall_seconds, 3),
+        "summary": summary,
+        "results": [result.to_json() for result in results],
+    }
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return artifact

@@ -1,0 +1,69 @@
+"""Scenario campaigns: sharded randomized verification sweeps.
+
+The campaign subsystem turns the verification stack into its own oracle:
+
+* :mod:`repro.campaign.specs` — seeded :class:`ScenarioSpec` generators
+  for every workload family plus random relational problems, with
+  grid/random sweep expansion;
+* :mod:`repro.campaign.oracles` — differential oracles pairing each fast
+  path (symmetry breaking, incremental sessions, the memoized explorer,
+  the engines) with a slow reference path;
+* :mod:`repro.campaign.runner` — a sharded process-pool runner with
+  per-task timeouts and a content-addressed on-disk result cache.
+
+``python -m repro.campaign`` runs a default randomized sweep and writes a
+``BENCH_campaign.json`` artifact; see the README's campaign section.
+"""
+
+from repro.campaign.oracles import ORACLES, Oracle, OracleOutcome, oracles_for
+from repro.campaign.runner import (
+    CACHE_SCHEMA,
+    CampaignReport,
+    CampaignResult,
+    CampaignTask,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    build_default_campaign,
+    cache_key,
+    execute_task,
+    run_campaign,
+)
+from repro.campaign.specs import (
+    FAMILIES,
+    AuctionScenario,
+    RelationalProblem,
+    ScenarioSpec,
+    expand,
+    grid_sweep,
+    materialize,
+    random_sweep,
+    register_family,
+    scenario_fingerprint,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "FAMILIES",
+    "ORACLES",
+    "AuctionScenario",
+    "CampaignReport",
+    "CampaignResult",
+    "CampaignTask",
+    "Oracle",
+    "OracleOutcome",
+    "RelationalProblem",
+    "ResultCache",
+    "ScenarioSpec",
+    "build_default_campaign",
+    "cache_key",
+    "execute_task",
+    "expand",
+    "grid_sweep",
+    "materialize",
+    "oracles_for",
+    "random_sweep",
+    "register_family",
+    "run_campaign",
+    "scenario_fingerprint",
+]

@@ -1,0 +1,256 @@
+"""Differential oracles: fast paths checked against reference paths.
+
+Every optimization PR 1 added to the verification core has a slower,
+obviously-correct twin.  An oracle runs both on the same materialized
+scenario and reports whether they agree — across a large randomized sweep
+the whole stack becomes its own test oracle:
+
+==============  =====================================  ==========================
+oracle          fast path                              reference path
+==============  =====================================  ==========================
+``symmetry``    ``solve`` with lex-leader SBP          ``solve(symmetry=0)``
+``enumeration`` one incremental :class:`Session`       fresh solver per model
+``evaluator``   translator + CDCL enumeration          brute force + ground eval
+``explorer``    canonical-state-memoized exploration   plain DFS (``memoize=False``)
+``engines``     synchronous lock-step engine           asynchronous delivery
+==============  =====================================  ==========================
+
+An oracle *agrees* when the two paths produce the same verdict; the
+returned detail dict records what was compared so disagreements are
+diagnosable from the campaign JSON artifact alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.campaign.specs import AuctionScenario, RelationalProblem, ScenarioSpec
+from repro.checking.explorer import explore_message_orders
+from repro.kodkod.engine import Session, iter_solutions, solve
+from repro.kodkod.evaluator import Evaluator, brute_force_instances
+from repro.kodkod.symmetry import DEFAULT_SBP_LENGTH
+from repro.mca.convergence import consensus_report
+from repro.mca.engine import AsynchronousEngine, SynchronousEngine
+
+
+@dataclass
+class OracleOutcome:
+    """Verdict of one oracle on one scenario."""
+
+    oracle: str
+    agree: bool
+    detail: dict = field(default_factory=dict)
+    """JSON-able breakdown of what the two paths reported."""
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """A named differential check over one scenario family shape."""
+
+    name: str
+    families: frozenset[str]
+    run: Callable[[ScenarioSpec, object], OracleOutcome]
+    description: str = ""
+
+    def applicable(self, spec: ScenarioSpec) -> bool:
+        """Whether this oracle knows how to check the spec's family."""
+        return spec.family in self.families
+
+
+ORACLES: dict[str, Oracle] = {}
+
+_RELATIONAL = frozenset({"relational"})
+_AUCTIONS = frozenset({"mca", "dispatch", "uav", "vnet"})
+
+# Fresh-solver enumeration rebuilds the translation per model; cap the
+# model count so a pathological spec cannot stall a shard (specs whose
+# model space exceeds the cap are reported as truncated, still compared).
+_ENUMERATION_CAP = 1500
+
+
+def register_oracle(name: str, families: frozenset[str], description: str = ""):
+    """Decorator: register an oracle implementation under a name."""
+
+    def decorate(fn: Callable[[ScenarioSpec, object], OracleOutcome]):
+        ORACLES[name] = Oracle(name, families, fn, description)
+        return fn
+
+    return decorate
+
+
+def oracles_for(spec: ScenarioSpec) -> list[str]:
+    """Names of every registered oracle applicable to a spec."""
+    return sorted(n for n, o in ORACLES.items() if o.applicable(spec))
+
+
+@register_oracle("symmetry", _RELATIONAL,
+                 "solve with lex-leader SBP vs solve(symmetry=0): same verdict")
+def _symmetry_oracle(spec: ScenarioSpec,
+                     scenario: RelationalProblem) -> OracleOutcome:
+    fast = solve(scenario.formula, scenario.bounds,
+                 symmetry=DEFAULT_SBP_LENGTH)
+    reference = solve(scenario.formula, scenario.bounds, symmetry=0)
+    return OracleOutcome(
+        oracle="symmetry",
+        agree=fast.satisfiable == reference.satisfiable,
+        detail={
+            "sat_with_sbp": fast.satisfiable,
+            "sat_without_sbp": reference.satisfiable,
+            "sbp_clauses": fast.stats.num_clauses,
+            "plain_clauses": reference.stats.num_clauses,
+        },
+    )
+
+
+@register_oracle("enumeration", _RELATIONAL,
+                 "Session-incremental enumeration vs fresh solver per model")
+def _enumeration_oracle(spec: ScenarioSpec,
+                        scenario: RelationalProblem) -> OracleOutcome:
+    formula, bounds = scenario.formula, scenario.bounds
+    session = Session(formula, bounds)
+    incremental = {
+        scenario.instance_key(inst)
+        for inst in session.iter_solutions(limit=_ENUMERATION_CAP)
+    }
+    # Reference: a brand-new translation and solver for every model, with
+    # the blocking clauses re-asserted from scratch each round.  No learned
+    # clause survives between queries, so any incremental-state bug in the
+    # session path shows up as a set difference.
+    reference: set = set()
+    blocking: list[list[int]] = []
+    while len(reference) < _ENUMERATION_CAP:
+        fresh = Session(formula, bounds)
+        if not all(fresh.solver.add_clause(cl) for cl in blocking):
+            break
+        solution = fresh.solve()
+        if not solution.satisfiable:
+            break
+        reference.add(scenario.instance_key(solution.instance))
+        primary = fresh.translation.primary_vars()
+        if not primary:
+            break
+        model = fresh.solver.model()
+        blocking.append([-v if model[v] else v for v in primary])
+    truncated = (len(incremental) >= _ENUMERATION_CAP
+                 or len(reference) >= _ENUMERATION_CAP)
+    # Under the cap both paths must enumerate the exact same instance set.
+    # At the cap the sets may legitimately differ (the two paths walk the
+    # model space in different orders), so only the counts are compared.
+    agree = (len(incremental) == len(reference) if truncated
+             else incremental == reference)
+    return OracleOutcome(
+        oracle="enumeration",
+        agree=agree,
+        detail={
+            "incremental_models": len(incremental),
+            "fresh_solver_models": len(reference),
+            "truncated": truncated,
+        },
+    )
+
+
+@register_oracle("evaluator", _RELATIONAL,
+                 "translator + solver enumeration vs brute force + ground eval")
+def _evaluator_oracle(spec: ScenarioSpec,
+                      scenario: RelationalProblem) -> OracleOutcome:
+    formula, bounds = scenario.formula, scenario.bounds
+    solved = {
+        scenario.instance_key(inst)
+        for inst in iter_solutions(formula, bounds)
+    }
+    ground = {
+        scenario.instance_key(inst)
+        for inst in brute_force_instances(bounds)
+        if Evaluator(inst).check(formula)
+    }
+    return OracleOutcome(
+        oracle="evaluator",
+        agree=solved == ground,
+        detail={
+            "sat_models": len(solved),
+            "ground_models": len(ground),
+            "only_sat": len(solved - ground),
+            "only_ground": len(ground - solved),
+        },
+    )
+
+
+@register_oracle("explorer", _AUCTIONS,
+                 "memoized schedule exploration vs plain DFS: same verdict")
+def _explorer_oracle(spec: ScenarioSpec,
+                     scenario: AuctionScenario) -> OracleOutcome:
+    max_rounds = int(spec.param("explore_rounds", 8))
+    max_paths = int(spec.param("explore_paths", 4000))
+    memoized = explore_message_orders(
+        scenario.network, scenario.items, scenario.policies,
+        max_rounds=max_rounds, max_paths=max_paths, memoize=True,
+    )
+    plain = explore_message_orders(
+        scenario.network, scenario.items, scenario.policies,
+        max_rounds=max_rounds, max_paths=max_paths, memoize=False,
+    )
+    agree = (
+        memoized.all_converged == plain.all_converged
+        and memoized.max_rounds_to_converge == plain.max_rounds_to_converge
+        and (memoized.counterexample is None) == (plain.counterexample is None)
+    )
+    return OracleOutcome(
+        oracle="explorer",
+        agree=agree,
+        detail={
+            "memoized_converged": memoized.all_converged,
+            "plain_converged": plain.all_converged,
+            "memoized_worst_rounds": memoized.max_rounds_to_converge,
+            "plain_worst_rounds": plain.max_rounds_to_converge,
+            "memo_hits": memoized.memo_hits,
+            "plain_paths": plain.paths_explored,
+        },
+    )
+
+
+@register_oracle("engines", _AUCTIONS,
+                 "synchronous vs asynchronous (fifo + random) convergence")
+def _engines_oracle(spec: ScenarioSpec,
+                    scenario: AuctionScenario) -> OracleOutcome:
+    max_rounds = int(spec.param("max_rounds", 300))
+    max_messages = int(spec.param("max_messages", 500000))
+    sync_engine = SynchronousEngine(
+        scenario.network, scenario.items, scenario.policies)
+    sync = sync_engine.run(max_rounds=max_rounds)
+    fifo_engine = AsynchronousEngine(
+        scenario.network, scenario.items, scenario.policies, scheduler="fifo")
+    fifo = fifo_engine.run(max_messages=max_messages)
+    random_engine = AsynchronousEngine(
+        scenario.network, scenario.items, scenario.policies,
+        scheduler="random", seed=spec.seed)
+    rand = random_engine.run(max_messages=max_messages)
+    # The campaign families generate sub-modular, honest policies, where
+    # the paper guarantees convergence under *every* schedule — so every
+    # engine must converge, not merely agree (three identical livelocks
+    # would be a real bug, not agreement).  The final allocation may
+    # legitimately differ between schedules (bids depend on bundle build
+    # order), so the oracle requires the consensus predicate of each
+    # converged state rather than allocation equality.
+    verdicts = {
+        "synchronous": sync.converged,
+        "async_fifo": fifo.converged,
+        "async_random": rand.converged,
+    }
+    consensus = {
+        "synchronous": consensus_report(sync_engine.agents).consensus,
+        "async_fifo": consensus_report(fifo_engine.agents).consensus,
+        "async_random": consensus_report(random_engine.agents).consensus,
+    }
+    agree = all(verdicts.values()) and all(consensus.values())
+    return OracleOutcome(
+        oracle="engines",
+        agree=agree,
+        detail={
+            **{f"converged_{k}": v for k, v in verdicts.items()},
+            **{f"consensus_{k}": v for k, v in consensus.items()},
+            "sync_rounds": sync.rounds,
+            "fifo_messages": fifo.messages_processed,
+            "random_messages": rand.messages_processed,
+        },
+    )

@@ -1,0 +1,89 @@
+"""Differential-oracle tests: every registered oracle agrees on seeded
+random scenarios, and the registry/applicability plumbing works."""
+
+import pytest
+
+from repro.campaign import ORACLES, ScenarioSpec, materialize, oracles_for
+from repro.campaign.specs import random_sweep
+
+EXPECTED_ORACLES = {"symmetry", "enumeration", "evaluator", "explorer",
+                    "engines"}
+
+
+class TestRegistry:
+    def test_all_oracles_registered(self):
+        assert EXPECTED_ORACLES <= set(ORACLES)
+
+    def test_relational_oracles(self):
+        spec = ScenarioSpec.make("relational", 0)
+        assert set(oracles_for(spec)) == {"symmetry", "enumeration",
+                                          "evaluator"}
+
+    def test_auction_oracles(self):
+        for family in ("mca", "dispatch", "uav", "vnet"):
+            spec = ScenarioSpec.make(family, 0)
+            assert set(oracles_for(spec)) == {"explorer", "engines"}
+
+    def test_applicability(self):
+        assert ORACLES["symmetry"].applicable(
+            ScenarioSpec.make("relational", 0))
+        assert not ORACLES["symmetry"].applicable(
+            ScenarioSpec.make("mca", 0))
+
+
+class TestRelationalOracles:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_symmetry_agrees(self, seed):
+        spec = ScenarioSpec.make("relational", seed, num_atoms=3, depth=2,
+                                 max_edges=4)
+        outcome = ORACLES["symmetry"].run(spec, materialize(spec))
+        assert outcome.agree, outcome.detail
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_enumeration_agrees(self, seed):
+        spec = ScenarioSpec.make("relational", seed, num_atoms=3, depth=1,
+                                 max_edges=3)
+        outcome = ORACLES["enumeration"].run(spec, materialize(spec))
+        assert outcome.agree, outcome.detail
+        assert not outcome.detail["truncated"]
+        assert (outcome.detail["incremental_models"]
+                == outcome.detail["fresh_solver_models"])
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_evaluator_agrees(self, seed):
+        spec = ScenarioSpec.make("relational", seed, num_atoms=3, depth=2,
+                                 max_edges=4)
+        outcome = ORACLES["evaluator"].run(spec, materialize(spec))
+        assert outcome.agree, outcome.detail
+        assert outcome.detail["only_sat"] == 0
+        assert outcome.detail["only_ground"] == 0
+
+
+class TestAuctionOracles:
+    @pytest.mark.parametrize("spec", random_sweep(
+        "mca", 3, base_seed=42, num_agents=(3, 5), num_items=(3, 5),
+        target=(1, 2)) + random_sweep(
+        "dispatch", 2, base_seed=43, num_units=(3, 5), num_blocks=(4, 6),
+        capacity_blocks=(1, 2)) + random_sweep(
+        "uav", 2, base_seed=44, num_uavs=(3, 5), num_tasks=(3, 5),
+        capacity=(1, 2)) + random_sweep(
+        "vnet", 2, base_seed=45, grid_width=(2, 3), grid_height=(2, 2),
+        request_size=(2, 3)),
+        ids=lambda s: s.label())
+    def test_engines_converge_everywhere(self, spec):
+        outcome = ORACLES["engines"].run(spec, materialize(spec))
+        assert outcome.agree, outcome.detail
+        assert outcome.detail["converged_synchronous"]
+        assert outcome.detail["consensus_async_random"]
+
+    @pytest.mark.parametrize("spec", random_sweep(
+        "mca", 3, base_seed=46, num_agents=(2, 3), num_items=(1, 2),
+        target=(1, 2)) + random_sweep(
+        "dispatch", 2, base_seed=47, num_units=(2, 3), num_blocks=(1, 2),
+        capacity_blocks=(1, 1)),
+        ids=lambda s: s.label())
+    def test_explorer_memo_matches_plain_dfs(self, spec):
+        outcome = ORACLES["explorer"].run(spec, materialize(spec))
+        assert outcome.agree, outcome.detail
+        assert (outcome.detail["memoized_worst_rounds"]
+                == outcome.detail["plain_worst_rounds"])

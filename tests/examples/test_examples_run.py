@@ -1,0 +1,51 @@
+"""Smoke tests: every example script must run end to end.
+
+The examples are the repo's executable documentation and were previously
+never exercised by CI; each one is run as a subprocess (the way a reader
+would run it) and must exit 0 without writing artifacts into the repo.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_discovered():
+    """Guard against the glob silently matching nothing after a move."""
+    names = {path.name for path in EXAMPLE_SCRIPTS}
+    assert "quickstart.py" in names
+    assert "campaign_sweep.py" in names
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS,
+                         ids=lambda p: p.stem)
+def test_example_runs_clean(script, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    # Keep the campaign example lightweight in CI; harmless elsewhere.
+    env.setdefault("CAMPAIGN_SWEEP_INSTANCES", "24")
+    env.setdefault("CAMPAIGN_SWEEP_SHARDS", "2")
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,  # artifacts (e.g. BENCH_campaign.json) land here
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} failed\n"
+        f"--- stdout ---\n{completed.stdout}\n"
+        f"--- stderr ---\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"

@@ -1,5 +1,8 @@
 """Tests for model enumeration."""
 
+import itertools
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -88,3 +91,55 @@ class TestEnumeration:
             signs = data.draw(st.lists(st.booleans(), min_size=width, max_size=width))
             cnf.add_clause([v if s else -v for v, s in zip(variables, signs)])
         assert count_models(cnf) == brute_force_count(cnf)
+
+
+class TestEnumerationAgainstBruteForce:
+    """Seeded-random differential: the solver's blocking-clause
+    enumeration must produce exactly the assignments a brute-force walk
+    over all 2^n valuations accepts, on CNFs of up to 12 variables."""
+
+    @staticmethod
+    def _random_cnf(rng, num_vars):
+        cnf = CNF(num_vars)
+        for _ in range(rng.randint(0, 4 * num_vars)):
+            width = rng.randint(1, min(3, num_vars))
+            chosen = rng.sample(range(1, num_vars + 1), width)
+            cnf.add_clause(
+                [v if rng.random() < 0.5 else -v for v in chosen])
+        return cnf
+
+    @staticmethod
+    def _brute_force_assignments(cnf):
+        clauses = list(cnf.clauses())
+        satisfying = set()
+        for bits in itertools.product(
+                (False, True), repeat=cnf.num_vars):
+            values = dict(enumerate(bits, start=1))
+            if all(any(values[abs(lit)] == (lit > 0) for lit in clause)
+                   for clause in clauses):
+                satisfying.add(bits)
+        return satisfying
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_enumerated_assignments_match_brute_force(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(4, 12)
+        cnf = self._random_cnf(rng, num_vars)
+        enumerated = {
+            tuple(model[v] for v in range(1, num_vars + 1))
+            for model in iter_models(cnf)
+        }
+        assert enumerated == self._brute_force_assignments(cnf)
+
+    @pytest.mark.parametrize("seed", [100, 101, 102])
+    def test_twelve_var_unconstrained_tail(self, seed):
+        # Sparse CNFs at the 12-var ceiling: large model sets, so the
+        # blocking-clause loop is exercised thousands of times.
+        rng = random.Random(seed)
+        cnf = CNF(12)
+        for _ in range(6):
+            chosen = rng.sample(range(1, 13), 3)
+            cnf.add_clause(
+                [v if rng.random() < 0.5 else -v for v in chosen])
+        assert count_models(cnf) == len(
+            self._brute_force_assignments(cnf))

@@ -274,6 +274,116 @@ class TestClauseDatabase:
             assert solver.model().satisfies(cnf.clauses())
 
 
+class _AuditedSolver(Solver):
+    """Solver whose every mid-search reduce_db call is audited.
+
+    Snapshots the locked (reason) clauses immediately before each
+    reduction and records any that were evicted or flagged deleted —
+    deleting a reason clause would corrupt conflict analysis, so the
+    audit list must stay empty forever.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.reductions_audited = 0
+        self.locked_evictions = 0
+        self.observed_deletions = 0
+        self.stats_inconsistencies = []
+
+    def reduce_db(self):
+        locked = [c for c in self._reason
+                  if c is not None and c.learned and not c.deleted]
+        live_before = sum(1 for c in self._learned_db if not c.deleted)
+        deleted = super().reduce_db()
+        self.reductions_audited += 1
+        self.observed_deletions += deleted
+        survivors = {id(c) for c in self._learned_db}
+        for clause in locked:
+            if clause.deleted or id(clause) not in survivors:
+                self.locked_evictions += 1
+        db = self.clause_db_stats()
+        live_after = sum(1 for c in self._learned_db if not c.deleted)
+        # Independently recomputed ground truth vs the reported stats:
+        # reduce_db is the only deletion site and this subclass sees every
+        # call, so the externally counted totals must match the counters.
+        if db["learned_clauses"] != live_after:
+            self.stats_inconsistencies.append(
+                ("learned_clauses", db["learned_clauses"], live_after))
+        if live_before - live_after != deleted:
+            self.stats_inconsistencies.append(
+                ("deleted_return", deleted, live_before - live_after))
+        if db["learned_deleted"] != self.observed_deletions:
+            self.stats_inconsistencies.append(
+                ("learned_deleted", db["learned_deleted"],
+                 self.observed_deletions))
+        if db["db_reductions"] != self.reductions_audited:
+            self.stats_inconsistencies.append(
+                ("db_reductions", db["db_reductions"],
+                 self.reductions_audited))
+        return deleted
+
+
+class TestReduceDbRegression:
+    """reduce_db must never evict locked clauses, and clause_db_stats
+    must stay consistent across restarts and repeated queries."""
+
+    def _pigeonhole(self, pigeons, holes):
+        cnf = CNF()
+        var = {}
+        for p in range(pigeons):
+            for h in range(holes):
+                var[p, h] = cnf.new_var()
+        for p in range(pigeons):
+            cnf.add_clause([var[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    cnf.add_clause([-var[p1, h], -var[p2, h]])
+        return cnf
+
+    def test_reduce_never_evicts_locked_clauses(self):
+        # Tiny budget + slow growth force many mid-search reductions
+        # while reason clauses are live on the trail.
+        solver = _AuditedSolver(max_learned=10, reduce_growth=1.05,
+                                restart_base=20)
+        solver.add_cnf(self._pigeonhole(6, 5))
+        assert solver.solve() is Status.UNSAT
+        assert solver.reductions_audited > 0
+        assert solver.locked_evictions == 0
+
+    def test_stats_consistent_at_every_reduction(self):
+        solver = _AuditedSolver(max_learned=10, reduce_growth=1.05,
+                                restart_base=20)
+        solver.add_cnf(self._pigeonhole(6, 5))
+        solver.solve()
+        assert solver.stats["restarts"] > 0  # reductions span restarts
+        assert solver.stats_inconsistencies == []
+
+    def test_stats_consistent_across_repeated_queries(self):
+        # A satisfiable instance queried repeatedly under assumptions:
+        # the clause database persists across queries, and its stats
+        # must remain monotone and mutually consistent.
+        rng = random.Random(11)
+        cnf = random_cnf(12, 50, rng)
+        solver = _AuditedSolver(max_learned=10, reduce_growth=1.05,
+                                restart_base=20)
+        if not solver.add_cnf(cnf):
+            return
+        previous_learned_total = 0
+        for query in range(6):
+            assumption = (query % 12) + 1
+            solver.solve([assumption if query % 2 else -assumption])
+            db = solver.clause_db_stats()
+            assert db["learned_total"] >= previous_learned_total
+            previous_learned_total = db["learned_total"]
+            assert db["problem_clauses"] <= cnf.num_clauses
+            assert db["glue_clauses"] <= db["learned_clauses"]
+            assert (db["learned_clauses"]
+                    <= db["learned_total"] - db["learned_deleted"])
+        assert solver.locked_evictions == 0
+        assert solver.stats_inconsistencies == []
+
+
 def random_cnf(draw_vars, draw_clauses, rng):
     cnf = CNF()
     cnf.new_vars(draw_vars)
