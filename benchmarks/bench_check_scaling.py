@@ -12,7 +12,7 @@ import copy
 import pytest
 
 from repro.analysis import render_table
-from repro.checking import explore_message_orders
+from repro.checking import explore
 from repro.mca import AgentNetwork, AgentPolicy, GeometricUtility
 from repro.model import build_dynamic
 
@@ -38,7 +38,7 @@ def test_consensus_check_at_scope(benchmark, report, label, params):
         ["scope", "primary vars", "cnf vars", "clauses", "solve (s)",
          "conflicts", "learned", "db reductions"],
         [[label, solution.stats.num_primary_vars, solution.stats.num_cnf_vars,
-          solution.stats.num_clauses, f"{solution.solve_seconds:.3f}",
+          solution.stats.num_clauses, f"{solution.seconds:.3f}",
           solution.solver_stats.get("conflicts", 0),
           solution.solver_stats.get("learned", 0),
           solution.solver_stats.get("db_reductions", 0)]],
@@ -76,7 +76,7 @@ def test_explorer_scaling_without_deepcopy(benchmark, report, monkeypatch,
     network = AgentNetwork.complete(agents)
 
     def run():
-        return explore_message_orders(
+        return explore(
             network, items, policies, max_rounds=10, max_paths=100_000
         )
 

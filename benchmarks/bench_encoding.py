@@ -18,7 +18,8 @@ from repro.analysis import render_table
 from repro.model import compare_encodings
 from repro.model.static_naive import build_naive_static
 from repro.model.static_optim import build_optim_static
-from repro.kodkod.engine import solve
+from repro.api import FormulaProblem
+from repro.api import solve as api_solve
 
 SCOPES = [(2, 2), (3, 2), (3, 3)]
 
@@ -58,7 +59,7 @@ def test_solve_time_per_encoding(benchmark, report, encoding):
         else:
             model = build_optim_static(max_value=3)
             _, bounds, facts = model.compile(3, 2)
-        return solve(facts, bounds)
+        return api_solve(FormulaProblem(facts, bounds))
 
     solution = benchmark(run)
     assert solution.satisfiable

@@ -30,7 +30,7 @@ def test_policy_cell(benchmark, report, combo):
         [[combo.label,
           "consensus holds" if verdict.converges else "COUNTEREXAMPLE",
           verdict.solution.stats.num_clauses,
-          f"{verdict.solution.solve_seconds:.3f}"]],
+          f"{verdict.solution.seconds:.3f}"]],
         title="Result 1 cell",
     ))
 

@@ -3,13 +3,14 @@
 For every combination of (utility sub-modularity) x (release-outbid
 policy), check the consensus assertion with the bounded model checker AND
 cross-validate with exhaustive explicit-state exploration of the real
-protocol.  Exactly one cell fails: non-sub-modular + release (Figure 2).
+protocol — both through the unified ``repro.api`` façade.  Exactly one
+cell fails: non-sub-modular + release (Figure 2).
 
 Run:  python examples/policy_verification.py
 """
 
+from repro import api
 from repro.analysis import render_table
-from repro.checking import explore_message_orders
 from repro.mca import AgentNetwork
 from repro.mca.scenarios import figure2_engine
 from repro.model import policy_matrix
@@ -22,18 +23,18 @@ def main() -> None:
     for verdict in verdicts:
         combo = verdict.combination
         # Cross-validate with the explicit-state checker on Figure 2's
-        # concrete scenario.
+        # concrete scenario (the façade's "explorer" backend).
         engine = figure2_engine(submodular=combo.submodular,
                                 release_outbid=combo.release_outbid)
         policies = {a: engine.agents[a].policy for a in engine.agents}
-        dynamic = explore_message_orders(
+        dynamic = api.run_protocol(
             AgentNetwork.complete(2), engine.items, policies, max_rounds=10
         )
         rows.append([
             "sub-modular" if combo.submodular else "NON-sub-modular",
             "release" if combo.release_outbid else "keep",
             "converges" if verdict.converges else "OSCILLATES",
-            "converges" if dynamic.all_converged else "OSCILLATES",
+            "converges" if dynamic.holds else "OSCILLATES",
             verdict.solution.stats.num_clauses,
         ])
     print(render_table(

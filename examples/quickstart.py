@@ -1,12 +1,15 @@
 """Quickstart: run the paper's Example 1 (Figure 1) end to end.
 
 Two agents bid on three items and reach a conflict-free allocation after
-one exchange, then the same protocol is verified push-button with the
-bounded model checker.
+one exchange; then the same protocol is verified push-button two ways
+through the unified ``repro.api`` façade: the bounded model checker
+(SAT over the relational encoding) and exhaustive schedule exploration
+of the executable protocol — one `Result` shape for both.
 
 Run:  python examples/quickstart.py
 """
 
+from repro import api
 from repro.mca import consensus_report, example1_engine
 from repro.model import PolicyCombination, check_combination
 
@@ -26,17 +29,28 @@ def main() -> None:
           f"conflict-free: {report.conflict_free})")
 
     # --- 2. Verify the agreement mechanism push-button ----------------
-    print("\n=== check consensus (bounded verification) ===")
+    print("\n=== check consensus (bounded verification, repro.api) ===")
     verdict = check_combination(
         PolicyCombination(submodular=True, release_outbid=False),
         num_pnodes=2, num_vnodes=2, max_value=4,
     )
-    stats = verdict.solution.stats
-    print(f"policy: {verdict.combination.label}")
-    print(f"translated to {stats.num_clauses} clauses / "
-          f"{stats.num_cnf_vars} vars")
+    checked = verdict.solution  # a unified repro.api Result
+    print(f"policy: {verdict.combination.label}  "
+          f"(backend: {checked.backend})")
+    print(f"translated to {checked.stats.num_clauses} clauses / "
+          f"{checked.stats.num_cnf_vars} vars")
     print("verdict:", "consensus holds (no counterexample)"
           if verdict.converges else "COUNTEREXAMPLE FOUND")
+
+    # --- 3. Cross-check dynamically through the same façade -----------
+    print("\n=== explore every schedule (repro.api.run_protocol) ===")
+    policies = {a: engine.agents[a].policy for a in engine.agents}
+    dynamic = api.run_protocol(engine.network, engine.items, policies,
+                               max_rounds=10)
+    print(f"backend: {dynamic.backend}, "
+          f"paths explored: {dynamic.detail['paths_explored']}, "
+          f"worst case: {dynamic.detail['max_rounds_to_converge']} rounds")
+    print(f"verdict: {dynamic.verdict.value} — {dynamic.describe()}")
 
 
 if __name__ == "__main__":

@@ -51,7 +51,7 @@ def main() -> None:
           f"{'COUNTEREXAMPLE FOUND' if solution.satisfiable else 'holds'}")
     if solution.satisfiable:
         print(f"  ({solution.stats.num_clauses} clauses, "
-              f"solved in {solution.solve_seconds:.2f}s)")
+              f"solved in {solution.seconds:.2f}s)")
         print("  => a trace exists where consensus is never reached: the")
         print("     protocol has no defense against rebidding (Result 2).")
 

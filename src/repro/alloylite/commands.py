@@ -1,27 +1,28 @@
 """Alloy-style commands: ``run`` and ``check`` over a module and scope.
 
-``run`` searches for a satisfying instance of the facts plus a predicate;
-``check`` searches for a *counterexample* to an assertion (facts plus the
-negated assertion).  Both are "push-button": they compile the module at the
-requested scope, translate, solve, and report.
+Deprecated thin shims over the unified façade: the compile/translate/
+solve/validate pipeline now lives in the ``kodkod`` backend of
+:mod:`repro.api` (see :class:`repro.api.backends.KodkodBackend`), and
+these wrappers only project the uniform result back onto the legacy
+:class:`RunResult`/:class:`CheckResult` shapes.  New code should call
+:func:`repro.api.solve` / :func:`repro.api.check` directly.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass
 
 from repro.alloylite.module import Module, Scope
+from repro.api.result import Verdict, describe_verdict
 from repro.kodkod import ast
-from repro.kodkod.engine import iter_solutions as _kk_iter, solve as _kk_solve
-from repro.kodkod.evaluator import Evaluator
 from repro.kodkod.instance import Instance
 from repro.kodkod.translate import TranslationStats
 
 
 @dataclass
 class RunResult:
-    """Result of a ``run`` command."""
+    """Result of a ``run`` command (legacy shape)."""
 
     satisfiable: bool
     instance: Instance | None
@@ -31,15 +32,15 @@ class RunResult:
 
     def describe(self) -> str:
         """Pretty rendering of the found instance (if any)."""
-        if not self.satisfiable:
-            return "no instance found"
-        assert self.instance is not None
-        return self.instance.describe()
+        return describe_verdict(
+            Verdict.SAT if self.satisfiable else Verdict.UNSAT,
+            [self.instance] if self.instance is not None else (),
+        )
 
 
 @dataclass
 class CheckResult:
-    """Result of a ``check`` command."""
+    """Result of a ``check`` command (legacy shape)."""
 
     valid: bool
     counterexample: Instance | None
@@ -49,65 +50,66 @@ class CheckResult:
 
     def describe(self) -> str:
         """Pretty rendering of the verdict."""
-        if self.valid:
-            return "assertion holds within the scope (no counterexample)"
-        assert self.counterexample is not None
-        return "counterexample found:\n" + self.counterexample.describe()
+        return describe_verdict(
+            Verdict.HOLDS if self.valid else Verdict.COUNTEREXAMPLE,
+            [self.counterexample] if self.counterexample is not None else (),
+        )
+
+
+def _warn(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.alloylite.{old}() is deprecated; use {new}",
+        DeprecationWarning, stacklevel=3,
+    )
 
 
 def run(module: Module, predicate: ast.Formula | None = None,
         scope: Scope | None = None) -> RunResult:
-    """Find an instance of the module's facts (plus ``predicate``)."""
-    scope = scope or Scope()
-    started = time.perf_counter()
-    _, bounds, facts = module.compile(scope)
-    goal = facts if predicate is None else ast.And([facts, predicate])
-    solution = _kk_solve(goal, bounds)
-    total = time.perf_counter() - started
-    if solution.satisfiable:
-        _validate(goal, solution.instance)
+    """Deprecated: use :func:`repro.api.solve` on a ``ModuleProblem``."""
+    _warn("run", "repro.api.solve(ModuleProblem(module, 'run', ...))")
+    from repro.api.facade import solve as _api_solve
+    from repro.api.problems import ModuleProblem
+
+    result = _api_solve(ModuleProblem(module, "run", predicate, scope))
     return RunResult(
-        satisfiable=solution.satisfiable,
-        instance=solution.instance,
-        stats=solution.stats,
-        solve_seconds=solution.solve_seconds,
-        total_seconds=total,
+        satisfiable=result.satisfiable,
+        instance=result.instance,
+        stats=result.stats,
+        solve_seconds=result.detail.get("solve_seconds", result.seconds),
+        total_seconds=result.seconds,
     )
 
 
 def check(module: Module, assertion: ast.Formula,
           scope: Scope | None = None) -> CheckResult:
-    """Check an assertion: search for a counterexample within the scope."""
-    scope = scope or Scope()
-    started = time.perf_counter()
-    _, bounds, facts = module.compile(scope)
-    goal = ast.And([facts, ast.Not(assertion)])
-    solution = _kk_solve(goal, bounds)
-    total = time.perf_counter() - started
-    if solution.satisfiable:
-        _validate(goal, solution.instance)
+    """Deprecated: use :func:`repro.api.check`."""
+    _warn("check", "repro.api.check(module, assertion, scope)")
+    from repro.api.facade import check as _api_check
+
+    result = _api_check(module, assertion, scope)
     return CheckResult(
-        valid=not solution.satisfiable,
-        counterexample=solution.instance,
-        stats=solution.stats,
-        solve_seconds=solution.solve_seconds,
-        total_seconds=total,
+        valid=result.holds,
+        counterexample=result.instance,
+        stats=result.stats,
+        solve_seconds=result.detail.get("solve_seconds", result.seconds),
+        total_seconds=result.seconds,
     )
 
 
 def iter_instances(module: Module, predicate: ast.Formula | None = None,
                    scope: Scope | None = None, limit: int | None = None):
-    """Enumerate instances of the module's facts (plus ``predicate``)."""
+    """Deprecated: use :func:`repro.api.enumerate` on a ``ModuleProblem``.
+
+    Unlike the façade's ``enumerate`` (which materializes its instance
+    list), this legacy generator keeps the original lazy contract: one
+    model is solved per pull, so ``next()``/``islice`` on a huge model
+    space stays cheap.
+    """
+    _warn("iter_instances",
+          "repro.api.enumerate(ModuleProblem(module, 'run', ...))")
+    from repro.kodkod.engine import Session
+
     scope = scope or Scope()
     _, bounds, facts = module.compile(scope)
     goal = facts if predicate is None else ast.And([facts, predicate])
-    yield from _kk_iter(goal, bounds, limit=limit)
-
-
-def _validate(goal: ast.Formula, instance: Instance | None) -> None:
-    """Sanity-check every instance the SAT pipeline returns."""
-    assert instance is not None
-    if not Evaluator(instance).check(goal):
-        raise AssertionError(
-            "internal error: SAT instance does not satisfy the goal formula"
-        )
+    yield from Session(goal, bounds, symmetry=0).iter_solutions(limit)

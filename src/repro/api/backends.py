@@ -1,0 +1,263 @@
+"""Pluggable verification backends behind one protocol and registry.
+
+A backend knows how to decide some subset of the :data:`~repro.api.problems.Problem`
+union and always answers with the uniform :class:`~repro.api.result.Result`.
+Two backends ship in-tree:
+
+* ``kodkod`` — the bounded relational pipeline (translate → CDCL →
+  instance extraction) for formula and module problems;
+* ``explorer`` — exhaustive schedule exploration of the executable
+  protocol for protocol problems.
+
+Alternative engines (an external SAT solver, a parallel portfolio, a
+BDD-based finder) plug in by implementing :class:`Backend` and calling
+:func:`register_backend`; every façade entry point and the batch path
+then reach them through ``Options.solver``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+from repro.api.options import Options
+from repro.api.problems import (
+    FormulaProblem,
+    ModuleProblem,
+    Problem,
+    ProtocolProblem,
+)
+from repro.api.result import Result, Verdict
+from repro.alloylite.module import Scope
+from repro.checking.explorer import explore
+from repro.kodkod import ast
+from repro.kodkod.bounds import Bounds
+from repro.kodkod.engine import Session
+from repro.kodkod.evaluator import Evaluator
+from repro.kodkod.symmetry import DEFAULT_SBP_LENGTH
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """The interface every verification backend implements."""
+
+    name: str
+
+    def supports(self, problem: Problem) -> bool:
+        """Whether this backend can decide ``problem``."""
+        ...
+
+    def solve(self, problem: Problem, options: Options) -> Result:
+        """Decide the problem (one verdict, at most one witness)."""
+        ...
+
+    def enumerate(self, problem: Problem, options: Options) -> Result:
+        """Enumerate witnessing instances (bounded by ``max_instances``)."""
+        ...
+
+
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend, replace: bool = False) -> Backend:
+    """Register a backend under its ``name`` (the ``Options.solver`` key)."""
+    name = getattr(backend, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ValueError(
+            f"backend must expose a non-empty string 'name' attribute, "
+            f"got {name!r}"
+        )
+    if name in _REGISTRY and not replace:
+        raise ValueError(
+            f"backend {name!r} is already registered; pass replace=True "
+            f"to override it"
+        )
+    _REGISTRY[name] = backend
+    return backend
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, in registration order."""
+    return list(_REGISTRY)
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a backend by name, with an actionable error on a miss."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{available_backends()}"
+        ) from None
+
+
+def backend_for(problem: Problem, options: Options) -> Backend:
+    """Resolve the backend deciding ``problem`` under ``options``.
+
+    ``options.solver`` forces a specific backend (and errors if that
+    backend cannot handle the problem kind); otherwise the first
+    registered backend supporting the problem wins.
+    """
+    if options.solver is not None:
+        backend = get_backend(options.solver)
+        if not backend.supports(problem):
+            raise ValueError(
+                f"backend {backend.name!r} does not support "
+                f"{type(problem).__name__}; backends that do: "
+                f"{[n for n, b in _REGISTRY.items() if b.supports(problem)]}"
+            )
+        return backend
+    for backend in _REGISTRY.values():
+        if backend.supports(problem):
+            return backend
+    raise ValueError(
+        f"no registered backend supports {type(problem).__name__}; "
+        f"registered backends: {available_backends()}"
+    )
+
+
+# ----------------------------------------------------------------------
+# The bounded relational backend (mini-Kodkod pipeline)
+# ----------------------------------------------------------------------
+
+
+class KodkodBackend:
+    """Formula/module problems via translate → CDCL → instance extraction."""
+
+    name = "kodkod"
+
+    def supports(self, problem: Problem) -> bool:
+        return isinstance(problem, (FormulaProblem, ModuleProblem))
+
+    def _goal(self, problem: Problem) -> tuple[ast.Formula, Bounds, bool]:
+        """(goal formula, bounds, is_validity_query) for a problem."""
+        if isinstance(problem, FormulaProblem):
+            return problem.formula, problem.bounds, False
+        if isinstance(problem, ModuleProblem):
+            scope = problem.scope or Scope()
+            _, bounds, facts = problem.module.compile(scope)
+            if problem.command == "check":
+                return ast.And([facts, ast.Not(problem.goal)]), bounds, True
+            goal = (facts if problem.goal is None
+                    else ast.And([facts, problem.goal]))
+            return goal, bounds, False
+        raise ValueError(
+            f"kodkod backend cannot decide {type(problem).__name__}"
+        )
+
+    def solve(self, problem: Problem, options: Options) -> Result:
+        started = time.perf_counter()
+        goal, bounds, validity = self._goal(problem)
+        symmetry = (DEFAULT_SBP_LENGTH if options.symmetry is None
+                    else options.symmetry)
+        session = Session(goal, bounds, symmetry=symmetry)
+        solution = session.solve()
+        if solution.satisfiable and isinstance(problem, ModuleProblem):
+            _validate(goal, solution.instance)
+        if validity:
+            verdict = (Verdict.COUNTEREXAMPLE if solution.satisfiable
+                       else Verdict.HOLDS)
+        else:
+            verdict = Verdict.SAT if solution.satisfiable else Verdict.UNSAT
+        return Result(
+            verdict=verdict,
+            instances=([solution.instance] if solution.instance is not None
+                       else []),
+            stats=solution.stats,
+            solver_stats=solution.solver_stats,
+            seconds=time.perf_counter() - started,
+            backend=self.name,
+            detail={"solve_seconds": solution.solve_seconds,
+                    "symmetry": symmetry},
+        )
+
+    def enumerate(self, problem: Problem, options: Options) -> Result:
+        started = time.perf_counter()
+        goal, bounds, validity = self._goal(problem)
+        # Enumeration defaults to symmetry off so every model is produced;
+        # an explicit symmetry level enumerates canonical representatives.
+        symmetry = 0 if options.symmetry is None else options.symmetry
+        limit = options.max_instances
+        session = Session(goal, bounds, symmetry=symmetry)
+        instances = list(session.iter_solutions(limit))
+        if validity:
+            verdict = (Verdict.COUNTEREXAMPLE if instances
+                       else Verdict.HOLDS)
+        else:
+            verdict = Verdict.SAT if instances else Verdict.UNSAT
+        return Result(
+            verdict=verdict,
+            instances=instances,
+            stats=session.translation.stats,
+            solver_stats=dict(session.solver.stats),
+            seconds=time.perf_counter() - started,
+            backend=self.name,
+            detail={
+                "num_instances": len(instances),
+                "truncated": limit is not None and len(instances) >= limit,
+                "symmetry": symmetry,
+            },
+        )
+
+
+def _validate(goal: ast.Formula, instance) -> None:
+    """Sanity-check every instance the SAT pipeline returns for a module."""
+    assert instance is not None
+    if not Evaluator(instance).check(goal):
+        raise AssertionError(
+            "internal error: SAT instance does not satisfy the goal formula"
+        )
+
+
+# ----------------------------------------------------------------------
+# The explicit-state protocol backend
+# ----------------------------------------------------------------------
+
+
+class ExplorerBackend:
+    """Protocol problems via exhaustive schedule exploration."""
+
+    name = "explorer"
+
+    def supports(self, problem: Problem) -> bool:
+        return isinstance(problem, ProtocolProblem)
+
+    def solve(self, problem: Problem, options: Options) -> Result:
+        if not isinstance(problem, ProtocolProblem):
+            raise ValueError(
+                f"explorer backend cannot decide {type(problem).__name__}"
+            )
+        started = time.perf_counter()
+        exploration = explore(
+            problem.network, list(problem.items), dict(problem.policies),
+            max_rounds=options.max_rounds, max_paths=options.max_paths,
+            memoize=options.memoize,
+        )
+        verdict = (Verdict.HOLDS if exploration.all_converged
+                   else Verdict.COUNTEREXAMPLE)
+        return Result(
+            verdict=verdict,
+            trace=exploration.counterexample,
+            seconds=time.perf_counter() - started,
+            backend=self.name,
+            detail={
+                "paths_explored": exploration.paths_explored,
+                "max_rounds_to_converge": exploration.max_rounds_to_converge,
+                "memo_hits": exploration.memo_hits,
+                "states_memoized": exploration.states_memoized,
+                "oscillating": exploration.oscillating_trace is not None,
+                "diverging": exploration.diverging_trace is not None,
+            },
+        )
+
+    def enumerate(self, problem: Problem, options: Options) -> Result:
+        raise ValueError(
+            "the explorer backend decides protocol checks; it cannot "
+            "enumerate relational instances — use solve()/run_protocol(), "
+            "or pick a relational problem for enumerate()"
+        )
+
+
+register_backend(KodkodBackend())
+register_backend(ExplorerBackend())

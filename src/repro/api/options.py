@@ -1,0 +1,159 @@
+"""The one validated options surface shared by every façade entry point.
+
+Every backend and every operation reads the same :class:`Options`
+dataclass, so option spelling is uniform across ``solve``, ``check``,
+``enumerate``, ``run_protocol`` and ``solve_many`` — the per-module
+keyword zoo (``symmetry=`` here, ``limit=`` there, ``max_rounds=``
+elsewhere) collapses into one place with one set of validation rules.
+
+Fields that do not affect the *result* of a computation (``workers``,
+``timeout``, ``cache_dir``) are excluded from :meth:`Options.cache_signature`,
+so re-running a batch with a different pool size still hits the
+content-addressed cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Options:
+    """Validated options accepted by every ``repro.api`` entry point.
+
+    ``None`` fields mean "use the backend's per-operation default":
+    ``symmetry=None`` enables lex-leader symmetry breaking for
+    solve/check (verdict-preserving) but disables it for enumeration
+    (every model is produced).  Construction raises :class:`ValueError`
+    with an actionable message on any out-of-range field.
+    """
+
+    solver: str | None = None
+    """Backend name (see :func:`repro.api.available_backends`); ``None``
+    selects the first registered backend that supports the problem."""
+
+    symmetry: int | None = None
+    """Lex-leader symmetry-breaking predicate length; 0 disables breaking,
+    ``None`` uses the backend's per-operation default."""
+
+    max_instances: int | None = None
+    """Enumeration limit (``None`` enumerates the whole model space)."""
+
+    max_rounds: int = 12
+    """Protocol-check depth bound (rounds per explored schedule)."""
+
+    max_paths: int = 2000
+    """Protocol-check breadth bound (complete schedules explored)."""
+
+    memoize: bool = True
+    """Protocol-check canonical-state memoization (verdict-preserving)."""
+
+    timeout: float | None = None
+    """Per-task stall timeout in seconds.  Enforced only on the sharded
+    ``solve_many`` path; inline execution cannot preempt a running task."""
+
+    workers: int = 1
+    """Process count for ``solve_many`` (1 runs inline, in-process)."""
+
+    cache_dir: str | None = None
+    """Content-addressed result cache directory for ``solve_many``
+    (``None`` disables caching)."""
+
+    def __post_init__(self) -> None:
+        if self.solver is not None and (
+                not isinstance(self.solver, str) or not self.solver):
+            raise ValueError(
+                f"solver must be a non-empty backend name string (see "
+                f"repro.api.available_backends()) or None for automatic "
+                f"selection, got {self.solver!r}"
+            )
+        if self.symmetry is not None and (
+                isinstance(self.symmetry, bool)
+                or not isinstance(self.symmetry, int)
+                or self.symmetry < 0):
+            raise ValueError(
+                f"symmetry must be a non-negative integer (the lex-leader "
+                f"predicate length; 0 disables symmetry breaking) or None "
+                f"for the backend default, got {self.symmetry!r}"
+            )
+        if self.max_instances is not None and (
+                isinstance(self.max_instances, bool)
+                or not isinstance(self.max_instances, int)
+                or self.max_instances < 1):
+            raise ValueError(
+                f"max_instances must be a positive integer or None for "
+                f"unbounded enumeration, got {self.max_instances!r}"
+            )
+        if (isinstance(self.max_rounds, bool)
+                or not isinstance(self.max_rounds, int)
+                or self.max_rounds < 1):
+            raise ValueError(
+                f"max_rounds must be a positive integer bound on protocol "
+                f"rounds per schedule, got {self.max_rounds!r}"
+            )
+        if (isinstance(self.max_paths, bool)
+                or not isinstance(self.max_paths, int)
+                or self.max_paths < 1):
+            raise ValueError(
+                f"max_paths must be a positive integer bound on explored "
+                f"schedules, got {self.max_paths!r}"
+            )
+        if not isinstance(self.memoize, bool):
+            raise ValueError(
+                f"memoize must be a bool (True prunes isomorphic "
+                f"interleavings, verdict unchanged), got {self.memoize!r}"
+            )
+        if self.timeout is not None and (
+                isinstance(self.timeout, bool)
+                or not isinstance(self.timeout, (int, float))
+                or self.timeout <= 0):
+            raise ValueError(
+                f"timeout must be a positive number of seconds or None to "
+                f"wait indefinitely, got {self.timeout!r}"
+            )
+        if (isinstance(self.workers, bool)
+                or not isinstance(self.workers, int) or self.workers < 1):
+            raise ValueError(
+                f"workers must be an integer >= 1 (1 runs inline, N > 1 "
+                f"fans out over a process pool), got {self.workers!r}"
+            )
+
+    def replace(self, **overrides) -> "Options":
+        """A copy with fields replaced (re-validated on construction)."""
+        return dataclasses.replace(self, **overrides)
+
+    def cache_signature(self) -> dict:
+        """The result-affecting fields, as a canonical JSON-able dict.
+
+        ``workers``, ``timeout`` and ``cache_dir`` change how a batch is
+        executed but never what it computes, so they are omitted — warm
+        re-runs hit the cache regardless of pool configuration.
+        """
+        return {
+            "solver": self.solver,
+            "symmetry": self.symmetry,
+            "max_instances": self.max_instances,
+            "max_rounds": self.max_rounds,
+            "max_paths": self.max_paths,
+            "memoize": self.memoize,
+        }
+
+
+def resolve_options(options: Options | None, overrides: dict) -> Options:
+    """Merge an optional base ``Options`` with keyword overrides."""
+    base = options if options is not None else Options()
+    if not isinstance(base, Options):
+        raise ValueError(
+            f"options must be a repro.api.Options instance or None, "
+            f"got {type(base).__name__}"
+        )
+    if not overrides:
+        return base
+    unknown = sorted(set(overrides) - {f.name for f in dataclasses.fields(Options)})
+    if unknown:
+        known = ", ".join(f.name for f in dataclasses.fields(Options))
+        raise ValueError(
+            f"unknown option(s) {unknown}; valid options are: {known}"
+        )
+    return base.replace(**overrides)

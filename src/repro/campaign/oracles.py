@@ -8,12 +8,18 @@ the whole stack becomes its own test oracle:
 ==============  =====================================  ==========================
 oracle          fast path                              reference path
 ==============  =====================================  ==========================
-``symmetry``    ``solve`` with lex-leader SBP          ``solve(symmetry=0)``
-``enumeration`` one incremental :class:`Session`       fresh solver per model
-``evaluator``   translator + CDCL enumeration          brute force + ground eval
-``explorer``    canonical-state-memoized exploration   plain DFS (``memoize=False``)
+``symmetry``    ``api.solve`` with lex-leader SBP      ``api.solve(symmetry=0)``
+``enumeration`` ``api.enumerate`` (one live session)   fresh solver per model
+``evaluator``   ``api.enumerate`` (CDCL pipeline)      brute force + ground eval
+``explorer``    ``api.run_protocol`` (memoized)        plain DFS (``memoize=False``)
 ``engines``     synchronous lock-step engine           asynchronous delivery
 ==============  =====================================  ==========================
+
+Fast paths go through the :mod:`repro.api` façade — the surface every
+user-facing caller takes — so the sweep exercises the exact production
+code path; reference paths deliberately stay on the low-level internals
+(a raw :class:`~repro.kodkod.engine.Session`, the plain explorer DFS)
+that bypass the optimizations under test.
 
 An oracle *agrees* when the two paths produce the same verdict; the
 returned detail dict records what was compared so disagreements are
@@ -25,9 +31,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.api import FormulaProblem, ProtocolProblem
+from repro.api import enumerate as api_enumerate
+from repro.api import run_protocol, solve as api_solve
 from repro.campaign.specs import AuctionScenario, RelationalProblem, ScenarioSpec
-from repro.checking.explorer import explore_message_orders
-from repro.kodkod.engine import Session, iter_solutions, solve
+from repro.checking.explorer import explore
+from repro.kodkod.engine import Session
 from repro.kodkod.evaluator import Evaluator, brute_force_instances
 from repro.kodkod.symmetry import DEFAULT_SBP_LENGTH
 from repro.mca.convergence import consensus_report
@@ -88,9 +97,9 @@ def oracles_for(spec: ScenarioSpec) -> list[str]:
                  "solve with lex-leader SBP vs solve(symmetry=0): same verdict")
 def _symmetry_oracle(spec: ScenarioSpec,
                      scenario: RelationalProblem) -> OracleOutcome:
-    fast = solve(scenario.formula, scenario.bounds,
-                 symmetry=DEFAULT_SBP_LENGTH)
-    reference = solve(scenario.formula, scenario.bounds, symmetry=0)
+    problem = FormulaProblem(scenario.formula, scenario.bounds)
+    fast = api_solve(problem, symmetry=DEFAULT_SBP_LENGTH)
+    reference = api_solve(problem, symmetry=0)
     return OracleOutcome(
         oracle="symmetry",
         agree=fast.satisfiable == reference.satisfiable,
@@ -108,10 +117,10 @@ def _symmetry_oracle(spec: ScenarioSpec,
 def _enumeration_oracle(spec: ScenarioSpec,
                         scenario: RelationalProblem) -> OracleOutcome:
     formula, bounds = scenario.formula, scenario.bounds
-    session = Session(formula, bounds)
     incremental = {
         scenario.instance_key(inst)
-        for inst in session.iter_solutions(limit=_ENUMERATION_CAP)
+        for inst in api_enumerate(FormulaProblem(formula, bounds),
+                                  limit=_ENUMERATION_CAP).instances
     }
     # Reference: a brand-new translation and solver for every model, with
     # the blocking clauses re-asserted from scratch each round.  No learned
@@ -157,7 +166,7 @@ def _evaluator_oracle(spec: ScenarioSpec,
     formula, bounds = scenario.formula, scenario.bounds
     solved = {
         scenario.instance_key(inst)
-        for inst in iter_solutions(formula, bounds)
+        for inst in api_enumerate(FormulaProblem(formula, bounds)).instances
     }
     ground = {
         scenario.instance_key(inst)
@@ -182,28 +191,30 @@ def _explorer_oracle(spec: ScenarioSpec,
                      scenario: AuctionScenario) -> OracleOutcome:
     max_rounds = int(spec.param("explore_rounds", 8))
     max_paths = int(spec.param("explore_paths", 4000))
-    memoized = explore_message_orders(
-        scenario.network, scenario.items, scenario.policies,
+    memoized = run_protocol(
+        ProtocolProblem(scenario.network, tuple(scenario.items),
+                        scenario.policies),
         max_rounds=max_rounds, max_paths=max_paths, memoize=True,
     )
-    plain = explore_message_orders(
+    plain = explore(
         scenario.network, scenario.items, scenario.policies,
         max_rounds=max_rounds, max_paths=max_paths, memoize=False,
     )
+    memoized_worst = memoized.detail["max_rounds_to_converge"]
     agree = (
-        memoized.all_converged == plain.all_converged
-        and memoized.max_rounds_to_converge == plain.max_rounds_to_converge
-        and (memoized.counterexample is None) == (plain.counterexample is None)
+        memoized.holds == plain.all_converged
+        and memoized_worst == plain.max_rounds_to_converge
+        and (memoized.trace is None) == (plain.counterexample is None)
     )
     return OracleOutcome(
         oracle="explorer",
         agree=agree,
         detail={
-            "memoized_converged": memoized.all_converged,
+            "memoized_converged": memoized.holds,
             "plain_converged": plain.all_converged,
-            "memoized_worst_rounds": memoized.max_rounds_to_converge,
+            "memoized_worst_rounds": memoized_worst,
             "plain_worst_rounds": plain.max_rounds_to_converge,
-            "memo_hits": memoized.memo_hits,
+            "memo_hits": memoized.detail["memo_hits"],
             "plain_paths": plain.paths_explored,
         },
     )

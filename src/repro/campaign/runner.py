@@ -250,6 +250,76 @@ def execute_task(spec_dict: dict, oracle_name: str) -> dict:
     )
 
 
+def map_jobs(
+    jobs: Sequence[tuple[int, tuple]],
+    worker: Callable[..., dict],
+    record: Callable[[int, dict], None],
+    failure_payload: Callable[[int, str, float], dict],
+    *,
+    shards: int,
+    task_timeout: float,
+) -> None:
+    """Run ``worker(*args)`` for every ``(slot, args)`` job and record it.
+
+    The generic half of the campaign runner, shared with the façade's
+    ``solve_many`` batch path.  ``shards <= 1`` runs inline (no pool, no
+    preemption); otherwise jobs fan out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor` with the *stall*
+    semantics documented on :func:`run_campaign`: when no job completes
+    for ``task_timeout`` seconds, every unfinished job is recorded via
+    ``failure_payload(slot, error, seconds)`` and the workers are
+    killed.  ``worker`` must be a module-level (picklable) callable that
+    returns a JSON-able payload dict; a worker that raises is recorded
+    as a failure payload instead of aborting the batch.
+    """
+    if shards <= 1:
+        for slot, args in jobs:
+            record(slot, worker(*args))
+        return
+    executor = ProcessPoolExecutor(max_workers=shards)
+    abandoned = False
+    try:
+        pending = {
+            executor.submit(worker, *args): (slot, args)
+            for slot, args in jobs
+        }
+        while pending:
+            done, _ = wait(pending, timeout=task_timeout,
+                           return_when=FIRST_COMPLETED)
+            if not done:
+                # No completion for a full timeout window: every worker
+                # is wedged, so the queued jobs behind them can never
+                # start.  Record them all at once instead of burning one
+                # window per remaining job.
+                abandoned = True
+                for future, (slot, _args) in pending.items():
+                    queued = future.cancel()
+                    error = ("never started (pool stalled)" if queued
+                             else f"timeout after {task_timeout:g}s")
+                    record(slot, failure_payload(
+                        slot, error, 0.0 if queued else task_timeout))
+                break
+            for future in done:
+                slot, _args = pending.pop(future)
+                try:
+                    payload = future.result()
+                except Exception:  # worker or pool died
+                    abandoned = True
+                    payload = failure_payload(
+                        slot, traceback.format_exc(limit=4), 0.0)
+                record(slot, payload)
+    finally:
+        # A timed-out worker cannot be interrupted cooperatively, and a
+        # live worker keeps the interpreter from exiting (the pool's
+        # atexit hook joins it).  Kill the worker processes outright so
+        # the batch — and the process — finishes promptly.
+        if abandoned:
+            for process in list(
+                    (getattr(executor, "_processes", None) or {}).values()):
+                process.kill()
+        executor.shutdown(wait=True, cancel_futures=True)
+
+
 def run_campaign(
     tasks: Sequence[CampaignTask],
     shards: int = 1,
@@ -297,58 +367,20 @@ def run_campaign(
         if progress:
             progress(result)
 
-    if misses and shards <= 1:
-        for index, (spec, oracle_name) in misses:
-            record(index, execute_task(spec.as_dict(), oracle_name))
-    elif misses:
-        executor = ProcessPoolExecutor(max_workers=shards)
-        abandoned = False
-        try:
-            pending = {
-                executor.submit(execute_task, spec.as_dict(), oracle_name):
-                    (index, spec, oracle_name)
-                for index, (spec, oracle_name) in misses
-            }
-            while pending:
-                done, _ = wait(pending, timeout=task_timeout,
-                               return_when=FIRST_COMPLETED)
-                if not done:
-                    # No completion for a full timeout window: every
-                    # worker is wedged, so the queued tasks behind them
-                    # can never start.  Record them all at once instead
-                    # of burning one window per remaining task.
-                    abandoned = True
-                    for future, (index, spec, oracle_name) in pending.items():
-                        queued = future.cancel()
-                        error = ("never started (pool stalled)" if queued
-                                 else f"timeout after {task_timeout:g}s")
-                        record(index, _result_payload(
-                            spec, oracle_name, agree=False, detail={},
-                            seconds=0.0 if queued else task_timeout,
-                            error=error,
-                        ))
-                    break
-                for future in done:
-                    index, spec, oracle_name = pending.pop(future)
-                    try:
-                        payload = future.result()
-                    except Exception:  # worker or pool died
-                        abandoned = True
-                        payload = _result_payload(
-                            spec, oracle_name, agree=False, detail={},
-                            seconds=0.0, error=traceback.format_exc(limit=4),
-                        )
-                    record(index, payload)
-        finally:
-            # A timed-out worker cannot be interrupted cooperatively, and
-            # a live worker keeps the interpreter from exiting (the pool's
-            # atexit hook joins it).  Kill the worker processes outright
-            # so the campaign — and the process — finishes promptly.
-            if abandoned:
-                for process in list(
-                        (getattr(executor, "_processes", None) or {}).values()):
-                    process.kill()
-            executor.shutdown(wait=True, cancel_futures=True)
+    def failure(index: int, error: str, seconds: float) -> dict:
+        spec, oracle_name = tasks[index]
+        return _result_payload(spec, oracle_name, agree=False, detail={},
+                               seconds=seconds, error=error)
+
+    map_jobs(
+        [(index, (spec.as_dict(), oracle_name))
+         for index, (spec, oracle_name) in misses],
+        execute_task,
+        record,
+        failure,
+        shards=shards,
+        task_timeout=task_timeout,
+    )
     return CampaignReport(
         results=list(results),
         wall_seconds=time.perf_counter() - started,
@@ -437,6 +469,7 @@ __all__ = [
     "cache_key",
     "execute_task",
     "grid_sweep",
+    "map_jobs",
     "random_sweep",
     "run_campaign",
 ]

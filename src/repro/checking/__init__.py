@@ -1,13 +1,20 @@
-"""Explicit-state dynamic checking of the MCA protocol."""
+"""Explicit-state dynamic checking of the MCA protocol.
+
+:func:`explore` is the raw engine (returns :class:`ExplorationResult`);
+the façade entry point :func:`repro.api.run_protocol` wraps it in the
+uniform result shape.  ``explore_message_orders`` is a deprecated alias.
+"""
 
 from repro.checking.explorer import (
     ExplorationResult,
     StateCanonicalizer,
+    explore,
     explore_message_orders,
 )
 
 __all__ = [
     "ExplorationResult",
     "StateCanonicalizer",
+    "explore",
     "explore_message_orders",
 ]

@@ -17,6 +17,7 @@ session.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -177,32 +178,62 @@ class Session:
                 return
 
 
+def _solution_from_result(result) -> Solution:
+    """Project a façade :class:`~repro.api.result.Result` back onto the
+    legacy :class:`Solution` shape (the deprecation-shim converter)."""
+    return Solution(
+        satisfiable=result.satisfiable,
+        instance=result.instance,
+        stats=result.stats,
+        solve_seconds=result.detail.get("solve_seconds", result.seconds),
+        solver_stats=result.solver_stats,
+    )
+
+
 def solve(formula: ast.Formula, bounds: Bounds,
           symmetry: int = DEFAULT_SBP_LENGTH) -> Solution:
-    """Find one instance satisfying ``formula`` within ``bounds``.
+    """Deprecated: use :func:`repro.api.solve` (same verdict semantics).
 
-    Symmetry breaking is on by default: it preserves the SAT/UNSAT verdict
-    (every orbit keeps a canonical representative) and prunes isomorphic
-    regions of the search space.  Pass ``symmetry=0`` to see every model.
+    Thin shim over the façade — symmetry breaking stays on by default
+    (verdict-preserving; pass ``symmetry=0`` to see every model) and the
+    result is projected back onto the legacy :class:`Solution` shape.
     """
-    return Session(formula, bounds, symmetry=symmetry).solve()
+    warnings.warn(
+        "repro.kodkod.engine.solve() is deprecated; use repro.api.solve()",
+        DeprecationWarning, stacklevel=2,
+    )
+    # Imported lazily: the façade imports this module at load time.
+    from repro.api.facade import solve as _api_solve
+
+    return _solution_from_result(
+        _api_solve(formula, bounds, symmetry=symmetry))
 
 
 def iter_solutions(formula: ast.Formula, bounds: Bounds,
                    limit: int | None = None,
                    symmetry: int = 0) -> Iterator[Instance]:
-    """Enumerate instances, distinct on the bounded relations' valuations.
+    """Deprecated: use :func:`repro.api.enumerate`.
 
-    Symmetry breaking defaults to *off* so that every model is produced;
-    pass ``symmetry > 0`` to enumerate only canonical representatives of
-    each isomorphism orbit (fewer instances, same coverage up to atom
-    renaming).
+    Thin lazy shim over a :class:`Session` (the façade's enumerate path
+    materializes its instance list; this generator streams).  Symmetry
+    defaults to *off* so every model is produced.
     """
+    warnings.warn(
+        "repro.kodkod.engine.iter_solutions() is deprecated; use "
+        "repro.api.enumerate()",
+        DeprecationWarning, stacklevel=2,
+    )
     session = Session(formula, bounds, symmetry=symmetry)
     yield from session.iter_solutions(limit)
 
 
 def count_solutions(formula: ast.Formula, bounds: Bounds,
                     limit: int | None = None, symmetry: int = 0) -> int:
-    """Count instances (up to ``limit``)."""
-    return sum(1 for _ in iter_solutions(formula, bounds, limit, symmetry))
+    """Deprecated: use ``len(repro.api.enumerate(...).instances)``."""
+    warnings.warn(
+        "repro.kodkod.engine.count_solutions() is deprecated; use "
+        "repro.api.enumerate()",
+        DeprecationWarning, stacklevel=2,
+    )
+    session = Session(formula, bounds, symmetry=symmetry)
+    return sum(1 for _ in session.iter_solutions(limit))

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.kodkod.engine import Solution
+from repro.api import Result
 from repro.model.dynamic import DynamicModel, build_dynamic
 from repro.model.static_naive import NaiveStaticModel, build_naive_static
 from repro.model.static_optim import OptimStaticModel, build_optim_static
@@ -49,7 +49,8 @@ class CheckVerdict:
 
     combination: PolicyCombination
     converges: bool
-    solution: Solution
+    solution: Result
+    """The unified façade result of the underlying ``check consensus``."""
 
     @property
     def counterexample_found(self) -> bool:

@@ -34,9 +34,11 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+from repro.api import FormulaProblem, Result
+from repro.api import solve as api_solve
 from repro.kodkod import ast
 from repro.kodkod.bounds import Bounds
-from repro.kodkod.engine import Solution, solve, translate
+from repro.kodkod.engine import translate
 from repro.kodkod.translate import Translation
 from repro.kodkod.universe import Universe
 
@@ -55,14 +57,14 @@ class DynamicModel:
     max_value: int
     view: ast.Relation  # bidVector -> bidTriple (the only free relation)
 
-    def check_consensus(self) -> Solution:
+    def check_consensus(self) -> Result:
         """``check consensus``: SAT means a counterexample trace exists."""
         goal = ast.And([self.facts, ast.Not(self.consensus_assertion)])
-        return solve(goal, self.bounds)
+        return api_solve(FormulaProblem(goal, self.bounds))
 
-    def run_consistency(self) -> Solution:
+    def run_consistency(self) -> Result:
         """``run {}``: find any legal trace (sanity: the model is live)."""
-        return solve(self.facts, self.bounds)
+        return api_solve(FormulaProblem(self.facts, self.bounds))
 
     def translate_check(self) -> Translation:
         """Translate the check without solving (for size benchmarks)."""

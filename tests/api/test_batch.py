@@ -1,0 +1,144 @@
+"""``solve_many``: batch parity with sequential ``solve`` plus caching.
+
+The acceptance bar: a batch over 50+ campaign-spec problems matches
+sequential façade results exactly, and a warm re-run over the same cache
+directory is pure cache hits — from any worker count, since execution
+knobs are excluded from the cache key.
+"""
+
+import pytest
+
+from repro import api
+from repro.api.batch import batch_cache_key
+from repro.campaign.runner import ResultCache
+from repro.campaign.specs import random_sweep
+
+# 50+ seeded relational problems (3-atom universes keep each solve fast).
+BATCH_SPECS = random_sweep(
+    "relational", 52, base_seed=77,
+    num_atoms=(3, 3), depth=(1, 2), max_edges=(0, 3),
+)
+
+
+def _signature(result):
+    """Comparable identity of a result: verdict + witnessing valuations."""
+    return (
+        result.verdict,
+        [api.instance_payload(inst) for inst in result.instances],
+    )
+
+
+@pytest.fixture(scope="module")
+def problems():
+    return [api.problem_from_spec(spec) for spec in BATCH_SPECS]
+
+
+@pytest.fixture(scope="module")
+def sequential(problems):
+    return [api.solve(problem) for problem in problems]
+
+
+class TestBatchParity:
+    def test_cold_batch_matches_sequential_and_warm_run_hits_cache(
+            self, problems, sequential, tmp_path):
+        cache_dir = tmp_path / "batch_cache"
+        cold = api.solve_many(problems, cache_dir=cache_dir)
+        assert len(cold) == len(problems) >= 50
+        assert [_signature(r) for r in cold] \
+            == [_signature(r) for r in sequential]
+        assert not any(r.detail.get("cached") for r in cold)
+        assert all(r.error is None for r in cold)
+
+        warm = api.solve_many(problems, cache_dir=cache_dir)
+        assert all(r.detail.get("cached") for r in warm)
+        assert [_signature(r) for r in warm] \
+            == [_signature(r) for r in sequential]
+
+    def test_sharded_batch_matches_sequential(self, problems, sequential,
+                                              tmp_path):
+        subset = problems[:10]
+        sharded = api.solve_many(subset, workers=2,
+                                 cache_dir=tmp_path / "pool_cache")
+        assert [_signature(r) for r in sharded] \
+            == [_signature(r) for r in sequential[:10]]
+
+    def test_pool_size_does_not_change_cache_key(self, problems, tmp_path):
+        cache_dir = tmp_path / "shared_cache"
+        api.solve_many(problems[:6], workers=2, cache_dir=cache_dir)
+        warm = api.solve_many(problems[:6], workers=1, cache_dir=cache_dir)
+        assert all(r.detail.get("cached") for r in warm)
+
+    def test_uncached_batch_has_no_cache_side_effects(self, problems):
+        results = api.solve_many(problems[:3])
+        assert all(r.detail.get("cached") is None for r in results)
+
+    def test_results_in_input_order(self, problems, sequential, tmp_path):
+        reversed_problems = list(reversed(problems[:8]))
+        results = api.solve_many(reversed_problems,
+                                 cache_dir=tmp_path / "order_cache")
+        expected = list(reversed(sequential[:8]))
+        assert [_signature(r) for r in results] \
+            == [_signature(r) for r in expected]
+
+
+class TestBatchCacheSemantics:
+    def test_cache_key_depends_on_semantic_options(self, problems):
+        base = api.Options()
+        assert (batch_cache_key(problems[0], base)
+                == batch_cache_key(problems[0], base.replace(workers=4)))
+        assert (batch_cache_key(problems[0], base)
+                != batch_cache_key(problems[0], base.replace(symmetry=0)))
+        assert (batch_cache_key(problems[0], base)
+                != batch_cache_key(problems[1], base))
+
+    def test_error_results_are_not_cached(self, tmp_path, problems):
+        class ExplodingBackend:
+            name = "exploding-test"
+
+            def supports(self, problem):
+                return True
+
+            def solve(self, problem, options):
+                raise RuntimeError("deliberate test failure")
+
+            def enumerate(self, problem, options):
+                raise RuntimeError("deliberate test failure")
+
+        from repro.api.backends import _REGISTRY
+
+        api.register_backend(ExplodingBackend())
+        try:
+            cache_dir = tmp_path / "error_cache"
+            failed = api.solve_many(problems[:2], solver="exploding-test",
+                                    cache_dir=cache_dir)
+            assert all(r.verdict is api.Verdict.ERROR for r in failed)
+            assert all("deliberate test failure" in r.error for r in failed)
+            cache = ResultCache(cache_dir)
+            assert len(cache) == 0
+        finally:
+            _REGISTRY.pop("exploding-test", None)
+
+    def test_bad_workers_rejected(self, problems):
+        with pytest.raises(ValueError, match="workers must be an integer"):
+            api.solve_many(problems[:1], workers=0)
+
+    def test_progress_callback_sees_every_result(self, problems, tmp_path):
+        seen = []
+        api.solve_many(problems[:5], cache_dir=tmp_path / "progress_cache",
+                       progress=lambda index, result: seen.append(index))
+        assert sorted(seen) == [0, 1, 2, 3, 4]
+
+    def test_protocol_problems_batch(self, tmp_path):
+        specs = random_sweep("mca", 4, base_seed=3, num_agents=(2, 3),
+                             num_items=(1, 2), target=(1, 1))
+        protocol_problems = [api.problem_from_spec(s) for s in specs]
+        results = api.solve_many(
+            protocol_problems, cache_dir=tmp_path / "protocol_cache",
+            max_rounds=8,
+        )
+        assert all(r.verdict is api.Verdict.HOLDS for r in results)
+        warm = api.solve_many(
+            protocol_problems, cache_dir=tmp_path / "protocol_cache",
+            max_rounds=8,
+        )
+        assert all(r.detail.get("cached") for r in warm)

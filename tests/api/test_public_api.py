@@ -1,0 +1,167 @@
+"""Public-API snapshot: accidental surface changes must fail loudly.
+
+The exported name sets and the signatures of the façade entry points are
+pinned here.  Changing them is allowed — but it must be a deliberate,
+reviewed edit to this file, not a drive-by.
+"""
+
+import inspect
+from pathlib import Path
+
+import repro
+from repro import api
+
+EXPECTED_REPRO_ALL = [
+    "__version__",
+    "api",
+    "Backend",
+    "FormulaProblem",
+    "ModuleProblem",
+    "Options",
+    "Problem",
+    "ProtocolProblem",
+    "Result",
+    "Verdict",
+    "available_backends",
+    "check",
+    "enumerate",
+    "problem_from_spec",
+    "register_backend",
+    "run_protocol",
+    "solve",
+    "solve_many",
+]
+
+EXPECTED_API_ALL = [
+    "BATCH_SCHEMA",
+    "Backend",
+    "ExplorerBackend",
+    "FormulaProblem",
+    "KodkodBackend",
+    "ModuleProblem",
+    "Options",
+    "Problem",
+    "ProtocolProblem",
+    "Result",
+    "Verdict",
+    "available_backends",
+    "backend_for",
+    "batch_cache_key",
+    "check",
+    "describe_verdict",
+    "enumerate",
+    "get_backend",
+    "instance_payload",
+    "problem_fingerprint",
+    "problem_from_spec",
+    "register_backend",
+    "result_from_json",
+    "result_to_json",
+    "run_protocol",
+    "solve",
+    "solve_many",
+]
+
+EXPECTED_SIGNATURES = {
+    "solve": "(problem, bounds=None, *, options: "
+             "'Options | None' = None, **overrides) -> 'Result'",
+    "check": "(module, assertion=None, scope: 'Scope | None' = None, *, "
+             "options: 'Options | None' = None, **overrides) -> 'Result'",
+    "enumerate": "(problem, bounds=None, *, limit: 'int | None' = None, "
+                 "options: 'Options | None' = None, **overrides) "
+                 "-> 'Result'",
+    "run_protocol": "(network, items: 'Iterable' = None, policies: "
+                    "'Mapping | None' = None, *, options: "
+                    "'Options | None' = None, **overrides) -> 'Result'",
+    "solve_many": "(problems: 'Sequence[Problem]', options: "
+                  "'Options | None' = None, *, workers: 'int | None' = None, "
+                  "cache_dir: 'str | Path | None' = None, task_timeout: "
+                  "'float | None' = None, progress: "
+                  "'Callable[[int, Result], None] | None' = None, "
+                  "**overrides) -> 'list[Result]'",
+}
+
+EXPECTED_OPTIONS_FIELDS = [
+    "solver",
+    "symmetry",
+    "max_instances",
+    "max_rounds",
+    "max_paths",
+    "memoize",
+    "timeout",
+    "workers",
+    "cache_dir",
+]
+
+EXPECTED_RESULT_FIELDS = [
+    "verdict",
+    "instances",
+    "trace",
+    "stats",
+    "solver_stats",
+    "seconds",
+    "backend",
+    "detail",
+    "error",
+]
+
+EXPECTED_VERDICTS = ["sat", "unsat", "holds", "counterexample", "error"]
+
+
+class TestSurfaceSnapshot:
+    def test_repro_all_is_pinned(self):
+        assert sorted(repro.__all__) == sorted(EXPECTED_REPRO_ALL)
+
+    def test_repro_api_all_is_pinned(self):
+        assert sorted(api.__all__) == sorted(EXPECTED_API_ALL)
+
+    def test_every_exported_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_repro_reexports_match_api(self):
+        for name in set(repro.__all__) & set(api.__all__):
+            assert getattr(repro, name) is getattr(api, name), name
+
+    def test_facade_signatures_are_pinned(self):
+        for name, expected in EXPECTED_SIGNATURES.items():
+            actual = str(inspect.signature(getattr(api, name)))
+            assert actual == expected, (
+                f"signature of repro.api.{name} changed:\n"
+                f"  expected {expected}\n  actual   {actual}\n"
+                f"update EXPECTED_SIGNATURES deliberately if intended"
+            )
+
+    def test_options_fields_are_pinned(self):
+        import dataclasses
+
+        names = [f.name for f in dataclasses.fields(api.Options)]
+        assert names == EXPECTED_OPTIONS_FIELDS
+
+    def test_result_fields_are_pinned(self):
+        import dataclasses
+
+        names = [f.name for f in dataclasses.fields(api.Result)]
+        assert names == EXPECTED_RESULT_FIELDS
+
+    def test_verdict_values_are_pinned(self):
+        assert [v.value for v in api.Verdict] == EXPECTED_VERDICTS
+
+
+class TestTypingMarker:
+    def test_py_typed_ships_with_the_package(self):
+        marker = Path(repro.__file__).parent / "py.typed"
+        assert marker.is_file(), (
+            "src/repro/py.typed is missing: type checkers would ignore "
+            "the package's annotations (PEP 561)"
+        )
+
+    def test_pyproject_packages_the_marker(self):
+        root = Path(repro.__file__).resolve().parents[2]
+        pyproject = (root / "pyproject.toml").read_text(encoding="utf-8")
+        assert "py.typed" in pyproject, (
+            "pyproject.toml must declare the py.typed marker as package "
+            "data or it is dropped from wheels"
+        )
