@@ -19,12 +19,12 @@ from repro.model import build_dynamic
 
 
 @pytest.mark.parametrize("max_value", [3, 5, 7])
-def test_value_scope_ablation(benchmark, report, max_value):
+def test_value_scope_ablation(bench, report, max_value):
     def run():
         model = build_dynamic(num_pnodes=2, num_vnodes=2, max_value=max_value)
         return model.translate_check()
 
-    translation = benchmark(run)
+    translation = bench(run)
     report.append(render_table(
         ["max value", "primary vars", "clauses"],
         [[max_value, translation.stats.num_primary_vars,
@@ -57,7 +57,7 @@ def test_triple_sharing_accounting():
 
 @pytest.mark.parametrize("scheduler,seed", [("fifo", 0), ("random", 1),
                                             ("random", 2)])
-def test_scheduler_ablation(benchmark, report, scheduler, seed):
+def test_scheduler_ablation(bench, report, scheduler, seed):
     items = ["A", "B", "C"]
     network = AgentNetwork.ring(4)
     policies = {
@@ -74,7 +74,7 @@ def test_scheduler_ablation(benchmark, report, scheduler, seed):
                                     scheduler=scheduler, seed=seed)
         return engine.run()
 
-    result = benchmark(run)
+    result = bench(run)
     assert result.converged
     report.append(render_table(
         ["scheduler", "seed", "messages to converge"],

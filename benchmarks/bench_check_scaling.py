@@ -27,12 +27,12 @@ SCOPES = [
 
 
 @pytest.mark.parametrize("label,params", SCOPES, ids=[s[0] for s in SCOPES])
-def test_consensus_check_at_scope(benchmark, report, label, params):
+def test_consensus_check_at_scope(bench, report, label, params):
     def run():
         model = build_dynamic(**params)
         return model.check_consensus()
 
-    solution = benchmark(run)
+    solution = bench(run)
     assert not solution.satisfiable  # honest consensus holds at all scopes
     report.append(render_table(
         ["scope", "primary vars", "cnf vars", "clauses", "solve (s)",
@@ -55,7 +55,7 @@ EXPLORER_SCOPES = [
 
 @pytest.mark.parametrize("label,agents,items", EXPLORER_SCOPES,
                          ids=[s[0] for s in EXPLORER_SCOPES])
-def test_explorer_scaling_without_deepcopy(benchmark, report, monkeypatch,
+def test_explorer_scaling_without_deepcopy(bench, report, monkeypatch,
                                            label, agents, items):
     """The snapshot/restore explorer never deep-copies on the branch hot
     path: branching over every activation order at every depth runs on one
@@ -80,7 +80,7 @@ def test_explorer_scaling_without_deepcopy(benchmark, report, monkeypatch,
             network, items, policies, max_rounds=10, max_paths=100_000
         )
 
-    result = benchmark(run)
+    result = bench(run)
     assert result.all_converged
     report.append(render_table(
         ["scope", "paths", "worst rounds", "memo hits", "states memoized"],

@@ -43,7 +43,7 @@ def _policies(network, items):
 
 @pytest.mark.parametrize("name,factory", TOPOLOGIES, ids=[t[0] for t in TOPOLOGIES])
 @pytest.mark.parametrize("num_items", [2, 4])
-def test_convergence_within_bound(benchmark, report, name, factory, num_items):
+def test_convergence_within_bound(bench, report, name, factory, num_items):
     network = factory()
     items = [f"item{i}" for i in range(num_items)]
     bound = message_bound(network, items)
@@ -52,7 +52,7 @@ def test_convergence_within_bound(benchmark, report, name, factory, num_items):
         return SynchronousEngine(network, items,
                                  _policies(network, items)).run(bound + 5)
 
-    result = benchmark(run)
+    result = bench(run)
     assert result.converged
     # +1 round: the engine needs one quiescent round to detect convergence.
     assert result.rounds <= bound + 1
@@ -63,7 +63,7 @@ def test_convergence_within_bound(benchmark, report, name, factory, num_items):
     ))
 
 
-def test_bound_is_tight_on_a_line(benchmark):
+def test_bound_is_tight_on_a_line(bench):
     """On a line the max bid must traverse the whole network: rounds scale
     with the diameter."""
     def run():
@@ -77,7 +77,7 @@ def test_bound_is_tight_on_a_line(benchmark):
             outcomes.append((n, result))
         return outcomes
 
-    outcomes = benchmark(run)
+    outcomes = bench(run)
     rounds = []
     for n, result in outcomes:
         assert result.converged

@@ -14,8 +14,8 @@ def run_example1():
     return engine, result
 
 
-def test_example1_end_to_end(benchmark):
-    engine, result = benchmark(run_example1)
+def test_example1_end_to_end(bench):
+    engine, result = bench(run_example1)
     assert result.converged
     # Paper's post-agreement state (0-based agent ids: paper's agent k -> k-1).
     assert result.allocation == example1_expected_allocation()
@@ -26,7 +26,7 @@ def test_example1_end_to_end(benchmark):
     assert consensus_report(engine.agents).consensus
 
 
-def test_example1_third_agent_learns_via_relay(benchmark):
+def test_example1_third_agent_learns_via_relay(bench):
     """Paper: 'An additional agent 3, connected to agent 1 but not agent 2,
     would receive the maximum bid so far on each item'."""
     from repro.mca import AgentNetwork, AgentPolicy, SynchronousEngine, TableUtility
@@ -49,7 +49,7 @@ def test_example1_third_agent_learns_via_relay(benchmark):
                                    {0: agent1, 1: agent2, 2: agent3})
         return engine, engine.run()
 
-    engine, result = benchmark(run_with_relay)
+    engine, result = bench(run_with_relay)
     assert result.converged
     relay_view = engine.agents[2]
     assert relay_view.beliefs["A"].bid == 20

@@ -18,25 +18,25 @@ from repro.mca import detect_cycle, figure2_engine
     (False, False, True),
     (False, True, False),  # the paper's instability cell
 ])
-def test_figure2_cell(benchmark, submodular, release, expect_converge):
+def test_figure2_cell(bench, submodular, release, expect_converge):
     def run():
         return figure2_engine(submodular=submodular,
                               release_outbid=release).run(50)
 
-    result = benchmark(run)
+    result = bench(run)
     assert result.converged == expect_converge
     if not expect_converge:
         assert result.oscillated
         assert result.cycle_length is not None and result.cycle_length >= 2
 
 
-def test_figure2_oscillation_is_periodic(benchmark):
+def test_figure2_oscillation_is_periodic(bench):
     """The failing cell repeats exactly: a Figure-2 style cycle where a
     later iteration reproduces an earlier one."""
     def run():
         return figure2_engine(submodular=False, release_outbid=True).run(50)
 
-    result = benchmark(run)
+    result = bench(run)
     cycle = detect_cycle(result.trace)
     assert cycle is not None
     start, length = cycle
@@ -49,13 +49,13 @@ def test_figure2_oscillation_is_periodic(benchmark):
     assert first.bundles == again.bundles
 
 
-def test_figure2_submodular_agreement_table(benchmark, report):
+def test_figure2_submodular_agreement_table(bench, report):
     """Render the sub-modular row: both agents keep their preferred item."""
     def run():
         engine = figure2_engine(submodular=True, release_outbid=True)
         return engine, engine.run()
 
-    engine, result = benchmark(run)
+    engine, result = bench(run)
     assert result.allocation == {"VN1": 0, "VN2": 1}
     rows = [
         [record.round_index,

@@ -19,8 +19,8 @@ from repro.model import ALL_POLICY_COMBINATIONS, check_combination
 @pytest.mark.parametrize(
     "combo", ALL_POLICY_COMBINATIONS, ids=lambda c: c.label
 )
-def test_policy_cell(benchmark, report, combo):
-    verdict = benchmark(check_combination, combo, 2, 2, 6)
+def test_policy_cell(bench, report, combo):
+    verdict = bench(check_combination, combo, 2, 2, 6)
     expected_converges = not (
         not combo.submodular and combo.release_outbid
     )
@@ -35,7 +35,7 @@ def test_policy_cell(benchmark, report, combo):
     ))
 
 
-def test_policy_matrix_scope_3_agents(benchmark):
+def test_policy_matrix_scope_3_agents(bench):
     """A larger scope (3 pnodes, line topology) for the honest cell —
     'checked ... over several scopes'."""
     from repro.model import PolicyCombination, model_for
@@ -48,5 +48,5 @@ def test_policy_matrix_scope_3_agents(benchmark):
         )
         return model.check_consensus()
 
-    solution = benchmark(run)
+    solution = bench(run)
     assert not solution.satisfiable  # consensus holds

@@ -19,24 +19,24 @@ from repro.mca import (
 from repro.model import build_dynamic
 
 
-def test_sat_check_finds_attack_counterexample(benchmark):
+def test_sat_check_finds_attack_counterexample(bench):
     def run():
         model = build_dynamic(num_pnodes=2, num_vnodes=2, max_value=4,
                               rebid_attackers={1})
         return model.check_consensus()
 
-    solution = benchmark(run)
+    solution = bench(run)
     assert solution.satisfiable  # counterexample: consensus not reached
     assert solution.instance is not None
 
 
-def test_sat_check_honest_baseline_holds(benchmark):
+def test_sat_check_honest_baseline_holds(bench):
     """Sanity check for the same scope without the attacker."""
     def run():
         model = build_dynamic(num_pnodes=2, num_vnodes=2, max_value=4)
         return model.check_consensus()
 
-    solution = benchmark(run)
+    solution = bench(run)
     assert not solution.satisfiable
 
 
@@ -51,28 +51,28 @@ def _attack_engine(attacker_strategy):
     return SynchronousEngine(AgentNetwork.complete(2), items, policies)
 
 
-def test_flipflop_attack_livelocks_protocol(benchmark):
+def test_flipflop_attack_livelocks_protocol(bench):
     def run():
         return _attack_engine(RebidStrategy.FLIPFLOP).run(200)
 
-    result = benchmark(run)
+    result = bench(run)
     assert result.oscillated  # DoS: the auction never settles
 
 
-def test_escalate_attack_hijacks_allocation(benchmark):
+def test_escalate_attack_hijacks_allocation(bench):
     def run():
         return _attack_engine(RebidStrategy.ESCALATE).run(200)
 
-    result = benchmark(run)
+    result = bench(run)
     assert result.converged
     # The attacker (utility 1) stole both items by lying.
     assert set(result.allocation.values()) == {1}
 
 
-def test_honest_baseline_converges_fairly(benchmark):
+def test_honest_baseline_converges_fairly(bench):
     def run():
         return _attack_engine(RebidStrategy.HONEST).run(200)
 
-    result = benchmark(run)
+    result = bench(run)
     assert result.converged
     assert set(result.allocation.values()) == {0}  # true utilities win

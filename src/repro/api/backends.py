@@ -190,7 +190,7 @@ class KodkodBackend:
             verdict=verdict,
             instances=instances,
             stats=session.translation.stats,
-            solver_stats=dict(session.solver.stats),
+            solver_stats=session.solver_stats(),
             seconds=time.perf_counter() - started,
             backend=self.name,
             detail={

@@ -88,6 +88,8 @@ class Session:
         self._ok = self._solver.add_cnf(self._translation.cnf)
         self._primary_vars = self._translation.primary_vars()
         self._last_model = None
+        self._solve_seconds_total = 0.0
+        self._solve_propagations_total = 0
 
     @property
     def translation(self) -> Translation:
@@ -102,6 +104,20 @@ class Session:
     def clause_db_stats(self) -> dict[str, float]:
         """Clause-database statistics of the live solver."""
         return self._solver.clause_db_stats()
+
+    def solver_stats(self) -> dict:
+        """Cumulative search statistics, with the derived throughput rate
+        (``propagations_per_second``) over this session's solve calls.
+
+        The rate counts only propagations performed *during* solve calls
+        (clause loading and blocking-clause installation propagate too,
+        but outside the timed window)."""
+        stats = dict(self._solver.stats)
+        if self._solve_seconds_total > 0:
+            stats["propagations_per_second"] = round(
+                self._solve_propagations_total / self._solve_seconds_total
+            )
+        return stats
 
     def assume_tuple(self, relation: ast.Relation, atoms: tuple[str, ...],
                      present: bool = True) -> Lit:
@@ -129,12 +145,17 @@ class Session:
     def solve(self, assumptions: Iterable[Lit] = ()) -> Solution:
         """Decide the problem under optional assumption literals."""
         started = time.perf_counter()
+        propagations_before = self._solver.stats["propagations"]
         if not self._ok:
             status = Status.UNSAT
         else:
             status = self._solver.solve(assumptions)
         elapsed = time.perf_counter() - started
-        solver_stats = dict(self._solver.stats)
+        self._solve_seconds_total += elapsed
+        self._solve_propagations_total += (
+            self._solver.stats["propagations"] - propagations_before
+        )
+        solver_stats = self.solver_stats()
         if status is Status.SAT:
             self._last_model = self._solver.model()
             instance = extract_instance(self._translation, self._last_model)

@@ -6,6 +6,11 @@ boolean circuit nodes; relational operators become matrix operations.  The
 matrices are sparse: absent cells are FALSE, which keeps the translation
 proportional to the relations' upper bounds rather than the full tuple
 space.
+
+Operators build their result cell dict directly (no intermediate matrices,
+no per-cell validation — indices flow from already-validated operands) and
+go through the factory's binary ``and2``/``or2`` fast paths, so a chain of
+relational operators allocates exactly one result dict per operator.
 """
 
 from __future__ import annotations
@@ -20,6 +25,8 @@ IndexTuple = tuple[int, ...]
 
 class BoolMatrix:
     """A sparse matrix of circuit nodes indexed by atom-index tuples."""
+
+    __slots__ = ("factory", "universe_size", "arity", "_cells")
 
     def __init__(
         self,
@@ -39,6 +46,17 @@ class BoolMatrix:
         if cells:
             for index, node in cells.items():
                 self._set(index, node)
+
+    @classmethod
+    def _raw(cls, factory: BooleanFactory, universe_size: int, arity: int,
+             cells: dict[IndexTuple, int]) -> "BoolMatrix":
+        """Internal constructor taking ownership of a validated cell dict."""
+        matrix = cls.__new__(cls)
+        matrix.factory = factory
+        matrix.universe_size = universe_size
+        matrix.arity = arity
+        matrix._cells = cells
+        return matrix
 
     def _validate(self, index: IndexTuple) -> None:
         if len(index) != self.arity:
@@ -89,44 +107,57 @@ class BoolMatrix:
     def union(self, other: "BoolMatrix") -> "BoolMatrix":
         """Pointwise OR."""
         self._same_shape(other)
-        result = BoolMatrix(self.factory, self.universe_size, self.arity)
-        for index in set(self._cells) | set(other._cells):
-            result._set(
-                index, self.factory.or_([self.get(index), other.get(index)])
-            )
-        return result
+        or2 = self.factory.or2
+        cells = dict(self._cells)
+        for index, node in other._cells.items():
+            mine = cells.get(index)
+            cells[index] = node if mine is None else or2(mine, node)
+        return BoolMatrix._raw(self.factory, self.universe_size, self.arity,
+                               cells)
 
     def intersection(self, other: "BoolMatrix") -> "BoolMatrix":
         """Pointwise AND."""
         self._same_shape(other)
-        result = BoolMatrix(self.factory, self.universe_size, self.arity)
-        for index in set(self._cells) & set(other._cells):
-            result._set(
-                index, self.factory.and_([self.get(index), other.get(index)])
-            )
-        return result
+        and2 = self.factory.and2
+        other_cells = other._cells
+        cells: dict[IndexTuple, int] = {}
+        for index, node in self._cells.items():
+            theirs = other_cells.get(index)
+            if theirs is None:
+                continue
+            conj = and2(node, theirs)
+            if conj != FALSE:
+                cells[index] = conj
+        return BoolMatrix._raw(self.factory, self.universe_size, self.arity,
+                               cells)
 
     def difference(self, other: "BoolMatrix") -> "BoolMatrix":
         """Pointwise AND-NOT."""
         self._same_shape(other)
-        result = BoolMatrix(self.factory, self.universe_size, self.arity)
+        and2 = self.factory.and2
+        other_cells = other._cells
+        cells: dict[IndexTuple, int] = {}
         for index, node in self._cells.items():
-            result._set(index, self.factory.and_([node, -other.get(index)]))
-        return result
+            theirs = other_cells.get(index)
+            diff = node if theirs is None else and2(node, -theirs)
+            if diff != FALSE:
+                cells[index] = diff
+        return BoolMatrix._raw(self.factory, self.universe_size, self.arity,
+                               cells)
 
     def product(self, other: "BoolMatrix") -> "BoolMatrix":
         """Cartesian product; arities add."""
         self._check_compatible(other)
-        result = BoolMatrix(
-            self.factory, self.universe_size, self.arity + other.arity
-        )
+        and2 = self.factory.and2
+        other_items = list(other._cells.items())
+        cells: dict[IndexTuple, int] = {}
         for left_index, left_node in self._cells.items():
-            for right_index, right_node in other._cells.items():
-                result._set(
-                    left_index + right_index,
-                    self.factory.and_([left_node, right_node]),
-                )
-        return result
+            for right_index, right_node in other_items:
+                node = and2(left_node, right_node)
+                if node != FALSE:
+                    cells[left_index + right_index] = node
+        return BoolMatrix._raw(self.factory, self.universe_size,
+                               self.arity + other.arity, cells)
 
     def join(self, other: "BoolMatrix") -> "BoolMatrix":
         """Relational join: contract the last column of self with the first
@@ -135,7 +166,8 @@ class BoolMatrix:
         arity = self.arity + other.arity - 2
         if arity < 1:
             raise ValueError("join would produce arity < 1")
-        result = BoolMatrix(self.factory, self.universe_size, arity)
+        factory = self.factory
+        and2 = factory.and2
         # Group other's cells by leading atom for the contraction.
         by_head: dict[int, list[tuple[IndexTuple, int]]] = {}
         for right_index, right_node in other._cells.items():
@@ -144,24 +176,34 @@ class BoolMatrix:
             )
         accum: dict[IndexTuple, list[int]] = {}
         for left_index, left_node in self._cells.items():
-            tail = left_index[-1]
-            for right_rest, right_node in by_head.get(tail, []):
-                index = left_index[:-1] + right_rest
-                accum.setdefault(index, []).append(
-                    self.factory.and_([left_node, right_node])
-                )
+            matches = by_head.get(left_index[-1])
+            if not matches:
+                continue
+            prefix = left_index[:-1]
+            for right_rest, right_node in matches:
+                node = and2(left_node, right_node)
+                if node == FALSE:
+                    continue
+                index = prefix + right_rest
+                nodes = accum.get(index)
+                if nodes is None:
+                    accum[index] = [node]
+                else:
+                    nodes.append(node)
+        or_ = factory.or_
+        cells: dict[IndexTuple, int] = {}
         for index, nodes in accum.items():
-            result._set(index, self.factory.or_(nodes))
-        return result
+            node = nodes[0] if len(nodes) == 1 else or_(nodes)
+            if node != FALSE:
+                cells[index] = node
+        return BoolMatrix._raw(factory, self.universe_size, arity, cells)
 
     def transpose(self) -> "BoolMatrix":
         """Transpose (binary only)."""
         if self.arity != 2:
             raise ValueError("transpose requires a binary matrix")
-        result = BoolMatrix(self.factory, self.universe_size, 2)
-        for (a, b), node in self._cells.items():
-            result._set((b, a), node)
-        return result
+        cells = {(b, a): node for (a, b), node in self._cells.items()}
+        return BoolMatrix._raw(self.factory, self.universe_size, 2, cells)
 
     def closure(self) -> "BoolMatrix":
         """Transitive closure by iterative squaring (binary only)."""
@@ -178,10 +220,10 @@ class BoolMatrix:
         """Union with the identity matrix (for reflexive closure)."""
         if self.arity != 2:
             raise ValueError("identity union requires a binary matrix")
-        result = BoolMatrix(self.factory, self.universe_size, 2, dict(self._cells))
+        cells = dict(self._cells)
         for i in range(self.universe_size):
-            result._set((i, i), TRUE)
-        return result
+            cells[(i, i)] = TRUE
+        return BoolMatrix._raw(self.factory, self.universe_size, 2, cells)
 
     # ------------------------------------------------------------------
     # Comparison / multiplicity circuits
@@ -190,15 +232,17 @@ class BoolMatrix:
     def subset_of(self, other: "BoolMatrix") -> int:
         """Circuit node asserting self ⊆ other."""
         self._same_shape(other)
+        or2 = self.factory.or2
+        other_cells = other._cells
         implications = [
-            self.factory.implies(node, other.get(index))
+            or2(-node, other_cells.get(index, FALSE))
             for index, node in self._cells.items()
         ]
         return self.factory.and_(implications)
 
     def equals(self, other: "BoolMatrix") -> int:
         """Circuit node asserting pointwise equality."""
-        return self.factory.and_([self.subset_of(other), other.subset_of(self)])
+        return self.factory.and2(self.subset_of(other), other.subset_of(self))
 
     def some(self) -> int:
         """Circuit node asserting at least one true cell."""
@@ -210,15 +254,16 @@ class BoolMatrix:
 
     def lone(self) -> int:
         """Circuit node asserting at most one true cell (pairwise)."""
+        or2 = self.factory.or2
         nodes = list(self._cells.values())
         pair_exclusions = [
-            self.factory.or_([-a, -b]) for a, b in itertools.combinations(nodes, 2)
+            or2(-a, -b) for a, b in itertools.combinations(nodes, 2)
         ]
         return self.factory.and_(pair_exclusions)
 
     def one(self) -> int:
         """Circuit node asserting exactly one true cell."""
-        return self.factory.and_([self.some(), self.lone()])
+        return self.factory.and2(self.some(), self.lone())
 
     def count_ge(self, n: int) -> int:
         """Circuit node asserting at least ``n`` true cells."""
@@ -236,7 +281,7 @@ class BoolMatrix:
         """Circuit node asserting exactly ``n`` true cells."""
         at_least = self.count_ge(n)
         more = self.count_ge(n + 1)
-        return self.factory.and_([at_least, -more])
+        return self.factory.and2(at_least, -more)
 
     def __repr__(self) -> str:
         return (

@@ -48,6 +48,28 @@ class Translation:
             self.input_vars[node] for node in self.tuple_inputs.values()
         )
 
+    def to_dimacs(self, comments: list[str] | None = None) -> str:
+        """Render the translated CNF in DIMACS format.
+
+        The header comments document the primary-variable mapping
+        (``relation(atom indices) -> CNF variable``), so models found by an
+        external solver can be read back as relation tuples.  Used by the
+        ``python -m repro.sat.dimacs`` cross-checking CLI.
+        """
+        from repro.sat import dimacs
+
+        lines = list(comments or [])
+        lines.append(
+            f"primary vars: {len(self.tuple_inputs)} of {self.cnf.num_vars}"
+        )
+        for (rel, index), node in sorted(
+            self.tuple_inputs.items(), key=lambda kv: (kv[0][0].name, kv[0][1])
+        ):
+            var = self.input_vars[node]
+            atoms = ",".join(str(i) for i in index)
+            lines.append(f"primary {rel.name}({atoms}) -> {var}")
+        return dimacs.dumps(self.cnf, comments=lines)
+
 
 @dataclass
 class TranslationStats:
@@ -60,6 +82,13 @@ class TranslationStats:
     num_symmetry_classes: int = 0
     num_sbp_predicates: int = 0
     translation_seconds: float = 0.0
+    # Gate constructions requested before hash-consing/simplification
+    # collapsed them ("gates before simplification"; ``num_gates`` is the
+    # count after).
+    num_gates_raw: int = 0
+    # Clauses the polarity-aware (Plaisted-Greenbaum) encoding avoided
+    # emitting relative to bipolar Tseitin (0 under ``cnf_encoding="tseitin"``).
+    num_clauses_saved_by_polarity: int = 0
 
 
 class UnboundRelationError(KeyError):
@@ -73,12 +102,24 @@ class Translator:
     predicates conjoined onto the root formula (0 disables symmetry
     breaking entirely).  Breaking preserves SAT/UNSAT but prunes models
     that only differ by a permutation of interchangeable atoms.
+
+    ``cnf_encoding`` selects the circuit-to-CNF compilation: ``"pg"``
+    (default) is polarity-aware Plaisted-Greenbaum, ``"tseitin"`` the
+    classic bipolar encoding.  Both are equisatisfiable per input
+    assignment; the differential encoding tests solve the same problem
+    under each and compare verdicts and model projections.
     """
 
-    def __init__(self, bounds: Bounds, symmetry: int = 0) -> None:
+    def __init__(self, bounds: Bounds, symmetry: int = 0,
+                 cnf_encoding: str = "pg") -> None:
+        if cnf_encoding not in ("pg", "tseitin"):
+            raise ValueError(
+                f"cnf_encoding must be 'pg' or 'tseitin', got {cnf_encoding!r}"
+            )
         self._bounds = bounds
         self._universe = bounds.universe
         self._symmetry = symmetry
+        self._cnf_encoding = cnf_encoding
         self._factory = BooleanFactory()
         self._relation_matrices: dict[ast.Relation, BoolMatrix] = {}
         self._tuple_inputs: dict[tuple[ast.Relation, tuple[int, ...]], int] = {}
@@ -307,7 +348,9 @@ class Translator:
                     classes=tuple(tuple(c) for c in classes),
                     num_predicates=len(sbp),
                 )
-            cnf, input_vars = self._factory.to_cnf([root])
+            cnf, input_vars = self._factory.to_cnf(
+                [root], polarity_aware=self._cnf_encoding == "pg"
+            )
             # Inputs never mentioned by the root circuit still need CNF
             # variables so instances can be extracted deterministically.
             for node in self._tuple_inputs.values():
@@ -327,6 +370,10 @@ class Translator:
                 symmetry_info.num_predicates if symmetry_info else 0
             ),
             translation_seconds=time.perf_counter() - started,
+            num_gates_raw=self._factory.gate_requests,
+            num_clauses_saved_by_polarity=self._factory.cnf_stats.get(
+                "clauses_saved_by_polarity", 0
+            ),
         )
         return Translation(
             cnf=cnf,

@@ -43,10 +43,22 @@ class CNF:
     def add_clause(self, lits: Sequence[Lit] | Clause) -> None:
         """Add one clause, growing ``num_vars`` to cover its literals."""
         tup = tuple(lits.literals) if isinstance(lits, Clause) else tuple(lits)
+        num_vars = self._num_vars
         for lit in tup:
             if lit == 0:
                 raise ValueError("0 is not a valid literal")
-            self._num_vars = max(self._num_vars, var_of(lit))
+            var = lit if lit > 0 else -lit
+            if var > num_vars:
+                num_vars = var
+        self._num_vars = num_vars
+        self._clauses.append(tup)
+
+    def _append_clause(self, tup: tuple[Lit, ...]) -> None:
+        """Trusted fast path: append a clause tuple without validation.
+
+        Callers (the circuit compiler) guarantee non-zero literals over
+        variables already allocated via :meth:`new_var`.
+        """
         self._clauses.append(tup)
 
     def extend(self, clauses: Iterable[Sequence[Lit] | Clause]) -> None:

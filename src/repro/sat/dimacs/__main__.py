@@ -1,0 +1,11 @@
+"""Entry point for ``python -m repro.sat.dimacs``.
+
+A separate ``__main__`` module (rather than an ``if __name__`` guard in
+the package body) keeps runpy from re-executing the already-imported
+package and emitting a RuntimeWarning on every CLI invocation.
+"""
+
+from repro.sat.dimacs import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

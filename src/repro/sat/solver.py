@@ -4,7 +4,7 @@ This module is the bottom of the verification stack: the relational
 translator in :mod:`repro.kodkod` compiles Alloy-style models to CNF, and
 this solver decides them.  It implements the standard modern architecture:
 
-* two-watched-literal unit propagation,
+* two-watched-literal unit propagation with blocker literals,
 * first-UIP conflict analysis with clause learning,
 * VSIDS variable activities with phase saving,
 * Luby-sequence restarts,
@@ -13,10 +13,20 @@ this solver decides them.  It implements the standard modern architecture:
   problem clauses, carry LBD ("glue") and activity scores, and are
   periodically reduced so long enumeration sessions do not degrade.
 
-The implementation favours clarity over raw speed, but is careful about the
-data structures that dominate runtime (watch lists, the trail, activity
-bumping) so that the bounded-verification scopes used in the paper remain
-comfortably tractable.
+Clauses live in a flat literal arena (:class:`repro.sat.types.ClauseArena`):
+parallel int arrays indexed by clause id, with every clause a span in one
+shared literal array.  Watcher lists are flat interleaved ``[clause id,
+blocker literal]`` arrays indexed by encoded literal (``2v`` for the
+positive literal of variable ``v``, ``2v + 1`` for the negative), so the
+propagation inner loop touches only list indexing — no per-clause heap
+objects, no attribute dereferences, no dict hashing.  A blocker is a
+literal of the clause (normally the other watched literal) checked before
+the clause span itself: when the blocker is already true the clause is
+satisfied and the span is never read.
+
+Clause ids are stable between reductions; when the arena accumulates too
+much deleted-clause storage, :meth:`Solver.reduce_db` compacts it and
+remaps watcher lists and reason references in one sweep.
 """
 
 from __future__ import annotations
@@ -26,11 +36,14 @@ from typing import Iterable, Sequence
 import heapq
 
 from repro.sat.cnf import CNF
-from repro.sat.types import Lit, Model, Status, Var
+from repro.sat.types import ClauseArena, Lit, Model, Status, Var
 
 _TRUE = 1
 _FALSE = -1
 _UNASSIGNED = 0
+
+# Reason / conflict sentinel: "no clause".
+_NO_CLAUSE = -1
 
 
 def luby(i: int) -> int:
@@ -49,28 +62,13 @@ def luby(i: int) -> int:
     return 1 << seq
 
 
-class _Clause:
-    """One clause in the solver's database.
+def _enc(lit: Lit) -> int:
+    """Encoded literal: index into the watcher-list table.
 
-    Watch lists and reasons reference clause objects directly (rather than
-    indices into a shared arena), so learned clauses can be deleted without
-    invalidating anything: a deleted clause is flagged and dropped lazily
-    the next time a watch list containing it is traversed.
+    The expression is inlined (not called) in the ``add_cnf`` and
+    ``_propagate`` hot loops; keep the two in sync.
     """
-
-    __slots__ = ("lits", "learned", "lbd", "activity", "deleted")
-
-    def __init__(self, lits: list[Lit], learned: bool = False,
-                 lbd: int = 0) -> None:
-        self.lits = lits
-        self.learned = learned
-        self.lbd = lbd
-        self.activity = 0.0
-        self.deleted = False
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        kind = "learned" if self.learned else "problem"
-        return f"_Clause({self.lits}, {kind}, lbd={self.lbd})"
+    return 2 * lit if lit > 0 else -2 * lit + 1
 
 
 class Solver:
@@ -80,12 +78,15 @@ class Solver:
                  clause_decay: float = 0.999, max_learned: int = 4000,
                  reduce_growth: float = 1.3, glue_lbd: int = 2) -> None:
         self._num_vars = 0
-        self._problem_db: list[_Clause] = []
-        self._learned_db: list[_Clause] = []
-        self._watches: dict[Lit, list[_Clause]] = {}
+        self._arena = ClauseArena()
+        self._problem_db: list[int] = []
+        self._learned_db: list[int] = []
+        # Watcher lists indexed by encoded literal; each is a flat
+        # interleaved [clause id, blocker literal, ...] array.
+        self._watches: list[list[int]] = [[], []]
         self._assign: list[int] = [_UNASSIGNED]  # index 0 unused
         self._level: list[int] = [0]
-        self._reason: list[_Clause | None] = [None]
+        self._reason: list[int] = [_NO_CLAUSE]
         self._phase: list[bool] = [False]
         self._activity: list[float] = [0.0]
         self._trail: list[Lit] = []
@@ -128,15 +129,22 @@ class Solver:
         self._num_vars += 1
         self._assign.append(_UNASSIGNED)
         self._level.append(0)
-        self._reason.append(None)
+        self._reason.append(_NO_CLAUSE)
         self._phase.append(False)
         self._activity.append(0.0)
+        self._watches.append([])
+        self._watches.append([])
         heapq.heappush(self._order_heap, (0.0, self._num_vars))
         return self._num_vars
 
     def _ensure_var(self, var: Var) -> None:
         while self._num_vars < var:
             self.new_var()
+
+    def _watch(self, lit: Lit, cid: int, blocker: Lit) -> None:
+        watch_list = self._watches[_enc(lit)]
+        watch_list.append(cid)
+        watch_list.append(blocker)
 
     def add_clause(self, lits: Sequence[Lit]) -> bool:
         """Add a problem clause; returns False if the solver becomes UNSAT.
@@ -167,30 +175,99 @@ class Solver:
             if value == _FALSE and self._level[abs(lit)] == 0:
                 continue  # falsified at the root: drop the literal
             cleaned.append(lit)
+        return self._install_clause(cleaned)
+
+    def _install_clause(self, cleaned: list[Lit]) -> bool:
+        """Store a root-simplified problem clause and propagate units."""
         if not cleaned:
             self._ok = False
             return False
         if len(cleaned) == 1:
-            if not self._enqueue(cleaned[0], None):
+            if not self._enqueue(cleaned[0], _NO_CLAUSE):
                 self._ok = False
                 return False
-            conflict = self._propagate()
-            if conflict is not None:
+            if self._propagate() != _NO_CLAUSE:
                 self._ok = False
                 return False
             return True
-        clause = _Clause(cleaned)
-        self._problem_db.append(clause)
-        self._watch(cleaned[0], clause)
-        self._watch(cleaned[1], clause)
+        cid = self._arena.add(cleaned)
+        self._problem_db.append(cid)
+        self._watch(cleaned[0], cid, cleaned[1])
+        self._watch(cleaned[1], cid, cleaned[0])
         return True
 
     def add_cnf(self, cnf: CNF) -> bool:
-        """Load an entire CNF; returns False on trivial UNSAT."""
+        """Load an entire CNF; returns False on trivial UNSAT.
+
+        This is the bulk-load path under :class:`~repro.kodkod.translate.
+        Translation`: variables are allocated in one step, clauses are
+        simplified against the root-level assignment and appended straight
+        into the arena, and unit propagation runs once at the end instead
+        of after every unit clause.
+        """
+        if not self._ok:
+            return False
+        self._backtrack(0)
         self._ensure_var(cnf.num_vars)
-        for cl in cnf.clauses():
-            if not self.add_clause(cl):
+        arena = self._arena
+        problem_db = self._problem_db
+        assign = self._assign
+        watches = self._watches
+        for tup in cnf.clauses():
+            cleaned: list[Lit] = []
+            satisfied = False
+            for lit in tup:
+                value = assign[lit] if lit > 0 else -assign[-lit]
+                if value == _TRUE:
+                    satisfied = True
+                    break
+                if value == _UNASSIGNED:
+                    cleaned.append(lit)
+                # _FALSE at root: drop the literal.
+            if satisfied:
+                continue
+            n = len(cleaned)
+            if n > 1:
+                lit_set = set(cleaned)
+                tautology = False
+                for lit in lit_set:
+                    if -lit in lit_set:
+                        tautology = True
+                        break
+                if tautology:
+                    continue
+                if len(lit_set) != n:
+                    seen: set[Lit] = set()
+                    dedup: list[Lit] = []
+                    for lit in cleaned:
+                        if lit not in seen:
+                            seen.add(lit)
+                            dedup.append(lit)
+                    cleaned = dedup
+                    n = len(cleaned)
+            if n == 0:
+                self._ok = False
                 return False
+            if n == 1:
+                lit = cleaned[0]
+                # Root assignments made here simplify the clauses that
+                # follow (the `assign` reads above see them immediately).
+                if not self._enqueue(lit, _NO_CLAUSE):
+                    self._ok = False
+                    return False
+                continue
+            cid = arena.add(cleaned)
+            problem_db.append(cid)
+            first, second = cleaned[0], cleaned[1]
+            watch_list = watches[2 * first if first > 0 else -2 * first + 1]
+            watch_list.append(cid)
+            watch_list.append(second)
+            watch_list = watches[2 * second if second > 0 else -2 * second + 1]
+            watch_list.append(cid)
+            watch_list.append(first)
+        if self._propagate() != _NO_CLAUSE:
+            self._ok = False
+            return False
         return True
 
     # ------------------------------------------------------------------
@@ -203,10 +280,7 @@ class Solver:
             return _UNASSIGNED
         return value if lit > 0 else -value
 
-    def _watch(self, lit: Lit, clause: _Clause) -> None:
-        self._watches.setdefault(lit, []).append(clause)
-
-    def _enqueue(self, lit: Lit, reason: _Clause | None) -> bool:
+    def _enqueue(self, lit: Lit, reason: int) -> bool:
         value = self._value(lit)
         if value == _FALSE:
             return False
@@ -220,51 +294,100 @@ class Solver:
         self._trail.append(lit)
         return True
 
-    def _propagate(self) -> _Clause | None:
-        """Unit propagation; returns a conflicting clause or None."""
-        while self._qhead < len(self._trail):
-            lit = self._trail[self._qhead]
+    def _propagate(self) -> int:
+        """Unit propagation; returns a conflicting clause id or -1."""
+        trail = self._trail
+        trail_lim = self._trail_lim
+        assign = self._assign
+        level = self._level
+        reason = self._reason
+        phase = self._phase
+        watches = self._watches
+        arena = self._arena
+        lits = arena.lits
+        start = arena.start
+        size = arena.size
+        deleted = arena.deleted
+        propagated = 0
+        conflict = _NO_CLAUSE
+        while self._qhead < len(trail):
+            lit = trail[self._qhead]
             self._qhead += 1
-            self.stats["propagations"] += 1
+            propagated += 1
             false_lit = -lit
-            watch_list = self._watches.get(false_lit)
+            watch_list = watches[2 * false_lit if false_lit > 0
+                                 else -2 * false_lit + 1]
             if not watch_list:
                 continue
-            kept: list[_Clause] = []
-            i = 0
+            i = j = 0
             n = len(watch_list)
             while i < n:
-                clause = watch_list[i]
-                i += 1
-                if clause.deleted:
-                    continue  # lazily drop clauses removed by reduce_db
-                cl = clause.lits
-                # Normalize: put the false literal in slot 1.
-                if cl[0] == false_lit:
-                    cl[0], cl[1] = cl[1], cl[0]
-                first = cl[0]
-                if self._value(first) == _TRUE:
-                    kept.append(clause)
+                cid = watch_list[i]
+                blocker = watch_list[i + 1]
+                i += 2
+                value = assign[blocker] if blocker > 0 else -assign[-blocker]
+                if value == _TRUE:
+                    watch_list[j] = cid
+                    watch_list[j + 1] = blocker
+                    j += 2
                     continue
+                if deleted[cid]:
+                    continue  # lazily drop clauses removed by reduce_db
+                s = start[cid]
+                # Normalize: put the false literal in slot 1.
+                if lits[s] == false_lit:
+                    lits[s] = lits[s + 1]
+                    lits[s + 1] = false_lit
+                first = lits[s]
+                if first != blocker:
+                    value = assign[first] if first > 0 else -assign[-first]
+                    if value == _TRUE:
+                        watch_list[j] = cid
+                        watch_list[j + 1] = first
+                        j += 2
+                        continue
                 # Search for a replacement watch.
+                end = s + size[cid]
                 found = False
-                for k in range(2, len(cl)):
-                    if self._value(cl[k]) != _FALSE:
-                        cl[1], cl[k] = cl[k], cl[1]
-                        self._watch(cl[1], clause)
+                for k in range(s + 2, end):
+                    other = lits[k]
+                    if (assign[other] if other > 0 else -assign[-other]) \
+                            != _FALSE:
+                        lits[s + 1] = other
+                        lits[k] = false_lit
+                        new_list = watches[2 * other if other > 0
+                                           else -2 * other + 1]
+                        new_list.append(cid)
+                        new_list.append(first)
                         found = True
                         break
                 if found:
                     continue
                 # Clause is unit or conflicting.
-                kept.append(clause)
-                if not self._enqueue(first, clause):
+                watch_list[j] = cid
+                watch_list[j + 1] = first
+                j += 2
+                if value == _FALSE:
                     # Conflict: keep remaining watches and report.
-                    kept.extend(watch_list[i:n])
-                    self._watches[false_lit] = kept
-                    return clause
-            self._watches[false_lit] = kept
-        return None
+                    while i < n:
+                        watch_list[j] = watch_list[i]
+                        watch_list[j + 1] = watch_list[i + 1]
+                        i += 2
+                        j += 2
+                    conflict = cid
+                    break
+                # Enqueue the unit (inlined _enqueue: `first` is unassigned).
+                var = first if first > 0 else -first
+                assign[var] = _TRUE if first > 0 else _FALSE
+                level[var] = len(trail_lim)
+                reason[var] = cid
+                phase[var] = first > 0
+                trail.append(first)
+            del watch_list[j:]
+            if conflict != _NO_CLAUSE:
+                break
+        self.stats["propagations"] += propagated
+        return conflict
 
     def _decision_level(self) -> int:
         return len(self._trail_lim)
@@ -273,14 +396,18 @@ class Solver:
         self._trail_lim.append(len(self._trail))
 
     def _backtrack(self, level: int) -> None:
-        if self._decision_level() <= level:
+        if len(self._trail_lim) <= level:
             return
         limit = self._trail_lim[level]
+        assign = self._assign
+        reason = self._reason
+        activity = self._activity
+        heap = self._order_heap
         for lit in reversed(self._trail[limit:]):
-            var = abs(lit)
-            self._assign[var] = _UNASSIGNED
-            self._reason[var] = None
-            heapq.heappush(self._order_heap, (-self._activity[var], var))
+            var = lit if lit > 0 else -lit
+            assign[var] = _UNASSIGNED
+            reason[var] = _NO_CLAUSE
+            heapq.heappush(heap, (-activity[var], var))
         del self._trail[limit:]
         del self._trail_lim[level:]
         self._qhead = len(self._trail)
@@ -298,26 +425,28 @@ class Solver:
         if self._assign[var] == _UNASSIGNED:
             heapq.heappush(self._order_heap, (-self._activity[var], var))
 
-    def _bump_clause(self, clause: _Clause) -> None:
-        clause.activity += self._clause_inc
-        if clause.activity > 1e20:
+    def _bump_clause(self, cid: int) -> None:
+        arena = self._arena
+        arena.activity[cid] += self._clause_inc
+        if arena.activity[cid] > 1e20:
             for c in self._learned_db:
-                c.activity *= 1e-20
+                arena.activity[c] *= 1e-20
             self._clause_inc *= 1e-20
 
     def _decay_activities(self) -> None:
         self._activity_inc /= self._decay
         self._clause_inc /= self._clause_decay
 
-    def _analyze(self, conflict: _Clause) -> tuple[list[Lit], int]:
+    def _analyze(self, conflict: int) -> tuple[list[Lit], int]:
         """First-UIP analysis; returns (learned clause, backjump level)."""
+        arena = self._arena
         learned: list[Lit] = []
         seen = [False] * (self._num_vars + 1)
         counter = 0
         lit: Lit | None = None
-        if conflict.learned:
+        if arena.learned[conflict]:
             self._bump_clause(conflict)
-        reason_clause: list[Lit] = list(conflict.lits)
+        reason_clause = arena.clause(conflict)
         index = len(self._trail)
         current_level = self._decision_level()
 
@@ -345,13 +474,13 @@ class Solver:
                 learned.insert(0, -lit)
                 break
             reason = self._reason[abs(lit)]
-            assert reason is not None, "UIP literal must have a reason"
-            if reason.learned:
+            assert reason != _NO_CLAUSE, "UIP literal must have a reason"
+            if arena.learned[reason]:
                 self._bump_clause(reason)
-            reason_clause = reason.lits
+            reason_clause = arena.clause(reason)
 
         # Clause minimization: drop literals implied by the rest.
-        learned = self._minimize(learned, seen)
+        learned = self._minimize(learned)
 
         if len(learned) == 1:
             return learned, 0
@@ -365,17 +494,18 @@ class Solver:
                 break
         return learned, backjump
 
-    def _minimize(self, learned: list[Lit], seen: list[bool]) -> list[Lit]:
+    def _minimize(self, learned: list[Lit]) -> list[Lit]:
         """Remove literals whose reasons are subsumed by the learned clause."""
+        arena = self._arena
         marked = set(abs(q) for q in learned)
         result = [learned[0]]
         for q in learned[1:]:
             reason = self._reason[abs(q)]
-            if reason is None:
+            if reason == _NO_CLAUSE:
                 result.append(q)
                 continue
             if all(abs(r) in marked or self._level[abs(r)] == 0
-                   for r in reason.lits if r != -q):
+                   for r in arena.clause(reason) if r != -q):
                 continue  # q is redundant
             result.append(q)
         return result
@@ -387,14 +517,15 @@ class Solver:
     def _record_learned(self, learned: list[Lit]) -> None:
         self.stats["learned"] += 1
         if len(learned) == 1:
-            enqueued = self._enqueue(learned[0], None)
+            enqueued = self._enqueue(learned[0], _NO_CLAUSE)
             assert enqueued, "learned unit must be assignable after backjump"
             return
-        clause = _Clause(learned, learned=True, lbd=self._compute_lbd(learned))
-        self._learned_db.append(clause)
-        self._watch(learned[0], clause)
-        self._watch(learned[1], clause)
-        enqueued = self._enqueue(learned[0], clause)
+        cid = self._arena.add(learned, learned=True,
+                              lbd=self._compute_lbd(learned))
+        self._learned_db.append(cid)
+        self._watch(learned[0], cid, learned[1])
+        self._watch(learned[1], cid, learned[0])
+        enqueued = self._enqueue(learned[0], cid)
         assert enqueued, "learned clause must be asserting"
 
     # ------------------------------------------------------------------
@@ -408,23 +539,30 @@ class Solver:
         binary clauses and low-LBD "glue" clauses are always kept; the rest
         are ranked by (LBD, activity) and the worse half is deleted.
         Deleted clauses are flagged and evicted from watch lists lazily
-        during propagation.  Returns the number of clauses deleted.
+        during propagation; their arena storage is reclaimed by compaction
+        once it outweighs the live clauses.  Returns the number of clauses
+        deleted.
         """
-        locked = {id(c) for c in self._reason if c is not None}
-        keep: list[_Clause] = []
-        candidates: list[_Clause] = []
-        for clause in self._learned_db:
-            if clause.deleted:
+        arena = self._arena
+        locked = set(r for r in self._reason if r != _NO_CLAUSE)
+        keep: list[int] = []
+        candidates: list[int] = []
+        glue_lbd = self._glue_lbd
+        lbd = arena.lbd
+        size = arena.size
+        deleted_flags = arena.deleted
+        for cid in self._learned_db:
+            if deleted_flags[cid]:
                 continue
-            if (id(clause) in locked or len(clause.lits) <= 2
-                    or clause.lbd <= self._glue_lbd):
-                keep.append(clause)
+            if cid in locked or size[cid] <= 2 or lbd[cid] <= glue_lbd:
+                keep.append(cid)
             else:
-                candidates.append(clause)
-        candidates.sort(key=lambda c: (c.lbd, -c.activity))
+                candidates.append(cid)
+        activity = arena.activity
+        candidates.sort(key=lambda c: (lbd[c], -activity[c]))
         half = len(candidates) // 2
-        for clause in candidates[half:]:
-            clause.deleted = True
+        for cid in candidates[half:]:
+            arena.delete(cid)
         deleted = len(candidates) - half
         self._learned_db = keep + candidates[:half]
         self.stats["learned_deleted"] += deleted
@@ -438,11 +576,49 @@ class Solver:
             self._max_learned + 1,
             len(self._learned_db) + 16,
         )
+        wasted = len(arena.lits) - arena.live_lits
+        if wasted > 4096 and wasted > arena.live_lits:
+            self._compact_arena()
         return deleted
+
+    def _compact_arena(self) -> None:
+        """Rebuild the arena without deleted clauses, remapping every
+        clause id held by the databases, watcher lists and reasons."""
+        old = self._arena
+        new = ClauseArena()
+        remap: dict[int, int] = {}
+        old_lits = old.lits
+        old_start = old.start
+        old_size = old.size
+        for cid in range(len(old.start)):
+            if old.deleted[cid]:
+                continue
+            s = old_start[cid]
+            new_cid = new.add(old_lits[s:s + old_size[cid]],
+                              learned=bool(old.learned[cid]),
+                              lbd=old.lbd[cid])
+            new.activity[new_cid] = old.activity[cid]
+            remap[cid] = new_cid
+        self._problem_db = [remap[c] for c in self._problem_db]
+        self._learned_db = [remap[c] for c in self._learned_db]
+        self._reason = [remap[r] if r != _NO_CLAUSE else _NO_CLAUSE
+                        for r in self._reason]
+        for watch_list in self._watches:
+            j = 0
+            for i in range(0, len(watch_list), 2):
+                new_cid = remap.get(watch_list[i])
+                if new_cid is None:
+                    continue  # deleted clause: evict eagerly while here
+                watch_list[j] = new_cid
+                watch_list[j + 1] = watch_list[i + 1]
+                j += 2
+            del watch_list[j:]
+        self._arena = new
 
     def clause_db_stats(self) -> dict[str, float]:
         """Snapshot of the clause database (feeds benchmark reports)."""
-        learned = [c for c in self._learned_db if not c.deleted]
+        arena = self._arena
+        learned = [c for c in self._learned_db if not arena.deleted[c]]
         return {
             "problem_clauses": len(self._problem_db),
             "learned_clauses": len(learned),
@@ -450,10 +626,11 @@ class Solver:
             "learned_deleted": self.stats["learned_deleted"],
             "db_reductions": self.stats["db_reductions"],
             "glue_clauses": sum(
-                1 for c in learned if c.lbd <= self._glue_lbd
+                1 for c in learned if arena.lbd[c] <= self._glue_lbd
             ),
             "avg_lbd": (
-                sum(c.lbd for c in learned) / len(learned) if learned else 0.0
+                sum(arena.lbd[c] for c in learned) / len(learned)
+                if learned else 0.0
             ),
         }
 
@@ -488,8 +665,7 @@ class Solver:
         self._backtrack(0)
         if not self._ok:
             return Status.UNSAT
-        conflict = self._propagate()
-        if conflict is not None:
+        if self._propagate() != _NO_CLAUSE:
             self._ok = False
             return Status.UNSAT
 
@@ -503,7 +679,7 @@ class Solver:
 
         while True:
             conflict = self._propagate()
-            if conflict is not None:
+            if conflict != _NO_CLAUSE:
                 self.stats["conflicts"] += 1
                 conflicts_since_restart += 1
                 if self._decision_level() == 0:
@@ -540,7 +716,7 @@ class Solver:
                 self._new_decision_level()
                 self._assumption_levels.append(self._decision_level())
                 if value == _UNASSIGNED:
-                    self._enqueue(lit, None)
+                    self._enqueue(lit, _NO_CLAUSE)
                 continue
 
             var = self._pick_branch_var()
@@ -549,7 +725,7 @@ class Solver:
             self.stats["decisions"] += 1
             self._new_decision_level()
             lit = var if self._phase[var] else -var
-            self._enqueue(lit, None)
+            self._enqueue(lit, _NO_CLAUSE)
 
     def solve_with(self, assumptions: Iterable[Lit] = ()) -> Status:
         """Alias of :meth:`solve`, kept for API compatibility."""

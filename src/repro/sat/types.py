@@ -83,6 +83,65 @@ def clause(*lits: Lit) -> Clause:
     return Clause(tuple(lits))
 
 
+class ClauseArena:
+    """Flat clause storage: one shared literal array plus parallel metadata.
+
+    Clauses are identified by small integer ids indexing parallel arrays:
+    ``start[cid]``/``size[cid]`` delimit the clause's span in the shared
+    ``lits`` array, and ``lbd``/``activity``/``learned``/``deleted`` carry
+    the clause-database metadata the solver's reduction policy needs.
+
+    Compared to one heap object per clause, the arena removes both the
+    per-clause allocation on the solver's load path and the attribute
+    dereferences on its propagation path; deleted clauses are flagged and
+    their storage reclaimed by :meth:`Solver.reduce_db`-driven compaction
+    (see :mod:`repro.sat.solver`).
+    """
+
+    __slots__ = ("lits", "start", "size", "lbd", "activity", "learned",
+                 "deleted", "live_lits")
+
+    def __init__(self) -> None:
+        self.lits: list[Lit] = []
+        self.start: list[int] = []
+        self.size: list[int] = []
+        self.lbd: list[int] = []
+        self.activity: list[float] = []
+        self.learned: bytearray = bytearray()
+        self.deleted: bytearray = bytearray()
+        # Literal count of live (non-deleted) clauses; len(self.lits) minus
+        # this is the wasted space that triggers compaction.
+        self.live_lits: int = 0
+
+    def add(self, lits: Sequence[Lit], learned: bool = False,
+            lbd: int = 0) -> int:
+        """Append a clause; returns its id."""
+        cid = len(self.start)
+        self.start.append(len(self.lits))
+        self.size.append(len(lits))
+        self.lits.extend(lits)
+        self.lbd.append(lbd)
+        self.activity.append(0.0)
+        self.learned.append(1 if learned else 0)
+        self.deleted.append(0)
+        self.live_lits += len(lits)
+        return cid
+
+    def delete(self, cid: int) -> None:
+        """Flag a clause deleted (evicted lazily from watch lists)."""
+        if not self.deleted[cid]:
+            self.deleted[cid] = 1
+            self.live_lits -= self.size[cid]
+
+    def clause(self, cid: int) -> list[Lit]:
+        """The clause's literals (a copy)."""
+        s = self.start[cid]
+        return self.lits[s:s + self.size[cid]]
+
+    def __len__(self) -> int:
+        return len(self.start)
+
+
 @dataclass
 class Model:
     """A satisfying assignment, mapping every variable to a boolean."""

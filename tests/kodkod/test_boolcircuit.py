@@ -78,6 +78,48 @@ class TestConstruction:
         assert self.f.num_gates == before + 1
 
 
+class TestDeepCircuits:
+    def test_evaluate_deep_chain_does_not_overflow(self):
+        """Regression: the recursive evaluator overflowed Python's recursion
+        limit on deep circuits; the iterative rewrite must not."""
+        f = BooleanFactory()
+        depth = 50_000
+        x = f.fresh_input()
+        free_inputs = [x]
+        node = x
+        for i in range(depth):
+            y = f.fresh_input()
+            free_inputs.append(y)
+            # Alternate gate kinds and negations so nothing flattens away.
+            if i % 2:
+                node = f.and_([-node, y])
+            else:
+                node = f.or_([node, -y])
+        inputs = {n: (n % 3 == 0) for n in free_inputs}
+        assert f.evaluate(node, inputs) in (True, False)
+        assert f.evaluate(-node, inputs) == (not f.evaluate(node, inputs))
+
+    def test_to_cnf_deep_chain_does_not_overflow(self):
+        f = BooleanFactory()
+        node = f.fresh_input()
+        for i in range(20_000):
+            y = f.fresh_input()
+            node = f.and_([-node, y]) if i % 2 else f.or_([node, -y])
+        cnf, input_vars = f.to_cnf([node])
+        assert cnf.num_clauses > 0
+        assert len(input_vars) > 0
+
+    def test_gate_requests_counts_presimplification_size(self):
+        f = BooleanFactory()
+        a, b = f.fresh_input(), f.fresh_input()
+        before = f.gate_requests
+        f.and_([a, b])
+        f.and_([a, b])      # hash-consed: no new gate...
+        f.and_([a, TRUE])   # ...and folded: no new gate
+        assert f.gate_requests == before + 3
+        assert f.num_gates == 1
+
+
 class TestCnfCompilation:
     def test_root_asserted(self):
         f = BooleanFactory()

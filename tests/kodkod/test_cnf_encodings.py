@@ -1,0 +1,192 @@
+"""Differential tests: polarity-aware vs bipolar CNF, simplification vs eval.
+
+Two properties pin the compilation pipeline:
+
+* Plaisted-Greenbaum (polarity-aware) and bipolar Tseitin encodings are
+  equisatisfiable — not just globally, but per primary-input assignment,
+  which is what model enumeration and ``assume_tuple`` rely on.  The
+  seeded relational generators from :mod:`repro.campaign.specs` provide
+  the problem distribution.
+* Construction-time circuit simplification (constant folding, absorption,
+  ITE/IFF rewriting) preserves ``evaluate`` semantics against a naive
+  reference interpreter over the same operator tree.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.campaign.specs import ScenarioSpec, materialize
+from repro.kodkod.boolcircuit import FALSE, TRUE, BooleanFactory
+from repro.kodkod.translate import Translator
+from repro.sat.solver import Solver, solve_cnf
+from repro.sat.types import Status
+
+
+def _translate(problem, encoding, symmetry=0):
+    return Translator(
+        problem.bounds, symmetry=symmetry, cnf_encoding=encoding
+    ).translate(problem.formula)
+
+
+def _primary_projections(translation, limit=512):
+    """Every satisfying assignment projected onto the primary variables."""
+    solver = Solver()
+    if not solver.add_cnf(translation.cnf):
+        return set()
+    primary = translation.primary_vars()
+    seen = set()
+    while len(seen) < limit:
+        if solver.solve() is not Status.SAT:
+            break
+        model = solver.model()
+        projection = tuple(model[v] for v in primary)
+        assert projection not in seen, "blocking clause failed to exclude"
+        seen.add(projection)
+        if not primary:
+            break
+        if not solver.add_clause(
+            [-v if model[v] else v for v in primary]
+        ):
+            break
+    return seen
+
+
+class TestEncodingsEquisatisfiable:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_same_verdict_on_random_relational_problems(self, seed):
+        problem = materialize(ScenarioSpec.make("relational", seed))
+        pg = _translate(problem, "pg")
+        ts = _translate(problem, "tseitin")
+        assert pg.cnf.num_clauses <= ts.cnf.num_clauses
+        assert pg.stats.num_clauses_saved_by_polarity >= 0
+        assert ts.stats.num_clauses_saved_by_polarity == 0
+        pg_status, _ = solve_cnf(pg.cnf)
+        ts_status, _ = solve_cnf(ts.cnf)
+        assert pg_status is ts_status
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_same_primary_projections(self, seed):
+        """Stronger than equisatisfiability: both encodings admit exactly
+        the same primary-variable assignments, so enumeration through
+        blocking clauses yields identical model sets."""
+        problem = materialize(
+            ScenarioSpec.make("relational", seed, num_atoms=2, depth=2)
+        )
+        pg = _translate(problem, "pg")
+        ts = _translate(problem, "tseitin")
+        assert _primary_projections(pg) == _primary_projections(ts)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_same_verdict_under_symmetry_breaking(self, seed):
+        problem = materialize(ScenarioSpec.make("relational", seed))
+        pg = _translate(problem, "pg", symmetry=20)
+        ts = _translate(problem, "tseitin", symmetry=20)
+        assert solve_cnf(pg.cnf)[0] is solve_cnf(ts.cnf)[0]
+
+
+def _random_circuit(rng, factory, inputs, depth):
+    """Build a random circuit plus a parallel naive op-tree reference.
+
+    Returns (node, tree) where ``tree`` is a nested tuple interpreted by
+    :func:`_eval_tree` without any simplification.
+    """
+    if depth == 0 or rng.random() < 0.25:
+        node = rng.choice(inputs)
+        if rng.random() < 0.5:
+            return -node, ("not", ("in", node))
+        return node, ("in", node)
+    kind = rng.choice(["and", "or", "not", "ite", "iff", "const"])
+    if kind == "const":
+        node = TRUE if rng.random() < 0.5 else FALSE
+        return node, ("const", node == TRUE)
+    if kind == "not":
+        child, tree = _random_circuit(rng, factory, inputs, depth - 1)
+        return factory.not_(child), ("not", tree)
+    if kind == "ite":
+        cond, cond_t = _random_circuit(rng, factory, inputs, depth - 1)
+        then, then_t = _random_circuit(rng, factory, inputs, depth - 1)
+        other, other_t = _random_circuit(rng, factory, inputs, depth - 1)
+        return factory.ite(cond, then, other), ("ite", cond_t, then_t, other_t)
+    if kind == "iff":
+        left, left_t = _random_circuit(rng, factory, inputs, depth - 1)
+        right, right_t = _random_circuit(rng, factory, inputs, depth - 1)
+        return factory.iff(left, right), ("iff", left_t, right_t)
+    arity = rng.randint(1, 3)
+    pairs = [_random_circuit(rng, factory, inputs, depth - 1)
+             for _ in range(arity)]
+    nodes = [n for n, _ in pairs]
+    trees = tuple(t for _, t in pairs)
+    if kind == "and":
+        return factory.and_(nodes), ("and",) + trees
+    return factory.or_(nodes), ("or",) + trees
+
+
+def _eval_tree(tree, valuation):
+    kind = tree[0]
+    if kind == "in":
+        return valuation[tree[1]]
+    if kind == "const":
+        return tree[1]
+    if kind == "not":
+        return not _eval_tree(tree[1], valuation)
+    if kind == "and":
+        return all(_eval_tree(t, valuation) for t in tree[1:])
+    if kind == "or":
+        return any(_eval_tree(t, valuation) for t in tree[1:])
+    if kind == "ite":
+        return (_eval_tree(tree[2], valuation) if _eval_tree(tree[1], valuation)
+                else _eval_tree(tree[3], valuation))
+    if kind == "iff":
+        return _eval_tree(tree[1], valuation) == _eval_tree(tree[2], valuation)
+    raise AssertionError(f"unknown tree kind {kind}")
+
+
+class TestSimplificationPreservesSemantics:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_evaluate_matches_naive_interpreter(self, seed):
+        rng = random.Random(seed)
+        factory = BooleanFactory()
+        inputs = [factory.fresh_input() for _ in range(rng.randint(1, 4))]
+        node, tree = _random_circuit(rng, factory, inputs, rng.randint(1, 4))
+        for bits in itertools.product([False, True], repeat=len(inputs)):
+            valuation = dict(zip(inputs, bits))
+            if node == TRUE:
+                got = True
+            elif node == FALSE:
+                got = False
+            else:
+                got = factory.evaluate(node, valuation)
+            assert got == _eval_tree(tree, valuation), (tree, bits)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_both_encodings_match_evaluation_per_assignment(self, seed):
+        """Fixing every input via assumptions, each encoding's CNF verdict
+        must equal the circuit's evaluation — the per-assignment
+        equisatisfiability that enumeration and assume_tuple rely on."""
+        rng = random.Random(1000 + seed)
+        factory = BooleanFactory()
+        inputs = [factory.fresh_input() for _ in range(rng.randint(1, 3))]
+        node, tree = _random_circuit(rng, factory, inputs, rng.randint(1, 3))
+        if node in (TRUE, FALSE):
+            return
+        for polarity_aware in (True, False):
+            cnf, input_vars = factory.to_cnf([node],
+                                             polarity_aware=polarity_aware)
+            for bits in itertools.product([False, True], repeat=len(inputs)):
+                valuation = dict(zip(inputs, bits))
+                expected = factory.evaluate(node, valuation)
+                assumptions = [
+                    input_vars[i] if valuation[i] else -input_vars[i]
+                    for i in inputs if i in input_vars
+                ]
+                status, _ = solve_cnf(cnf.copy(), assumptions=assumptions)
+                # Inputs absent from input_vars were simplified out of the
+                # root circuit entirely; with all the remaining inputs
+                # pinned, the CNF verdict must match the evaluation unless
+                # the dropped inputs can still flip it (they cannot: a
+                # node's value never depends on simplified-away inputs).
+                assert (status is Status.SAT) == expected, (
+                    polarity_aware, tree, bits
+                )

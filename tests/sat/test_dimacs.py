@@ -86,3 +86,81 @@ class TestParsing:
         cnf = loads("1 2 0\n-1 0\n")
         assert cnf.num_clauses == 2
         assert cnf.num_vars == 2
+
+
+class TestTranslationToDimacs:
+    def _problem(self):
+        from repro.kodkod import ast
+        from repro.kodkod.bounds import Bounds
+        from repro.kodkod.universe import Universe
+
+        universe = Universe(["a", "b", "c"])
+        r = ast.Relation("r", 1)
+        bounds = Bounds(universe)
+        bounds.bound(r, universe.empty(1), universe.all_tuples(1))
+        return ast.Some(r), bounds, r
+
+    def test_round_trip_preserves_verdict(self):
+        from repro.kodkod.translate import Translator
+
+        formula, bounds, _ = self._problem()
+        translation = Translator(bounds).translate(formula)
+        text = translation.to_dimacs(comments=["unit test"])
+        assert text.startswith("c unit test\n")
+        cnf = loads(text)
+        assert solve_cnf(cnf)[0] is solve_cnf(translation.cnf)[0] is Status.SAT
+
+    def test_primary_mapping_in_comments(self):
+        from repro.kodkod.translate import Translator
+
+        formula, bounds, r = self._problem()
+        translation = Translator(bounds).translate(formula)
+        text = translation.to_dimacs()
+        for (rel, index), node in translation.tuple_inputs.items():
+            atoms = ",".join(str(i) for i in index)
+            expected = f"c primary {rel.name}({atoms}) -> " \
+                       f"{translation.input_vars[node]}"
+            assert expected in text
+
+
+class TestCli:
+    def test_export_then_solve_round_trip(self, tmp_path, capsys):
+        from repro.sat.dimacs import main
+
+        out = tmp_path / "problem.cnf"
+        assert main(["export", "--family", "relational", "--seed", "1",
+                     "-o", str(out)]) == 0
+        assert out.exists()
+        code = main(["solve", str(out), "--quiet"])
+        assert code in (10, 20)
+        printed = capsys.readouterr().out
+        assert ("s SATISFIABLE" in printed) or ("s UNSATISFIABLE" in printed)
+        # The CLI verdict must agree with the in-process pipeline.
+        cnf = load_file(out)
+        status, _ = solve_cnf(cnf)
+        expected = 10 if status is Status.SAT else 20
+        assert code == expected
+
+    def test_solve_emits_model_lines(self, tmp_path, capsys):
+        from repro.sat.dimacs import main
+
+        path = tmp_path / "tiny.cnf"
+        path.write_text("p cnf 2 2\n1 2 0\n-1 0\n", encoding="ascii")
+        assert main(["solve", str(path)]) == 10
+        printed = capsys.readouterr().out
+        assert "v " in printed and "v 0" in printed
+
+    def test_info(self, tmp_path, capsys):
+        from repro.sat.dimacs import main
+
+        path = tmp_path / "tiny.cnf"
+        path.write_text("p cnf 3 1\n1 -3 0\n", encoding="ascii")
+        assert main(["info", str(path)]) == 0
+        assert "vars 3 clauses 1" in capsys.readouterr().out
+
+    def test_export_rejects_protocol_family(self, tmp_path):
+        from repro.sat.dimacs import main
+
+        with pytest.raises(SystemExit):
+            main(["export", "--family", "mca", "--seed", "0",
+                  "-o", str(tmp_path / "x.cnf")])

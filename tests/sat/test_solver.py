@@ -242,22 +242,30 @@ class TestClauseDatabase:
         solver = Solver()
         solver.add_cnf(cnf)
         solver.solve()
-        before = [c for c in solver._learned_db if not c.deleted]
+        arena = solver._arena
+        # Snapshot by content: reduce_db may compact the arena and remap ids.
+        kept_always = {
+            frozenset(arena.clause(c)) for c in solver._learned_db
+            if not arena.deleted[c]
+            and (arena.size[c] <= 2 or arena.lbd[c] <= 2)
+        }
         solver.reduce_db()
-        after = [c for c in solver._learned_db if not c.deleted]
-        kept_always = [
-            c for c in before if len(c.lits) <= 2 or c.lbd <= 2
-        ]
-        assert all(c in after for c in kept_always)
+        arena = solver._arena
+        after = {
+            frozenset(arena.clause(c)) for c in solver._learned_db
+            if not arena.deleted[c]
+        }
+        assert kept_always <= after
 
     def test_lbd_recorded_on_learned_clauses(self):
         cnf = self._pigeonhole(5, 4)
         solver = Solver()
         solver.add_cnf(cnf)
         solver.solve()
-        learned = [c for c in solver._learned_db if not c.deleted]
+        arena = solver._arena
+        learned = [c for c in solver._learned_db if not arena.deleted[c]]
         assert learned
-        assert all(c.lbd >= 1 for c in learned)
+        assert all(arena.lbd[c] >= 1 for c in learned)
 
     @pytest.mark.parametrize("seed", range(15))
     def test_aggressive_reduction_agrees_with_brute_force(self, seed):
@@ -288,21 +296,39 @@ class _AuditedSolver(Solver):
         self.reductions_audited = 0
         self.locked_evictions = 0
         self.observed_deletions = 0
+        self.compactions = 0
         self.stats_inconsistencies = []
 
+    def _compact_arena(self):
+        self.compactions += 1
+        super()._compact_arena()
+
     def reduce_db(self):
-        locked = [c for c in self._reason
-                  if c is not None and c.learned and not c.deleted]
-        live_before = sum(1 for c in self._learned_db if not c.deleted)
+        arena = self._arena
+        # Snapshot locked clauses by content: compaction may remap ids.
+        locked = [frozenset(arena.clause(r)) for r in self._reason
+                  if r != -1 and arena.learned[r] and not arena.deleted[r]]
+        live_before = sum(
+            1 for c in self._learned_db if not arena.deleted[c])
         deleted = super().reduce_db()
+        arena = self._arena  # may have been rebuilt by compaction
         self.reductions_audited += 1
         self.observed_deletions += deleted
-        survivors = {id(c) for c in self._learned_db}
-        for clause in locked:
-            if clause.deleted or id(clause) not in survivors:
+        # Every reason reference must still point at a live clause, and
+        # every locked clause's content must survive in the learned DB.
+        for reason in self._reason:
+            if reason != -1 and arena.deleted[reason]:
+                self.locked_evictions += 1
+        survivors = {
+            frozenset(arena.clause(c)) for c in self._learned_db
+            if not arena.deleted[c]
+        }
+        for content in locked:
+            if content not in survivors:
                 self.locked_evictions += 1
         db = self.clause_db_stats()
-        live_after = sum(1 for c in self._learned_db if not c.deleted)
+        live_after = sum(
+            1 for c in self._learned_db if not arena.deleted[c])
         # Independently recomputed ground truth vs the reported stats:
         # reduce_db is the only deletion site and this subclass sees every
         # call, so the externally counted totals must match the counters.
