@@ -2,14 +2,20 @@
 
 from repro.analysis.report import (
     campaign_summary,
+    fuzz_summary,
     render_campaign_table,
+    render_fuzz_table,
     render_table,
     write_campaign_json,
+    write_fuzz_json,
 )
 
 __all__ = [
     "campaign_summary",
+    "fuzz_summary",
     "render_campaign_table",
+    "render_fuzz_table",
     "render_table",
     "write_campaign_json",
+    "write_fuzz_json",
 ]

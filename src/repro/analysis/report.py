@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.campaign.runner import CampaignResult
+    from repro.fuzz.runner import FuzzCheck, FuzzReport
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
@@ -41,35 +42,38 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
 # ----------------------------------------------------------------------
 
 
-def campaign_summary(results: Iterable["CampaignResult"]) -> dict:
-    """Aggregate campaign results per (oracle, family) cell.
+def _sweep_summary(results: Iterable, group_field: str,
+                   count_field: str) -> dict:
+    """Aggregate differential-sweep rows per (oracle, ``group_field``) cell.
 
-    Returns a JSON-able dict with per-cell counts (tasks, disagreements,
-    errors, cache hits, executed seconds) plus campaign-wide totals.
+    Works for any row shape exposing ``oracle``/``error``/``agree``/
+    ``cached``/``seconds`` plus the grouping attribute — the common
+    contract of campaign results and fuzz checks.
     """
     cells: dict[tuple[str, str], dict] = {}
     totals = {
-        "tasks": 0,
+        count_field: 0,
         "disagreements": 0,
         "errors": 0,
         "cache_hits": 0,
         "executed_seconds": 0.0,
     }
     for result in results:
+        group_value = getattr(result, group_field)
         cell = cells.setdefault(
-            (result.oracle, result.family),
+            (result.oracle, group_value),
             {
                 "oracle": result.oracle,
-                "family": result.family,
-                "tasks": 0,
+                group_field: group_value,
+                count_field: 0,
                 "disagreements": 0,
                 "errors": 0,
                 "cache_hits": 0,
                 "executed_seconds": 0.0,
             },
         )
-        cell["tasks"] += 1
-        totals["tasks"] += 1
+        cell[count_field] += 1
+        totals[count_field] += 1
         if result.error is not None:
             cell["errors"] += 1
             totals["errors"] += 1
@@ -89,15 +93,14 @@ def campaign_summary(results: Iterable["CampaignResult"]) -> dict:
     return {"cells": ordered, "totals": totals}
 
 
-def render_campaign_table(results: Iterable["CampaignResult"],
-                          title: str = "campaign sweep") -> str:
-    """The campaign summary as an aligned monospace table."""
-    summary = campaign_summary(results)
+def _render_sweep_table(summary: dict, group_field: str, count_field: str,
+                        title: str) -> str:
+    """Render a :func:`_sweep_summary` as an aligned monospace table."""
     rows = [
         [
             cell["oracle"],
-            cell["family"],
-            cell["tasks"],
+            cell[group_field],
+            cell[count_field],
             cell["disagreements"],
             cell["errors"],
             cell["cache_hits"],
@@ -109,17 +112,75 @@ def render_campaign_table(results: Iterable["CampaignResult"],
     rows.append([
         "TOTAL",
         "-",
-        totals["tasks"],
+        totals[count_field],
         totals["disagreements"],
         totals["errors"],
         totals["cache_hits"],
         f"{totals['executed_seconds']:.3f}",
     ])
     return render_table(
-        ["oracle", "family", "tasks", "disagree", "errors", "cached", "exec s"],
+        ["oracle", group_field, count_field, "disagree", "errors", "cached",
+         "exec s"],
         rows,
         title=title,
     )
+
+
+def campaign_summary(results: Iterable["CampaignResult"]) -> dict:
+    """Aggregate campaign results per (oracle, family) cell.
+
+    Returns a JSON-able dict with per-cell counts (tasks, disagreements,
+    errors, cache hits, executed seconds) plus campaign-wide totals.
+    """
+    return _sweep_summary(results, "family", "tasks")
+
+
+def render_campaign_table(results: Iterable["CampaignResult"],
+                          title: str = "campaign sweep") -> str:
+    """The campaign summary as an aligned monospace table."""
+    return _render_sweep_table(campaign_summary(results), "family", "tasks",
+                               title)
+
+
+def fuzz_summary(checks: Iterable["FuzzCheck"]) -> dict:
+    """Aggregate fuzz checks per (oracle, kind) cell.
+
+    Same shape as :func:`campaign_summary` (per-cell counts plus totals),
+    so the two sweeps land in the same reporting trajectory.
+    """
+    return _sweep_summary(checks, "kind", "checks")
+
+
+def render_fuzz_table(checks: Iterable["FuzzCheck"],
+                      title: str = "fuzz sweep") -> str:
+    """The fuzz summary as an aligned monospace table."""
+    return _render_sweep_table(fuzz_summary(checks), "kind", "checks", title)
+
+
+def write_fuzz_json(report: "FuzzReport", path: str | Path) -> dict:
+    """Write the ``BENCH_*.json``-style fuzz artifact; returns it."""
+    summary = fuzz_summary(report.checks)
+    artifact = {
+        "benchmark": "fuzz",
+        "seed": report.seed,
+        "budget": report.budget,
+        "generations": report.generations,
+        "coverage_points": report.coverage_points,
+        "corpus_size": report.corpus_size,
+        "shards": report.shards,
+        "cache_hits": report.cache_hits,
+        "executed": report.executed,
+        "wall_seconds": round(report.wall_seconds, 3),
+        "summary": summary,
+        "disagreements": [d.to_json() for d in report.disagreements],
+        "errors": [c.to_json() for c in report.errors],
+    }
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return artifact
 
 
 def write_campaign_json(results: Sequence["CampaignResult"],

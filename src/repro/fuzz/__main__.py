@@ -1,0 +1,111 @@
+"""``python -m repro.fuzz`` — run a coverage-guided differential fuzz sweep.
+
+Generates seeded random problems for every kind, checks each through the
+applicable differential oracles (sharded over a process pool, cached),
+shrinks any failure into a minimal reproducer, prints the per-oracle
+summary table, writes the ``BENCH_fuzz.json`` artifact and exits non-zero
+on any disagreement or error.  ``--replay DIR`` re-checks a corpus
+directory instead of generating new inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import render_fuzz_table, write_fuzz_json
+from repro.fuzz.runner import (
+    DEFAULT_ARTIFACTS_DIR,
+    DEFAULT_CACHE_DIR,
+    replay_corpus,
+    run_fuzz,
+)
+from repro.fuzz.generators import KINDS, MAX_SIZE
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="coverage-guided differential fuzzing with shrinking",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed of the sweep (default: %(default)s)")
+    parser.add_argument("--budget", type=int, default=200,
+                        help="number of oracle checks to spend "
+                             "(default: %(default)s)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="worker processes; <=1 runs inline "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-size", type=int, default=4,
+                        choices=range(1, MAX_SIZE + 1),
+                        help="largest input size knob (default: %(default)s)")
+    parser.add_argument("--kinds", default=",".join(KINDS),
+                        help="comma-separated problem kinds "
+                             "(default: %(default)s)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="stall timeout in seconds on the sharded path "
+                             "(default: %(default)s)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="result cache directory (default: %(default)s)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the result cache entirely")
+    parser.add_argument("--artifacts", default=DEFAULT_ARTIFACTS_DIR,
+                        help="directory for repro scripts and shrunk corpus "
+                             "entries (default: %(default)s)")
+    parser.add_argument("--json", default="BENCH_fuzz.json",
+                        help="path of the JSON artifact "
+                             "(default: %(default)s)")
+    parser.add_argument("--inject", metavar="FAULT",
+                        help="test-only: arm a registered fault so matching "
+                             "inputs disagree (see repro.fuzz.faults)")
+    parser.add_argument("--replay", metavar="DIR",
+                        help="re-check a corpus directory instead of "
+                             "generating new inputs")
+    args = parser.parse_args(argv)
+
+    if args.replay:
+        report = replay_corpus(args.replay, inject=args.inject)
+        title = (f"corpus replay: {report.total} checks over "
+                 f"{report.corpus_size} entries, "
+                 f"{report.wall_seconds:.2f}s wall")
+    else:
+        kinds = tuple(k for k in args.kinds.split(",") if k)
+        report = run_fuzz(
+            seed=args.seed,
+            budget=args.budget,
+            kinds=kinds,
+            max_size=args.max_size,
+            shards=args.shards,
+            task_timeout=args.timeout,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            artifacts_dir=args.artifacts,
+            inject=args.inject,
+        )
+        title = (f"fuzz sweep: {report.total} checks, "
+                 f"{report.generations} generation(s), "
+                 f"{report.coverage_points} coverage point(s), "
+                 f"{report.corpus_size} corpus entries, "
+                 f"{report.cache_hits} cache hit(s), "
+                 f"{report.wall_seconds:.2f}s wall")
+
+    print(render_fuzz_table(report.checks, title=title))
+    write_fuzz_json(report, args.json)
+    print(f"artifact: {args.json}")
+    for entry in report.disagreements:
+        what = "CRASH" if entry.error is not None else "DISAGREEMENT"
+        where = f" repro: {entry.repro_path}" if entry.repro_path else ""
+        print(
+            f"{what}: {entry.label} / {entry.oracle}: shrunk "
+            f"{entry.size_before} -> {entry.size_after}{where}",
+            file=sys.stderr,
+        )
+    for err in report.errors:
+        head = (err.error or "").strip().splitlines()
+        print(f"ERROR: {err.label} / {err.oracle}: "
+              f"{head[-1] if head else 'unknown'}", file=sys.stderr)
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""Test-only fault injection: proving the fuzz loop can catch bugs.
+
+A clean fuzz run demonstrates nothing unless the loop is known to *fail*
+when the stack is broken.  A fault is a named predicate over problems;
+when a fault is armed (``run_fuzz(inject=...)`` or ``--inject`` on the
+CLI), every oracle outcome for a matching problem is flipped to a
+disagreement — simulating a bug that affects exactly that class of input
+— and the normal catch → shrink → repro pipeline must find it, minimize
+it and reproduce it.  The acceptance gate for this subsystem runs a
+seeded fuzz with a fault armed and asserts the shrunk reproducer is tiny
+and identical across runs.
+
+Faults are matched *after* module problems are lowered to formulas, on
+the exact problem object the oracle saw.  Nothing in this module is
+reachable unless a fault name is explicitly passed in; production sweeps
+never consult it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.api.problems import FormulaProblem, Problem, ProtocolProblem
+from repro.fuzz import codec
+
+FAULTS: dict[str, Callable[[Problem], bool]] = {}
+
+
+def register_fault(name: str):
+    """Decorator: register a fault predicate under a name."""
+
+    def decorate(fn: Callable[[Problem], bool]):
+        FAULTS[name] = fn
+        return fn
+
+    return decorate
+
+
+def fault_matches(name: str, problem: Problem) -> bool:
+    """Whether the named fault flips outcomes for this problem."""
+    try:
+        predicate = FAULTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault {name!r}; registered faults: {sorted(FAULTS)}"
+        ) from None
+    return predicate(problem)
+
+
+@register_fault("conjunction")
+def _conjunction_fault(problem: Problem) -> bool:
+    """Matches formula problems containing a conjunction of >= 2 parts.
+
+    Simulates a bug in the AND-gate compilation path.  The minimal
+    matching input is ``And([TrueF(), TrueF()])`` over empty bounds —
+    3 tree nodes — so the shrinker must land at size <= 5.
+    """
+    if not isinstance(problem, FormulaProblem):
+        return False
+    tree = codec.formula_to_tree(problem.formula)
+    return any(
+        node.get("f") == "and" and len(node["parts"]) >= 2
+        for _, node in codec.iter_subtrees(tree)
+    )
+
+
+@register_fault("protocol-pair")
+def _protocol_pair_fault(problem: Problem) -> bool:
+    """Matches protocols with >= 2 agents.
+
+    Simulates a bug in inter-agent message handling.  The minimal
+    matching input is a two-agent network with no items — size 2 — so
+    the shrinker must land at <= 5 agents+items.
+    """
+    return (isinstance(problem, ProtocolProblem)
+            and len(problem.network.agents()) >= 2)

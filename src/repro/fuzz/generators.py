@@ -1,0 +1,458 @@
+"""Seeded random problem generators: the input side of the fuzz loop.
+
+A :class:`FuzzSpec` is a pure description of one randomized input — a
+problem kind, a seed, a size knob and a *feature mask* — and
+:func:`generate` is a deterministic function of the spec alone, the same
+contract :mod:`repro.campaign.specs` gives the campaign: equal specs
+materialize to fingerprint-identical problems in any process, which is
+what makes the fuzz result cache sound and every run replayable from its
+seed.
+
+The feature mask implements swarm testing: instead of every input drawing
+from the full operator pool (which biases the corpus toward homogeneous
+mid-size soup), each spec enables a seeded *subset* of the optional
+features, so some runs are all quantifiers and closures, others all
+cardinalities over partial instances, others pure join chains.  Masks are
+recorded in the spec, so a crashing combination is reproducible directly.
+
+Three generators cover the façade's problem union:
+
+* ``formula`` — random relational formulas over random bounds (optionally
+  with non-empty lower bounds, i.e. partial instances);
+* ``module`` — random alloylite modules (sigs, a field with a random
+  multiplicity, random facts) with a ``run`` or ``check`` command;
+* ``protocol`` — random auction networks with sub-modular honest policies,
+  the regime where the paper guarantees convergence, so the engine
+  oracles must agree on every generated instance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.alloylite.module import Module, Scope
+from repro.api.problems import (
+    FormulaProblem,
+    ModuleProblem,
+    Problem,
+    ProtocolProblem,
+)
+from repro.kodkod import ast
+from repro.kodkod.bounds import Bounds
+from repro.kodkod.universe import Universe
+from repro.mca.network import AgentNetwork
+from repro.mca.policies import AgentPolicy, GeometricUtility, TableUtility
+
+KINDS = ("formula", "module", "protocol")
+
+MAX_SIZE = 6
+"""Largest size knob; keeps every oracle's reference path tractable."""
+
+FEATURE_POOLS: dict[str, tuple[str, ...]] = {
+    # The baseline (always available) formula language is: relation
+    # leaves, Univ, Some/No, Subset/Equal, And/Or.  Everything else is an
+    # optional feature the swarm mask can switch off.
+    "formula": (
+        "union", "intersection", "difference", "join", "product",
+        "transpose", "closure", "ifexpr", "comprehension", "quantifier",
+        "cardinality", "multiplicity", "negation", "iden", "none_expr",
+        "partial_instance",
+    ),
+    "module": (
+        "second_sig", "subsig", "one_sig", "field_one", "field_lone",
+        "field_some", "check_command", "quantifier", "negation",
+    ),
+    "protocol": (
+        "ring", "star", "line", "complete", "table_utility", "high_target",
+        "dense",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class FuzzSpec:
+    """A reproducible description of one randomized fuzz input.
+
+    ``features`` is the materialized swarm mask, stored sorted so specs
+    are hashable and canonically serializable.
+    """
+
+    kind: str
+    seed: int
+    size: int = 3
+    features: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown problem kind {self.kind!r}; known kinds: {KINDS}"
+            )
+        if not 1 <= self.size <= MAX_SIZE:
+            raise ValueError(
+                f"size must be in 1..{MAX_SIZE}, got {self.size!r}"
+            )
+        pool = FEATURE_POOLS[self.kind]
+        unknown = sorted(set(self.features) - set(pool))
+        if unknown:
+            raise ValueError(
+                f"unknown feature(s) {unknown} for kind {self.kind!r}; "
+                f"pool: {pool}"
+            )
+        object.__setattr__(self, "features", tuple(sorted(self.features)))
+
+    @staticmethod
+    def make(kind: str, seed: int, size: int = 3,
+             features: tuple[str, ...] | None = None) -> "FuzzSpec":
+        """Build a spec; ``features=None`` draws a seeded swarm mask."""
+        if features is None:
+            features = swarm_mask(kind, seed)
+        return FuzzSpec(kind, seed, size, tuple(sorted(features)))
+
+    def has(self, feature: str) -> bool:
+        """Whether the mask enables a feature."""
+        return feature in self.features
+
+    def as_dict(self) -> dict:
+        """JSON-able canonical form (the cache-key payload)."""
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "size": self.size,
+            "features": list(self.features),
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "FuzzSpec":
+        """Inverse of :meth:`as_dict` (used by pool workers and the corpus)."""
+        return FuzzSpec(data["kind"], data["seed"], data["size"],
+                        tuple(data["features"]))
+
+    def content_hash(self) -> str:
+        """Stable sha256 over the canonical form (cross-process cache key)."""
+        payload = json.dumps(self.as_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable identifier for tables and artifacts."""
+        return f"{self.kind}#{self.seed}s{self.size}"
+
+
+def swarm_mask(kind: str, seed: int) -> tuple[str, ...]:
+    """The seeded swarm feature subset for a (kind, seed) pair.
+
+    Each optional feature is kept with probability 1/2 by a dedicated RNG,
+    so the mask is independent of every other draw the generator makes.
+    """
+    try:
+        pool = FEATURE_POOLS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown problem kind {kind!r}; known kinds: {KINDS}"
+        ) from None
+    rng = random.Random(f"swarm:{kind}:{seed}")
+    return tuple(sorted(f for f in pool if rng.random() < 0.5))
+
+
+def generate(spec: FuzzSpec) -> Problem:
+    """Deterministically materialize the problem a spec describes."""
+    rng = random.Random(f"fuzz:{spec.kind}:{spec.seed}:{spec.size}")
+    if spec.kind == "formula":
+        return _generate_formula(rng, spec)
+    if spec.kind == "module":
+        return _generate_module(rng, spec)
+    return _generate_protocol(rng, spec)
+
+
+# ----------------------------------------------------------------------
+# Random formulas over random bounds
+# ----------------------------------------------------------------------
+
+
+class _FormulaBuilder:
+    """Random formula construction shared by the formula/module generators.
+
+    ``unary``/``binary`` are the relation leaves in play; the feature mask
+    gates every optional operator.  Quantified variables are threaded
+    through ``env`` so generated variables are always bound.
+    """
+
+    def __init__(self, rng: random.Random, spec: FuzzSpec,
+                 unary: list[ast.Expr], binary: list[ast.Expr]) -> None:
+        self._rng = rng
+        self._spec = spec
+        self._unary = unary
+        self._binary = binary
+        self._fresh = 0
+
+    def _choice(self, options: list[str]) -> str:
+        return options[self._rng.randrange(len(options))]
+
+    def expr1(self, depth: int, env: list[ast.Variable]) -> ast.Expr:
+        """A random unary expression."""
+        rng, spec = self._rng, self._spec
+        options = ["leaf", "univ"]
+        if env:
+            options.append("env_var")
+        if spec.has("none_expr"):
+            options.append("none")
+        if depth > 0:
+            if spec.has("union"):
+                options.append("union")
+            if spec.has("intersection"):
+                options.append("inter")
+            if spec.has("difference"):
+                options.append("diff")
+            if spec.has("join") and self._binary:
+                options.append("join")
+            if spec.has("ifexpr"):
+                options.append("ite")
+            if spec.has("comprehension"):
+                options.append("compr")
+        kind = self._choice(options)
+        if kind == "leaf":
+            return rng.choice(self._unary) if self._unary else ast.Univ()
+        if kind == "univ":
+            return ast.Univ()
+        if kind == "env_var":
+            return rng.choice(env)
+        if kind == "none":
+            return ast.NoneExpr(1)
+        if kind == "join":
+            return ast.Join(self.expr1(depth - 1, env),
+                            self.expr2(max(depth - 1, 1), env))
+        if kind == "ite":
+            return ast.IfExpr(self.formula(0, env),
+                              self.expr1(depth - 1, env),
+                              self.expr1(depth - 1, env))
+        if kind == "compr":
+            var = self._fresh_var()
+            return ast.Comprehension(
+                [(var, ast.Univ())], self.formula(0, env + [var]))
+        left = self.expr1(depth - 1, env)
+        right = self.expr1(depth - 1, env)
+        if kind == "union":
+            return ast.Union(left, right)
+        if kind == "inter":
+            return ast.Intersection(left, right)
+        return ast.Difference(left, right)
+
+    def expr2(self, depth: int, env: list[ast.Variable]) -> ast.Expr:
+        """A random binary expression."""
+        rng, spec = self._rng, self._spec
+        options = ["leaf"]
+        if spec.has("iden"):
+            options.append("iden")
+        if spec.has("product"):
+            options.append("product")
+        if depth > 0:
+            if spec.has("transpose"):
+                options.append("transpose")
+            if spec.has("closure"):
+                options.append("closure")
+            if spec.has("union"):
+                options.append("union")
+        kind = self._choice(options)
+        if kind == "leaf" and self._binary:
+            return rng.choice(self._binary)
+        if kind == "iden" or (kind == "leaf" and not self._binary):
+            return ast.Iden()
+        if kind == "product":
+            return ast.Product(self.expr1(0, env), self.expr1(0, env))
+        if kind == "transpose":
+            return ast.Transpose(self.expr2(depth - 1, env))
+        if kind == "closure":
+            return ast.Closure(self.expr2(depth - 1, env))
+        return ast.Union(self.expr2(depth - 1, env),
+                         self.expr2(depth - 1, env))
+
+    def formula(self, depth: int, env: list[ast.Variable]) -> ast.Formula:
+        """A random formula."""
+        rng, spec = self._rng, self._spec
+        options = ["some", "no", "subset", "equal"]
+        if spec.has("multiplicity"):
+            options += ["one", "lone"]
+        if spec.has("cardinality"):
+            options += ["card_eq", "card_ge"]
+        if depth > 0:
+            options += ["and", "or"]
+            if spec.has("negation"):
+                options.append("not")
+            if spec.has("quantifier"):
+                options += ["forall", "exists"]
+        binary_ops = any(
+            spec.has(f) for f in ("transpose", "closure", "iden", "product"))
+        kind = self._choice(options)
+        if kind in ("some", "no", "one", "lone"):
+            cls = {"some": ast.Some, "no": ast.No,
+                   "one": ast.One, "lone": ast.Lone}[kind]
+            if binary_ops and rng.random() < 0.25:
+                return cls(self.expr2(2, env))
+            return cls(self.expr1(1, env))
+        if kind in ("card_eq", "card_ge"):
+            cls = ast.CardinalityEq if kind == "card_eq" else ast.CardinalityGe
+            return cls(self.expr1(1, env), rng.randint(0, 3))
+        if kind in ("subset", "equal"):
+            cls = ast.Subset if kind == "subset" else ast.Equal
+            if binary_ops and rng.random() < 0.3:
+                return cls(self.expr2(2, env), self.expr2(2, env))
+            return cls(self.expr1(1, env), self.expr1(1, env))
+        if kind in ("and", "or"):
+            parts = [self.formula(depth - 1, env)
+                     for _ in range(rng.randint(2, 3))]
+            return ast.And(parts) if kind == "and" else ast.Or(parts)
+        if kind == "not":
+            return ast.Not(self.formula(depth - 1, env))
+        var = self._fresh_var()
+        domain = (rng.choice(self._unary)
+                  if self._unary and rng.random() < 0.5 else ast.Univ())
+        body = self.formula(depth - 1, env + [var])
+        if kind == "forall":
+            return ast.ForAll([(var, domain)], body)
+        return ast.Exists([(var, domain)], body)
+
+    def _fresh_var(self) -> ast.Variable:
+        self._fresh += 1
+        return ast.Variable(f"x{self._fresh}")
+
+
+def _generate_formula(rng: random.Random, spec: FuzzSpec) -> FormulaProblem:
+    num_atoms = min(2 + (spec.size + 1) // 2, 4)
+    atoms = [f"a{i}" for i in range(num_atoms)]
+    universe = Universe(atoms)
+    bounds = Bounds(universe)
+
+    r_un = ast.Relation("r", 1)
+    s_un = ast.Relation("s", 1)
+    edge = ast.Relation("e", 2)
+    partial = spec.has("partial_instance")
+
+    def split(tuples: list[tuple]) -> tuple[list[tuple], list[tuple]]:
+        lower = ([t for t in tuples if rng.random() < 0.15]
+                 if partial else [])
+        return lower, tuples
+
+    for rel in (r_un, s_un):
+        lower, upper = split([(a,) for a in atoms])
+        bounds.bound(rel, universe.tuple_set(1, lower),
+                     universe.tuple_set(1, upper))
+    pairs = [(a, b) for a in atoms for b in atoms]
+    sampled = rng.sample(pairs, rng.randint(0, min(len(pairs), 2 + spec.size)))
+    lower, upper = split(sorted(sampled))
+    bounds.bound(edge, universe.tuple_set(2, lower),
+                 universe.tuple_set(2, upper))
+
+    builder = _FormulaBuilder(rng, spec, [r_un, s_un], [edge])
+    depth = min(1 + (spec.size + 1) // 2, 3)
+    return FormulaProblem(builder.formula(depth, []), bounds)
+
+
+# ----------------------------------------------------------------------
+# Random alloylite modules
+# ----------------------------------------------------------------------
+
+
+def _generate_module(rng: random.Random, spec: FuzzSpec) -> ModuleProblem:
+    module = Module(f"fuzz{spec.seed}")
+    sig_a = module.sig("A")
+    unary: list[ast.Expr] = [sig_a.relation]
+    binary: list[ast.Expr] = []
+    per_sig: dict[str, int] = {}
+
+    if spec.has("second_sig"):
+        sig_b = module.sig("B")
+        unary.append(sig_b.relation)
+    else:
+        sig_b = sig_a
+    if spec.has("subsig"):
+        sub = module.sig("C", parent=sig_a)
+        per_sig["C"] = 1
+        unary.append(sub.relation)
+    if spec.has("one_sig"):
+        one = module.sig("O", is_one=True)
+        unary.append(one.relation)
+
+    mult = "set"
+    for feature, name in (("field_one", "one"), ("field_lone", "lone"),
+                          ("field_some", "some")):
+        if spec.has(feature):
+            mult = name
+            break
+    field = sig_a.field("f", sig_b, mult=mult)
+    binary.append(field.relation)
+
+    # The fact/goal language reuses the formula builder over sig and field
+    # relations, with quantifier/negation gated by the module's own mask.
+    builder = _FormulaBuilder(rng, spec, list(unary), list(binary))
+    depth = min(1 + spec.size // 2, 2)
+    for _ in range(rng.randint(1, 2)):
+        module.fact(builder.formula(depth, []))
+
+    scope = Scope(default=2 + (1 if spec.size >= 4 else 0), per_sig=per_sig)
+    if spec.has("check_command"):
+        return ModuleProblem(module, "check", builder.formula(depth, []),
+                             scope)
+    goal = builder.formula(depth, []) if rng.random() < 0.5 else None
+    return ModuleProblem(module, "run", goal, scope)
+
+
+# ----------------------------------------------------------------------
+# Random auction protocols (sub-modular, honest: the convergent regime)
+# ----------------------------------------------------------------------
+
+
+def _generate_protocol(rng: random.Random, spec: FuzzSpec) -> ProtocolProblem:
+    num_agents = min(2 + rng.randint(0, max(1, spec.size)), 6)
+    num_items = min(1 + rng.randint(0, max(1, spec.size)), 6)
+    items = tuple(f"item{i}" for i in range(num_items))
+
+    topologies = ["random"]
+    if spec.has("ring") and num_agents >= 3:
+        topologies.append("ring")
+    if spec.has("star"):
+        topologies.append("star")
+    if spec.has("line"):
+        topologies.append("line")
+    if spec.has("complete"):
+        topologies.append("complete")
+    topology = rng.choice(sorted(topologies))
+    if topology == "ring":
+        network = AgentNetwork.ring(num_agents)
+    elif topology == "star":
+        network = AgentNetwork.star(num_agents)
+    elif topology == "line":
+        network = AgentNetwork.line(num_agents)
+    elif topology == "complete":
+        network = AgentNetwork.complete(num_agents)
+    else:
+        network = AgentNetwork.random_connected(
+            num_agents,
+            extra_edge_prob=0.6 if spec.has("dense") else 0.3,
+            seed=rng.randrange(1 << 30),
+        )
+
+    target_cap = 3 if spec.has("high_target") else 2
+    policies: dict[int, AgentPolicy] = {}
+    for agent in range(num_agents):
+        target = rng.randint(1, target_cap)
+        if spec.has("table_utility"):
+            # An explicit table, non-increasing in bundle size: exactly the
+            # sub-modular shape Definition 2 requires of size-dependent
+            # utilities, so the convergence oracles stay applicable.
+            table: dict[tuple[str, int], float] = {}
+            for item in items:
+                value = round(rng.uniform(5.0, 100.0), 2)
+                for size in range(num_items):
+                    table[(item, size)] = value
+                    value = round(value * rng.uniform(0.3, 0.95), 4)
+            policy = AgentPolicy(utility=TableUtility(table), target=target)
+        else:
+            base = {item: round(rng.uniform(1.0, 100.0), 2) for item in items}
+            growth = round(rng.uniform(0.3, 0.9), 2)
+            policy = AgentPolicy(
+                utility=GeometricUtility(base, growth=growth), target=target)
+        policies[agent] = policy
+    return ProtocolProblem(network, items, policies)

@@ -408,11 +408,16 @@ class BooleanFactory:
             base = abs(root)
             if base == TRUE:
                 # Encode the constant with a dedicated always-true variable.
+                # The defining unit already asserts a TRUE root, so only a
+                # FALSE root needs its (contradicting) unit on top — a
+                # trivially-true translation stays a single unit clause
+                # instead of a duplicated pair.
                 if not true_var:
                     true_var = new_var()
                     node_var[TRUE] = true_var
                     emit((true_var,))
-                emit((true_var if root > 0 else -true_var,))
+                if root < 0:
+                    emit((-true_var,))
             else:
                 var = node_var[base]
                 emit((var if root > 0 else -var,))
@@ -426,6 +431,16 @@ class BooleanFactory:
             if n != TRUE and op[n] == _INPUT
         }
         return cnf, input_map
+
+    def opcode_histogram(self) -> dict[str, int]:
+        """Gate/input counts by opcode (a cheap fuzzing coverage signal)."""
+        names = {_CONST: "const", _INPUT: "input", _AND: "and", _OR: "or"}
+        histogram: dict[str, int] = {}
+        for opcode in self._op[1:]:
+            name = names.get(opcode)
+            if name is not None:
+                histogram[name] = histogram.get(name, 0) + 1
+        return histogram
 
     @property
     def num_gates(self) -> int:

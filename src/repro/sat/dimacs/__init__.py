@@ -37,8 +37,13 @@ def dump(cnf: CNF, stream: TextIO, comments: list[str] | None = None) -> None:
         stream.write(f"c {comment}\n")
     stream.write(f"p cnf {cnf.num_vars} {cnf.num_clauses}\n")
     for clause in cnf.clauses():
-        stream.write(" ".join(str(lit) for lit in clause))
-        stream.write(" 0\n")
+        if clause:
+            stream.write(" ".join(str(lit) for lit in clause))
+            stream.write(" 0\n")
+        else:
+            # The canonical empty clause (a trivially-false CNF): a bare
+            # terminator, without the leading blank some parsers reject.
+            stream.write("0\n")
 
 
 def dumps(cnf: CNF, comments: list[str] | None = None) -> str:

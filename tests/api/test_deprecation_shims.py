@@ -1,0 +1,201 @@
+"""The PR 3/4 deprecation shims: warn exactly once, answer identically.
+
+Each legacy entry point (``kodkod.engine.solve``/``iter_solutions``/
+``count_solutions``, ``alloylite.run``/``check``/``iter_instances``,
+``checking.explore_message_orders``) must emit exactly one
+``DeprecationWarning`` per call and return results identical to the
+façade (or renamed) path it forwards to.
+"""
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro.alloylite import commands as alloylite
+from repro.alloylite.module import Module, Scope
+from repro.api.problems import ModuleProblem
+from repro.checking import explore, explore_message_orders
+from repro.kodkod import ast, engine
+from repro.kodkod.bounds import Bounds
+from repro.kodkod.universe import Universe
+from repro.mca.network import AgentNetwork
+from repro.mca.policies import submodular_policy
+
+
+def _relational_problem():
+    universe = Universe(["a0", "a1", "a2"])
+    bounds = Bounds(universe)
+    rel = ast.Relation("r", 1)
+    edge = ast.Relation("e", 2)
+    bounds.bound(rel, universe.empty(1), universe.all_tuples(1))
+    bounds.bound(edge, universe.empty(2),
+                 universe.tuple_set(2, [("a0", "a1"), ("a1", "a2")]))
+    formula = ast.And([ast.Some(rel), ast.Some(edge)])
+    return formula, bounds, (rel, edge)
+
+
+def _module():
+    module = Module("shimtest")
+    node = module.sig("Node")
+    module.fact(ast.Some(node.relation))
+    assertion = ast.CardinalityGe(node.relation, 1)
+    return module, assertion
+
+
+def _auction():
+    network = AgentNetwork.line(2)
+    items = ["x"]
+    policies = {agent: submodular_policy({"x": 10.0 + agent}, target=1)
+                for agent in network.agents()}
+    return network, items, policies
+
+
+def _instance_key(bounds, instance):
+    return tuple(
+        (rel.name, frozenset(instance.value_of(rel)))
+        for rel in sorted(bounds.relations(), key=lambda r: r.name)
+    )
+
+
+def _call_warns_exactly_once(fn, *args, **kwargs):
+    """Run ``fn`` asserting exactly one DeprecationWarning is emitted."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = fn(*args, **kwargs)
+        if hasattr(result, "__next__"):  # force lazy generators
+            result = list(result)
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1, [str(w.message) for w in deprecations]
+    assert "deprecated" in str(deprecations[0].message)
+    return result, str(deprecations[0].message)
+
+
+class TestEngineShims:
+    def test_solve_warns_once_and_matches_facade(self):
+        formula, bounds, _ = _relational_problem()
+        legacy, message = _call_warns_exactly_once(
+            engine.solve, formula, bounds)
+        assert "repro.api.solve" in message
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            facade = api.solve(formula, bounds)
+        assert legacy.satisfiable == facade.satisfiable
+        assert (_instance_key(bounds, legacy.instance)
+                == _instance_key(bounds, facade.instance))
+        assert legacy.stats.num_clauses == facade.stats.num_clauses
+
+    def test_iter_solutions_warns_once_and_matches_enumerate(self):
+        formula, bounds, _ = _relational_problem()
+        legacy, message = _call_warns_exactly_once(
+            engine.iter_solutions, formula, bounds)
+        assert "repro.api.enumerate" in message
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            facade = api.enumerate(formula, bounds)
+        assert ({_instance_key(bounds, i) for i in legacy}
+                == {_instance_key(bounds, i) for i in facade.instances})
+
+    def test_count_solutions_warns_once_and_matches_enumerate(self):
+        formula, bounds, _ = _relational_problem()
+        legacy, _ = _call_warns_exactly_once(
+            engine.count_solutions, formula, bounds)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            facade = api.enumerate(formula, bounds)
+        assert legacy == len(facade.instances)
+
+    def test_unsat_verdict_matches_too(self):
+        _, bounds, (rel, _) = _relational_problem()
+        contradiction = ast.And([ast.Some(rel), ast.No(rel)])
+        legacy, _ = _call_warns_exactly_once(
+            engine.solve, contradiction, bounds)
+        assert not legacy.satisfiable
+        assert legacy.instance is None
+
+
+class TestAlloyliteShims:
+    def test_run_warns_once_and_matches_facade(self):
+        module, _ = _module()
+        legacy, message = _call_warns_exactly_once(alloylite.run, module)
+        assert "repro.api.solve" in message
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            facade = api.solve(ModuleProblem(module, "run", None, None))
+        assert legacy.satisfiable == facade.satisfiable
+        assert legacy.stats.num_clauses == facade.stats.num_clauses
+        assert legacy.describe() == facade.describe()
+
+    def test_check_warns_once_and_matches_facade(self):
+        module, assertion = _module()
+        legacy, message = _call_warns_exactly_once(
+            alloylite.check, module, assertion)
+        assert "repro.api.check" in message
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            facade = api.check(module, assertion)
+        assert legacy.valid == facade.holds
+        assert (legacy.counterexample is None) == (facade.instance is None)
+
+    def test_check_counterexample_instances_match(self):
+        module, _ = _module()
+        node = module.sigs[0]
+        falsifiable = ast.No(node.relation)  # facts force some Node
+        legacy, _ = _call_warns_exactly_once(
+            alloylite.check, module, falsifiable)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            facade = api.check(module, falsifiable)
+        assert not legacy.valid and not facade.holds
+        _, bounds, _ = module.compile(Scope())
+        assert (_instance_key(bounds, legacy.counterexample)
+                == _instance_key(bounds, facade.instance))
+
+    def test_iter_instances_warns_once_and_matches_enumerate(self):
+        module, _ = _module()
+        legacy, message = _call_warns_exactly_once(
+            alloylite.iter_instances, module)
+        assert "repro.api.enumerate" in message
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            facade = api.enumerate(ModuleProblem(module, "run", None, None))
+        _, bounds, _ = module.compile(Scope())
+        assert ({_instance_key(bounds, i) for i in legacy}
+                == {_instance_key(bounds, i) for i in facade.instances})
+
+
+class TestCheckingShim:
+    def test_explore_message_orders_warns_once_and_matches_explore(self):
+        network, items, policies = _auction()
+        legacy, message = _call_warns_exactly_once(
+            explore_message_orders, network, items, policies,
+            max_rounds=6, max_paths=200)
+        assert "explore" in message
+        plain = explore(network, items, policies, max_rounds=6,
+                        max_paths=200)
+        assert legacy.all_converged == plain.all_converged
+        assert legacy.paths_explored == plain.paths_explored
+        assert legacy.max_rounds_to_converge == plain.max_rounds_to_converge
+        assert legacy.counterexample == plain.counterexample
+
+
+class TestShimsWarnPerCall:
+    @pytest.mark.parametrize("invoke", [
+        lambda: engine.solve(*_relational_problem()[:2]),
+        lambda: list(engine.iter_solutions(*_relational_problem()[:2],
+                                           limit=1)),
+        lambda: alloylite.run(_module()[0]),
+        lambda: explore_message_orders(*_auction(), max_rounds=4,
+                                       max_paths=50),
+    ])
+    def test_every_call_warns_again(self, invoke):
+        """``always``-filtered: the warning fires on each call, not once
+        per interpreter (callers must see it wherever they call from)."""
+        for _ in range(2):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                invoke()
+            deprecations = [w for w in caught
+                            if issubclass(w.category, DeprecationWarning)]
+            assert len(deprecations) == 1

@@ -1,0 +1,221 @@
+"""Problem tree codec: round trips, tree utilities, script emission."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api.problems import problem_fingerprint
+from repro.fuzz import codec
+from repro.fuzz.codec import CodecError
+from repro.fuzz.generators import FuzzSpec, generate
+from repro.fuzz.runner import lift_module
+from repro.kodkod import ast
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_formula_problems_round_trip(self, seed):
+        problem = generate(FuzzSpec.make("formula", seed, size=4))
+        payload = codec.problem_to_json(problem)
+        json.dumps(payload)  # must be JSON-able
+        rebuilt = codec.problem_from_json(payload)
+        assert problem_fingerprint(rebuilt) == problem_fingerprint(problem)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_protocol_problems_round_trip(self, seed):
+        problem = generate(FuzzSpec.make("protocol", seed, size=4))
+        payload = codec.problem_to_json(problem)
+        json.dumps(payload)
+        rebuilt = codec.problem_from_json(payload)
+        assert problem_fingerprint(rebuilt) == problem_fingerprint(problem)
+
+    def test_lifted_module_problems_round_trip(self):
+        problem = lift_module(generate(FuzzSpec.make("module", 3, size=3)))
+        rebuilt = codec.problem_from_json(codec.problem_to_json(problem))
+        assert problem_fingerprint(rebuilt) == problem_fingerprint(problem)
+
+    def test_module_problems_are_rejected(self):
+        problem = generate(FuzzSpec.make("module", 0, size=2))
+        with pytest.raises(CodecError, match="lowered to their compiled"):
+            codec.problem_to_json(problem)
+
+    def test_relations_decode_to_shared_instances(self):
+        """The same (name, arity) must decode to one Relation object —
+        bounds and formulas compare relations by identity."""
+        problem = generate(FuzzSpec.make("formula", 1, size=3))
+        rebuilt = codec.problem_from_json(codec.problem_to_json(problem))
+        formula_rels = {
+            id(node) for node in _walk_relations(rebuilt.formula)
+        }
+        bound_rels = {id(rel) for rel in rebuilt.bounds.relations()}
+        # Every relation the formula mentions is the bounds' own object.
+        names_in_bounds = {rel.name for rel in rebuilt.bounds.relations()}
+        for node in _walk_relations(rebuilt.formula):
+            if node.name in names_in_bounds:
+                assert id(node) in bound_rels
+
+
+class TestMalformedTrees:
+    def test_unknown_formula_tag(self):
+        with pytest.raises(CodecError, match="unknown formula tag"):
+            codec.problem_from_json({
+                "kind": "formula",
+                "formula": {"f": "xor"},
+                "bounds": {"universe": ["a"], "relations": []},
+            })
+
+    def test_unknown_expression_tag(self):
+        with pytest.raises(CodecError, match="unknown expression tag"):
+            codec.problem_from_json({
+                "kind": "formula",
+                "formula": {"f": "some", "expr": {"e": "warp"}},
+                "bounds": {"universe": ["a"], "relations": []},
+            })
+
+    def test_unknown_problem_kind(self):
+        with pytest.raises(CodecError, match="unknown problem kind"):
+            codec.problem_from_json({"kind": "haiku"})
+
+    def test_arity_mismatch_is_codec_error(self):
+        tree = {"f": "subset",
+                "left": {"e": "univ"},
+                "right": {"e": "iden"}}
+        with pytest.raises(CodecError):
+            codec.problem_from_json({
+                "kind": "formula", "formula": tree,
+                "bounds": {"universe": ["a"], "relations": []},
+            })
+
+    def test_empty_conjunction_is_codec_error(self):
+        with pytest.raises(CodecError, match="empty"):
+            codec.problem_from_json({
+                "kind": "formula",
+                "formula": {"f": "and", "parts": []},
+                "bounds": {"universe": ["a"], "relations": []},
+            })
+
+    def test_disconnected_protocol_is_codec_error(self):
+        with pytest.raises(CodecError, match="malformed protocol"):
+            codec.problem_from_json({
+                "kind": "protocol",
+                "agents": [0, 1, 2],
+                "edges": [[0, 1]],
+                "items": [],
+                "policies": {},
+            })
+
+
+class TestTreeUtilities:
+    def _tree(self):
+        formula = ast.And([
+            ast.Some(ast.Union(ast.Relation("r", 1), ast.Univ())),
+            ast.Not(ast.No(ast.Relation("r", 1))),
+        ])
+        return codec.formula_to_tree(formula)
+
+    def test_iter_subtrees_visits_every_node(self):
+        tags = [node.get("f") or node.get("e")
+                for _, node in codec.iter_subtrees(self._tree())]
+        assert tags == ["and", "some", "union", "rel", "univ", "not", "no",
+                        "rel"]
+
+    def test_replace_at_is_non_destructive(self):
+        tree = self._tree()
+        replaced = codec.replace_at(tree, ("parts", 1), {"f": "true"})
+        assert replaced["parts"][1] == {"f": "true"}
+        assert tree["parts"][1]["f"] == "not"
+
+    def test_subtree_at_inverts_paths(self):
+        tree = self._tree()
+        for path, node in codec.iter_subtrees(tree):
+            assert codec.subtree_at(tree, path) is node
+
+    def test_tree_arity_mirrors_ast_rules(self):
+        cases = [
+            ({"e": "iden"}, 2),
+            ({"e": "none", "arity": 3}, 3),
+            ({"e": "product", "left": {"e": "univ"},
+              "right": {"e": "iden"}}, 3),
+            ({"e": "join", "left": {"e": "univ"}, "right": {"e": "iden"}}, 1),
+            ({"e": "compr", "decls": [["x", {"e": "univ"}]],
+              "body": {"f": "true"}}, 1),
+        ]
+        for tree, expected in cases:
+            assert codec.tree_arity(tree) == expected
+
+    def test_has_unbound_vars(self):
+        bound = codec.formula_to_tree(
+            ast.Exists([(ast.Variable("x"), ast.Univ())],
+                       ast.Some(ast.Variable("x"))))
+        assert not codec.has_unbound_vars(bound)
+        dangling = codec.formula_to_tree(ast.Some(ast.Variable("x")))
+        assert codec.has_unbound_vars(dangling)
+
+    def test_tree_size_counts_tagged_nodes(self):
+        assert codec.tree_size({"f": "true"}) == 1
+        assert codec.tree_size(self._tree()) == 8
+
+
+class TestScriptEmission:
+    def test_script_mentions_oracle_and_embeds_problem(self):
+        problem = generate(FuzzSpec.make("formula", 2, size=2))
+        payload = codec.problem_to_json(problem)
+        script = codec.problem_to_script(payload, "encodings",
+                                         label="unit test", seed=4)
+        assert "encodings" in script
+        assert "unit test" in script
+        assert "problem_from_json" in script
+
+    def test_script_runs_standalone_and_exits_zero_when_agreeing(
+            self, tmp_path):
+        problem = generate(FuzzSpec.make("formula", 2, size=2))
+        payload = codec.problem_to_json(problem)
+        path = tmp_path / "reproducer.py"
+        path.write_text(codec.problem_to_script(
+            payload, "encodings", filename=path.name), encoding="utf-8")
+        proc = subprocess.run(
+            [sys.executable, str(path)],
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "agree: True" in proc.stdout
+
+    def test_script_with_fault_reproduces_disagreement(self, tmp_path):
+        problem = codec.problem_from_json({
+            "kind": "formula",
+            "formula": {"f": "and", "parts": [{"f": "true"}, {"f": "true"}]},
+            "bounds": {"universe": ["a0"], "relations": []},
+        })
+        payload = codec.problem_to_json(problem)
+        path = tmp_path / "reproducer.py"
+        path.write_text(codec.problem_to_script(
+            payload, "encodings", fault="conjunction", filename=path.name),
+            encoding="utf-8")
+        proc = subprocess.run(
+            [sys.executable, str(path)],
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "agree: False" in proc.stdout
+
+
+def _walk_relations(node):
+    if isinstance(node, ast.Relation):
+        yield node
+        return
+    for attr in ("left", "right", "inner", "expr", "cond", "then_expr",
+                 "else_expr", "body"):
+        child = getattr(node, attr, None)
+        if child is not None and isinstance(child, (ast.Expr, ast.Formula)):
+            yield from _walk_relations(child)
+    for part in getattr(node, "parts", ()) or ():
+        yield from _walk_relations(part)
+    for _, domain in getattr(node, "decls", ()) or ():
+        yield from _walk_relations(domain)

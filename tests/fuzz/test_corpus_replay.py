@@ -1,0 +1,52 @@
+"""Tier-1 replay of the checked-in regression corpus.
+
+Every entry in ``tests/fuzz/corpus`` is either a shrunk past-failure
+shape or a hand-curated edge case (the trivially-true/false translation
+edges, exact bounds, empty domains); replaying them through their
+oracles on every test run keeps those behaviours pinned.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.runner import replay_corpus
+
+CORPUS = Path(__file__).parent / "corpus"
+ENTRIES = sorted(CORPUS.glob("*.json"))
+
+
+class TestCorpusIsWellFormed:
+    def test_corpus_is_not_empty(self):
+        assert len(ENTRIES) >= 8
+
+    @pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+    def test_entry_schema(self, path):
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        assert entry["label"]
+        assert entry["note"], "every corpus entry needs a why"
+        payload = entry["payload"]
+        assert ("spec" in payload) ^ ("problem" in payload)
+
+    def test_dimacs_edge_cases_are_present(self):
+        """The satellite regression inputs stay checked in."""
+        names = {path.stem for path in ENTRIES}
+        assert "trivially-true-root" in names
+        assert "trivially-false-root" in names
+
+
+class TestReplay:
+    def test_full_corpus_replays_clean(self):
+        report = replay_corpus(CORPUS)
+        assert report.corpus_size == len(ENTRIES)
+        assert report.total >= len(ENTRIES)
+        bad = [(c.label, c.oracle, c.error) for c in report.checks
+               if not c.ok]
+        assert report.clean, bad
+
+    def test_replay_covers_every_entry(self):
+        report = replay_corpus(CORPUS)
+        replayed = {c.label for c in report.checks}
+        expected = {json.loads(p.read_text())["label"] for p in ENTRIES}
+        assert replayed == expected

@@ -1,0 +1,196 @@
+"""Trivially-true/false translations: the constant-root CNF edges.
+
+Construction-time simplification can collapse a whole formula to the
+``TRUE``/``FALSE`` constant (``r in r``, empty quantifier domains,
+contradictory conjunctions) while the bounds still declare free tuples.
+These are exactly the shapes a fuzzer reaches within seconds, so the
+whole path — ``to_cnf`` constant encoding, primary-variable allocation,
+solving, enumeration, DIMACS export/import and the CLI exit codes — is
+pinned here for both polarities and both CNF encodings.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.kodkod import ast
+from repro.kodkod.bounds import Bounds
+from repro.kodkod.translate import Translator
+from repro.kodkod.universe import Universe
+from repro.sat import dimacs
+from repro.sat.cnf import CNF
+from repro.sat.solver import solve_cnf
+from repro.sat.types import Status
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+ENCODINGS = ["pg", "tseitin"]
+
+
+def _bounds_with_free_relation(num_atoms=3):
+    universe = Universe([f"a{i}" for i in range(num_atoms)])
+    bounds = Bounds(universe)
+    rel = ast.Relation("r", 1)
+    bounds.bound(rel, universe.empty(1), universe.all_tuples(1))
+    return rel, bounds
+
+
+class TestConstantRoots:
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    def test_trivially_true_is_a_single_unit_clause(self, encoding):
+        rel, bounds = _bounds_with_free_relation()
+        translation = Translator(bounds, cnf_encoding=encoding).translate(
+            ast.Subset(rel, rel))
+        # One defining unit for the TRUE constant — not a duplicated pair.
+        assert translation.cnf.num_clauses == 1
+        assert solve_cnf(translation.cnf)[0] is Status.SAT
+
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    def test_trivially_false_is_contradictory_units(self, encoding):
+        rel, bounds = _bounds_with_free_relation()
+        translation = Translator(bounds, cnf_encoding=encoding).translate(
+            ast.Not(ast.Subset(rel, rel)))
+        assert translation.cnf.num_clauses == 2
+        assert solve_cnf(translation.cnf)[0] is Status.UNSAT
+
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    def test_primary_vars_allocated_despite_constant_root(self, encoding):
+        rel, bounds = _bounds_with_free_relation()
+        translation = Translator(bounds, cnf_encoding=encoding).translate(
+            ast.Subset(rel, rel))
+        assert len(translation.primary_vars()) == 3
+        assert translation.cnf.num_vars == 4  # 3 primaries + the constant
+
+    def test_trivially_true_enumerates_the_whole_space(self):
+        from repro.api import enumerate as api_enumerate
+        from repro.api.problems import FormulaProblem
+
+        rel, bounds = _bounds_with_free_relation()
+        result = api_enumerate(FormulaProblem(ast.Subset(rel, rel), bounds))
+        assert len(result.instances) == 8  # 2^3 valuations of r
+
+    def test_trivially_false_enumerates_nothing(self):
+        from repro.api import enumerate as api_enumerate
+        from repro.api.problems import FormulaProblem
+
+        rel, bounds = _bounds_with_free_relation()
+        result = api_enumerate(
+            FormulaProblem(ast.Not(ast.Subset(rel, rel)), bounds))
+        assert result.instances == []
+
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    def test_constant_root_with_symmetry_breaking(self, encoding):
+        rel, bounds = _bounds_with_free_relation()
+        for formula, expected in ((ast.Subset(rel, rel), Status.SAT),
+                                  (ast.Not(ast.Subset(rel, rel)),
+                                   Status.UNSAT)):
+            translation = Translator(
+                bounds, symmetry=20, cnf_encoding=encoding).translate(formula)
+            assert solve_cnf(translation.cnf)[0] is expected
+
+    def test_empty_quantifier_domain_is_vacuously_true(self):
+        universe = Universe(["a0", "a1"])
+        bounds = Bounds(universe)
+        rel = ast.Relation("r", 1)
+        bounds.bound(rel, universe.empty(1), universe.empty(1))
+        x = ast.Variable("x")
+        translation = Translator(bounds).translate(
+            ast.ForAll([(x, rel)], ast.Some(x)))
+        assert solve_cnf(translation.cnf)[0] is Status.SAT
+
+
+class TestDimacsRoundTripOfConstantRoots:
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    @pytest.mark.parametrize("polarity", ["true", "false"])
+    def test_export_round_trips_and_preserves_verdict(
+            self, encoding, polarity):
+        rel, bounds = _bounds_with_free_relation()
+        formula = ast.Subset(rel, rel)
+        if polarity == "false":
+            formula = ast.Not(formula)
+        translation = Translator(bounds, cnf_encoding=encoding).translate(
+            formula)
+        text = translation.to_dimacs(comments=["edge case"])
+        recovered = dimacs.loads(text)
+        assert recovered.num_vars == translation.cnf.num_vars
+        assert recovered.num_clauses == translation.cnf.num_clauses
+        expected = Status.SAT if polarity == "true" else Status.UNSAT
+        assert solve_cnf(recovered)[0] is expected
+
+    def test_header_comments_document_primary_vars(self):
+        rel, bounds = _bounds_with_free_relation()
+        text = Translator(bounds).translate(
+            ast.Subset(rel, rel)).to_dimacs()
+        assert "primary vars: 3 of 4" in text
+        assert "primary r(0)" in text
+
+
+class TestDegenerateCnfs:
+    def test_zero_clause_cnf_round_trips(self):
+        cnf = CNF(3)
+        text = dimacs.dumps(cnf)
+        assert text == "p cnf 3 0\n"
+        recovered = dimacs.loads(text)
+        assert recovered.num_vars == 3
+        assert recovered.num_clauses == 0
+        assert solve_cnf(recovered)[0] is Status.SAT
+
+    def test_empty_clause_dumps_canonically(self):
+        cnf = CNF()
+        cnf.add_clause([])
+        text = dimacs.dumps(cnf)
+        # A bare terminator line — no leading blank for strict parsers.
+        assert text == "p cnf 0 1\n0\n"
+        recovered = dimacs.loads(text)
+        assert list(recovered.clauses()) == [()]
+        assert solve_cnf(recovered)[0] is Status.UNSAT
+
+    def test_totally_empty_cnf_is_satisfiable(self):
+        status, model = solve_cnf(dimacs.loads("p cnf 0 0\n"))
+        assert status is Status.SAT
+        assert model is not None
+
+
+class TestCliOnTrivialTranslations:
+    def _solve_file(self, tmp_path, formula, bounds):
+        path = tmp_path / "trivial.cnf"
+        translation = Translator(bounds).translate(formula)
+        path.write_text(translation.to_dimacs(), encoding="ascii")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        return subprocess.run(
+            [sys.executable, "-m", "repro.sat.dimacs", "solve", str(path)],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+
+    def test_solve_exits_10_on_trivially_true(self, tmp_path):
+        rel, bounds = _bounds_with_free_relation()
+        proc = self._solve_file(tmp_path, ast.Subset(rel, rel), bounds)
+        assert proc.returncode == 10, proc.stdout + proc.stderr
+        assert "s SATISFIABLE" in proc.stdout
+
+    def test_solve_exits_20_on_trivially_false(self, tmp_path):
+        rel, bounds = _bounds_with_free_relation()
+        proc = self._solve_file(
+            tmp_path, ast.Not(ast.Subset(rel, rel)), bounds)
+        assert proc.returncode == 20, proc.stdout + proc.stderr
+        assert "s UNSATISFIABLE" in proc.stdout
+
+
+class TestOpcodeHistogram:
+    def test_histogram_counts_constants_inputs_and_gates(self):
+        rel, bounds = _bounds_with_free_relation()
+        translation = Translator(bounds).translate(
+            ast.And([ast.Some(rel), ast.No(rel)]))
+        histogram = translation.factory.opcode_histogram()
+        assert histogram["const"] == 1
+        assert histogram["input"] == 3
+        assert histogram.get("and", 0) + histogram.get("or", 0) >= 1
+
+    def test_constant_only_circuit(self):
+        universe = Universe(["a0"])
+        translation = Translator(Bounds(universe)).translate(ast.TrueF())
+        assert translation.factory.opcode_histogram() == {"const": 1}
