@@ -1,0 +1,158 @@
+"""Benchmark: propagation kernels and the external CDCL path.
+
+The vector kernel (``Solver(kernel="vector")``) bulk-filters watcher
+lists with numpy while keeping the search trajectory bit-identical to the
+pure interpreter; the workload here is built so almost all propagation
+time is spent scanning long watcher lists whose blockers are already
+true — the exact shape the kernel vectorizes.  Rows land in
+``BENCH_solver.json`` with ``propagations_per_second`` metadata; the
+pinned baseline is the pure-kernel time, so the ``[vector]`` row's
+``speedup_vs_baseline`` documents the kernel speedup PR over PR.
+
+``test_vector_kernel_not_slower_than_pure`` is the CI regression gate:
+it fails whenever the vector kernel falls behind the interpreter on the
+kernel-friendly workload.
+
+The external row times a real CDCL binary (picosat/cadical/kissat, if
+one is on PATH) against the built-in solver on a campaign-sized consensus
+check, and is skipped — not failed — when none is installed.
+"""
+
+import shutil
+import time
+
+import pytest
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver
+from repro.sat.types import Status
+
+# Chain + fanout shape: deciding the guard g False triggers a unit chain
+# c1 -> c2 -> ... while every chain variable watches `fanout` noise
+# clauses (-c_i, -g, x_j) whose blocker -g is already true, so whole
+# watcher lists vanish in one vectorized filter.
+N_CHAIN = 48
+FANOUT = 400
+POOL = 16
+SOLVES_PER_RUN = 20
+
+REAL_SOLVERS = ("picosat", "cadical", "kissat")
+
+
+def chain_cnf():
+    cnf = CNF()
+    g = cnf.new_var()
+    chain = [cnf.new_var() for _ in range(N_CHAIN)]
+    xs = [cnf.new_var() for _ in range(POOL)]
+    cnf.add_clause([g, chain[0]])
+    for a, b in zip(chain, chain[1:]):
+        cnf.add_clause([-a, b])
+    for i, c in enumerate(chain):
+        for j in range(FANOUT):
+            cnf.add_clause([-c, -g, xs[(i + j) % POOL]])
+    return cnf, g
+
+
+def _warm_solver(kernel):
+    cnf, g = chain_cnf()
+    solver = Solver(kernel=kernel)
+    assert solver.add_cnf(cnf)
+    assert solver.solve([-g]) is Status.SAT  # builds watch lists + caches
+    return solver, g
+
+
+def _throughput(kernel, solves=SOLVES_PER_RUN):
+    """(propagations, seconds) for ``solves`` warm assumption solves."""
+    solver, g = _warm_solver(kernel)
+    before = solver.stats["propagations"]
+    started = time.perf_counter()
+    for _ in range(solves):
+        assert solver.solve([-g]) is Status.SAT
+    seconds = time.perf_counter() - started
+    return solver.stats["propagations"] - before, seconds
+
+
+@pytest.mark.parametrize("kernel", ["pure", "vector"])
+def test_propagation_throughput(bench, report, kernel):
+    if kernel == "vector":
+        pytest.importorskip("numpy")
+    solver, g = _warm_solver(kernel)
+
+    def run():
+        before = solver.stats["propagations"]
+        for _ in range(SOLVES_PER_RUN):
+            assert solver.solve([-g]) is Status.SAT
+        return solver.stats["propagations"] - before
+
+    propagations = bench(run)
+    seconds = bench._row["seconds"]
+    pps = propagations / max(seconds, 1e-9)
+    bench.meta(kernel=solver.kernel, propagations=propagations,
+               propagations_per_second=round(pps))
+    report.append(
+        f"kernel={kernel}: {propagations} propagations in {seconds:.4f}s "
+        f"({pps / 1000:.0f} kprops/s)"
+    )
+
+
+def test_vector_kernel_not_slower_than_pure():
+    """CI regression gate: the vector kernel must not fall behind the
+    interpreter on the workload built for it (best-of-3 each)."""
+    pytest.importorskip("numpy")
+    pure_pps = max(
+        props / max(secs, 1e-9)
+        for props, secs in (_throughput("pure", solves=5) for _ in range(3))
+    )
+    vector_pps = max(
+        props / max(secs, 1e-9)
+        for props, secs in (_throughput("vector", solves=5) for _ in range(3))
+    )
+    assert vector_pps >= pure_pps, (
+        f"vector kernel regressed below pure: "
+        f"{vector_pps:.0f} < {pure_pps:.0f} propagations/s"
+    )
+
+
+def _real_solver():
+    for name in REAL_SOLVERS:
+        if shutil.which(name):
+            return name
+    return None
+
+
+@pytest.mark.skipif(_real_solver() is None,
+                    reason="no real CDCL solver (picosat/cadical/kissat) "
+                           "on PATH")
+def test_external_solver_end_to_end(bench, report):
+    """A native CDCL binary against the built-in solver on a campaign
+    consensus check (3 pnodes / 2 vnodes), subprocess overhead included."""
+    from repro.model import build_dynamic
+    from repro.sat.external import ExternalSolver
+    from repro.sat.solver import solve_cnf
+
+    command = _real_solver()
+    translation = build_dynamic(
+        num_pnodes=3, num_vnodes=2, max_value=3, edges=[(0, 1), (1, 2)]
+    ).translate_check()
+    cnf = translation.cnf
+
+    internal_started = time.perf_counter()
+    internal_status, _ = solve_cnf(cnf)
+    internal_seconds = time.perf_counter() - internal_started
+
+    external = ExternalSolver(command, timeout=120)
+    run = bench(external.solve_cnf, cnf)
+    assert run.status is internal_status
+    seconds = bench._row["seconds"]
+    speedup = internal_seconds / max(seconds, 1e-9)
+    bench.meta(command=command, external_wall=round(run.wall_seconds, 6),
+               internal_seconds=round(internal_seconds, 6),
+               speedup_vs_internal=round(speedup, 2))
+    report.append(
+        f"external={command}: {seconds:.4f}s vs internal "
+        f"{internal_seconds:.4f}s ({speedup:.1f}x), verdict {run.status}"
+    )
+    assert speedup >= 10, (
+        f"expected the native solver to be >=10x the built-in one, "
+        f"got {speedup:.1f}x"
+    )

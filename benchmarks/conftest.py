@@ -39,6 +39,7 @@ _ARTIFACT_BY_MODULE = {
     "bench_encoding": "encoding",
     "bench_ablation": "encoding",
     "bench_check_scaling": "solver",
+    "bench_solver_kernels": "solver",
     "bench_policy_matrix": "solver",
     "bench_rebidding": "solver",
     "bench_example1": None,
@@ -65,7 +66,19 @@ BASELINE = {
             "seconds": 0.0487, "clauses": 6955,
         },
     },
-    "solver": {},
+    "solver": {
+        # Pure-interpreter propagation time on the kernel microbench
+        # (20 warm assumption solves, chain=48/fanout=400/pool=16),
+        # measured at the PR-6 state.  Both kernel rows are pinned to the
+        # same pure time so the [vector] row's speedup_vs_baseline reads
+        # directly as the vector-kernel speedup.
+        "bench_solver_kernels.py::test_propagation_throughput[pure]": {
+            "seconds": 0.0437, "propagations": 1300,
+        },
+        "bench_solver_kernels.py::test_propagation_throughput[vector]": {
+            "seconds": 0.0437, "propagations": 1300,
+        },
+    },
 }
 
 _WARMUP = 1

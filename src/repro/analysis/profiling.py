@@ -1,0 +1,41 @@
+"""cProfile plumbing for the campaign and fuzz CLIs (``--profile``).
+
+Hot-path claims about the solver and translator should be reproducible
+from a command, not from someone's one-off notebook.  Both sweep CLIs
+accept ``--profile [PATH]``: the sweep is forced inline (a child process
+cannot be profiled from the parent, so sharding is collapsed to one
+in-process shard) and the cProfile top-N cumulative table is written to
+a text artifact next to the JSON one.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from pathlib import Path
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+DEFAULT_TOP = 25
+
+
+def run_profiled(fn: Callable[[], T], artifact: str | Path,
+                 top: int = DEFAULT_TOP) -> T:
+    """Run ``fn`` under cProfile and write the top-``top`` cumulative
+    table to ``artifact``; returns ``fn``'s result.
+
+    The profile is written even when ``fn`` raises, so a sweep that dies
+    half-way still leaves evidence of where the time went.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return fn()
+    finally:
+        profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(top)
+        Path(artifact).write_text(stream.getvalue(), encoding="utf-8")

@@ -2,17 +2,28 @@
 
 A backend knows how to decide some subset of the :data:`~repro.api.problems.Problem`
 union and always answers with the uniform :class:`~repro.api.result.Result`.
-Two backends ship in-tree:
+Three backend families ship in-tree:
 
 * ``kodkod`` — the bounded relational pipeline (translate → CDCL →
   instance extraction) for formula and module problems;
+* ``kodkod-vector`` — the same pipeline with the solver's numpy
+  propagation kernel (:mod:`repro.sat.kernel`) switched on; it is
+  search-trajectory identical to ``kodkod`` and serves as its fast twin
+  in the differential oracles;
 * ``explorer`` — exhaustive schedule exploration of the executable
   protocol for protocol problems.
 
-Alternative engines (an external SAT solver, a parallel portfolio, a
-BDD-based finder) plug in by implementing :class:`Backend` and calling
-:func:`register_backend`; every façade entry point and the batch path
-then reach them through ``Options.solver``.
+In addition, any SAT-competition-conformant binary becomes a backend
+through the ``dimacs:`` prefix: ``Options(solver="dimacs:picosat")``
+resolves to a :class:`DimacsBackend` that round-trips the translated CNF
+through a DIMACS file and the external process (see
+:mod:`repro.sat.external`).  These are materialized on first use rather
+than pre-registered, since the command is part of the name.
+
+Alternative engines (a parallel portfolio, a BDD-based finder) plug in by
+implementing :class:`Backend` and calling :func:`register_backend`; every
+façade entry point and the batch path then reach them through
+``Options.solver``.
 """
 
 from __future__ import annotations
@@ -34,7 +45,11 @@ from repro.kodkod import ast
 from repro.kodkod.bounds import Bounds
 from repro.kodkod.engine import Session
 from repro.kodkod.evaluator import Evaluator
+from repro.kodkod.instance import extract_instance
 from repro.kodkod.symmetry import DEFAULT_SBP_LENGTH
+from repro.kodkod.translate import Translator
+from repro.sat.external import ExternalSolver, ExternalSolverError
+from repro.sat.types import Status
 
 
 @runtime_checkable
@@ -81,15 +96,40 @@ def available_backends() -> list[str]:
     return list(_REGISTRY)
 
 
+# DimacsBackend instances materialized from "dimacs:<command>" solver
+# names, cached per command so repeated option resolution reuses them.
+_DIMACS_BACKENDS: dict[str, Backend] = {}
+
+_DIMACS_PREFIX = "dimacs:"
+
+
 def get_backend(name: str) -> Backend:
-    """Look up a backend by name, with an actionable error on a miss."""
+    """Look up a backend by name, with an actionable error on a miss.
+
+    Names starting with ``dimacs:`` resolve dynamically: the rest of the
+    name is the external solver command (``"dimacs:picosat"``,
+    ``"dimacs:python -m repro.sat.dimacs solve"``).
+    """
     try:
         return _REGISTRY[name]
     except KeyError:
-        raise ValueError(
-            f"unknown backend {name!r}; registered backends: "
-            f"{available_backends()}"
-        ) from None
+        pass
+    if name.startswith(_DIMACS_PREFIX):
+        command = name[len(_DIMACS_PREFIX):].strip()
+        if not command:
+            raise ValueError(
+                "empty external solver command: use "
+                "'dimacs:<command>', e.g. Options(solver='dimacs:picosat')"
+            )
+        backend = _DIMACS_BACKENDS.get(command)
+        if backend is None:
+            backend = _DIMACS_BACKENDS[command] = DimacsBackend(command)
+        return backend
+    raise ValueError(
+        f"unknown backend {name!r}; registered backends: "
+        f"{available_backends()} (or 'dimacs:<command>' for an external "
+        f"SAT solver)"
+    )
 
 
 def backend_for(problem: Problem, options: Options) -> Backend:
@@ -122,36 +162,52 @@ def backend_for(problem: Problem, options: Options) -> Backend:
 # ----------------------------------------------------------------------
 
 
-class KodkodBackend:
-    """Formula/module problems via translate → CDCL → instance extraction."""
+def _relational_goal(problem: Problem,
+                     backend_name: str) -> tuple[ast.Formula, Bounds, bool]:
+    """(goal formula, bounds, is_validity_query) for a relational problem."""
+    if isinstance(problem, FormulaProblem):
+        return problem.formula, problem.bounds, False
+    if isinstance(problem, ModuleProblem):
+        scope = problem.scope or Scope()
+        _, bounds, facts = problem.module.compile(scope)
+        if problem.command == "check":
+            return ast.And([facts, ast.Not(problem.goal)]), bounds, True
+        goal = (facts if problem.goal is None
+                else ast.And([facts, problem.goal]))
+        return goal, bounds, False
+    raise ValueError(
+        f"{backend_name} backend cannot decide {type(problem).__name__}"
+    )
 
-    name = "kodkod"
+
+class KodkodBackend:
+    """Formula/module problems via translate → CDCL → instance extraction.
+
+    ``kernel`` selects the solver's propagation engine (``"pure"`` or
+    ``"vector"``; see :mod:`repro.sat.kernel`).  The two engines take
+    identical search trajectories, so ``kodkod`` and ``kodkod-vector``
+    answers are interchangeable — which is exactly what makes them useful
+    as a differential pair.
+    """
+
+    def __init__(self, kernel: str = "pure") -> None:
+        self.kernel = kernel
+        self.name = "kodkod" if kernel == "pure" else f"kodkod-{kernel}"
 
     def supports(self, problem: Problem) -> bool:
         return isinstance(problem, (FormulaProblem, ModuleProblem))
 
     def _goal(self, problem: Problem) -> tuple[ast.Formula, Bounds, bool]:
         """(goal formula, bounds, is_validity_query) for a problem."""
-        if isinstance(problem, FormulaProblem):
-            return problem.formula, problem.bounds, False
-        if isinstance(problem, ModuleProblem):
-            scope = problem.scope or Scope()
-            _, bounds, facts = problem.module.compile(scope)
-            if problem.command == "check":
-                return ast.And([facts, ast.Not(problem.goal)]), bounds, True
-            goal = (facts if problem.goal is None
-                    else ast.And([facts, problem.goal]))
-            return goal, bounds, False
-        raise ValueError(
-            f"kodkod backend cannot decide {type(problem).__name__}"
-        )
+        return _relational_goal(problem, self.name)
 
     def solve(self, problem: Problem, options: Options) -> Result:
         started = time.perf_counter()
         goal, bounds, validity = self._goal(problem)
         symmetry = (DEFAULT_SBP_LENGTH if options.symmetry is None
                     else options.symmetry)
-        session = Session(goal, bounds, symmetry=symmetry)
+        session = Session(goal, bounds, symmetry=symmetry,
+                          kernel=self.kernel)
         solution = session.solve()
         if solution.satisfiable and isinstance(problem, ModuleProblem):
             _validate(goal, solution.instance)
@@ -179,7 +235,8 @@ class KodkodBackend:
         # an explicit symmetry level enumerates canonical representatives.
         symmetry = 0 if options.symmetry is None else options.symmetry
         limit = options.max_instances
-        session = Session(goal, bounds, symmetry=symmetry)
+        session = Session(goal, bounds, symmetry=symmetry,
+                          kernel=self.kernel)
         instances = list(session.iter_solutions(limit))
         if validity:
             verdict = (Verdict.COUNTEREXAMPLE if instances
@@ -207,6 +264,143 @@ def _validate(goal: ast.Formula, instance) -> None:
     if not Evaluator(instance).check(goal):
         raise AssertionError(
             "internal error: SAT instance does not satisfy the goal formula"
+        )
+
+
+# ----------------------------------------------------------------------
+# The external-solver backend (DIMACS round trip)
+# ----------------------------------------------------------------------
+
+
+class DimacsBackend:
+    """Formula/module problems decided by an external CDCL solver.
+
+    Translation and instance extraction stay in-tree; only the SAT search
+    is delegated: the translated CNF is written to a DIMACS file, the
+    external command is invoked on it (exit 10/20 convention), and the
+    ``v``-line model is parsed back and projected onto the primary
+    variables exactly as the built-in solver's models are.  Enumeration
+    re-invokes the solver with blocking clauses appended, so the instance
+    stream is distinct on primary-variable valuations just like
+    :meth:`KodkodBackend.enumerate`.
+
+    Raises :class:`~repro.sat.external.ExternalSolverError` with an
+    actionable message when the binary is missing, times out
+    (``options.timeout`` is the per-invocation budget), exits with an
+    unexpected code, or reports SAT without printing a model while one is
+    needed.
+    """
+
+    def __init__(self, command: str) -> None:
+        self.command = command
+        self.name = f"dimacs:{command}"
+
+    def supports(self, problem: Problem) -> bool:
+        return isinstance(problem, (FormulaProblem, ModuleProblem))
+
+    def _translate(self, problem: Problem, symmetry: int):
+        goal, bounds, validity = _relational_goal(problem, "dimacs")
+        translation = Translator(bounds, symmetry=symmetry).translate(goal)
+        return goal, translation, validity
+
+    def solve(self, problem: Problem, options: Options) -> Result:
+        started = time.perf_counter()
+        symmetry = (DEFAULT_SBP_LENGTH if options.symmetry is None
+                    else options.symmetry)
+        goal, translation, validity = self._translate(problem, symmetry)
+        external = ExternalSolver(self.command, timeout=options.timeout)
+        run = external.solve_cnf(
+            translation.cnf, comments=[f"repro dimacs backend {self.command}"])
+        instances = []
+        if run.status is Status.SAT:
+            if run.model is None:
+                raise ExternalSolverError(
+                    f"external solver {self.command!r} reported SAT without "
+                    "a v-line model; enable model printing so instances can "
+                    "be extracted"
+                )
+            instance = extract_instance(translation, run.model)
+            if isinstance(problem, ModuleProblem):
+                _validate(goal, instance)
+            instances = [instance]
+        if validity:
+            verdict = (Verdict.COUNTEREXAMPLE if instances
+                       else Verdict.HOLDS)
+        else:
+            verdict = Verdict.SAT if instances else Verdict.UNSAT
+        return Result(
+            verdict=verdict,
+            instances=instances,
+            stats=translation.stats,
+            solver_stats={
+                "kernel": "external",
+                "external_wall_time": run.wall_seconds,
+                "external_invocations": 1,
+                "external_exit_code": run.exit_code,
+            },
+            seconds=time.perf_counter() - started,
+            backend=self.name,
+            detail={"solve_seconds": run.wall_seconds,
+                    "symmetry": symmetry,
+                    "external_command": self.command},
+        )
+
+    def enumerate(self, problem: Problem, options: Options) -> Result:
+        started = time.perf_counter()
+        # Enumeration defaults to symmetry off so every model is produced
+        # (mirrors KodkodBackend.enumerate).
+        symmetry = 0 if options.symmetry is None else options.symmetry
+        goal, translation, validity = self._translate(problem, symmetry)
+        limit = options.max_instances
+        external = ExternalSolver(self.command, timeout=options.timeout)
+        cnf = translation.cnf.copy()
+        primary = translation.primary_vars()
+        instances = []
+        wall = 0.0
+        invocations = 0
+        while limit is None or len(instances) < limit:
+            run = external.solve_cnf(
+                cnf, comments=[f"repro dimacs backend {self.command} "
+                               f"model {invocations}"])
+            wall += run.wall_seconds
+            invocations += 1
+            if run.status is not Status.SAT:
+                break
+            if run.model is None:
+                raise ExternalSolverError(
+                    f"external solver {self.command!r} reported SAT without "
+                    "a v-line model; enumeration needs models to build "
+                    "blocking clauses"
+                )
+            instance = extract_instance(translation, run.model)
+            if isinstance(problem, ModuleProblem):
+                _validate(goal, instance)
+            instances.append(instance)
+            if not primary:
+                break  # nothing to block on: the model space is one point
+            cnf.add_clause([-v if run.model[v] else v for v in primary])
+        if validity:
+            verdict = (Verdict.COUNTEREXAMPLE if instances
+                       else Verdict.HOLDS)
+        else:
+            verdict = Verdict.SAT if instances else Verdict.UNSAT
+        return Result(
+            verdict=verdict,
+            instances=instances,
+            stats=translation.stats,
+            solver_stats={
+                "kernel": "external",
+                "external_wall_time": wall,
+                "external_invocations": invocations,
+            },
+            seconds=time.perf_counter() - started,
+            backend=self.name,
+            detail={
+                "num_instances": len(instances),
+                "truncated": limit is not None and len(instances) >= limit,
+                "symmetry": symmetry,
+                "external_command": self.command,
+            },
         )
 
 
@@ -260,4 +454,5 @@ class ExplorerBackend:
 
 
 register_backend(KodkodBackend())
+register_backend(KodkodBackend(kernel="vector"))
 register_backend(ExplorerBackend())

@@ -31,7 +31,10 @@ class Options:
 
     solver: str | None = None
     """Backend name (see :func:`repro.api.available_backends`); ``None``
-    selects the first registered backend that supports the problem."""
+    selects the first registered backend that supports the problem.
+    ``"kodkod-vector"`` runs the relational pipeline on the numpy
+    propagation kernel; ``"dimacs:<command>"`` delegates the SAT search
+    to an external solver binary (e.g. ``"dimacs:picosat"``)."""
 
     symmetry: int | None = None
     """Lex-leader symmetry-breaking predicate length; 0 disables breaking,
@@ -50,8 +53,10 @@ class Options:
     """Protocol-check canonical-state memoization (verdict-preserving)."""
 
     timeout: float | None = None
-    """Per-task stall timeout in seconds.  Enforced only on the sharded
-    ``solve_many`` path; inline execution cannot preempt a running task."""
+    """Per-task stall timeout in seconds.  Enforced on the sharded
+    ``solve_many`` path and as the per-invocation budget of external
+    ``dimacs:`` backends; inline in-process execution cannot preempt a
+    running task."""
 
     workers: int = 1
     """Process count for ``solve_many`` (1 runs inline, in-process)."""

@@ -45,16 +45,35 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", default="BENCH_campaign.json",
                         help="path of the JSON artifact "
                              "(default: %(default)s)")
+    parser.add_argument("--profile", nargs="?", metavar="PATH",
+                        const="BENCH_campaign.profile.txt", default=None,
+                        help="run the sweep inline under cProfile and dump "
+                             "the top-25 cumulative table to PATH "
+                             "(default: %(const)s); forces --shards 1 so "
+                             "worker CPU is actually captured")
     args = parser.parse_args(argv)
 
     tasks = build_default_campaign(instances=args.instances,
                                    base_seed=args.seed)
-    report = run_campaign(
-        tasks,
-        shards=args.shards,
-        task_timeout=args.timeout,
-        cache_dir=None if args.no_cache else args.cache_dir,
-    )
+
+    def sweep():
+        return run_campaign(
+            tasks,
+            shards=1 if args.profile else args.shards,
+            task_timeout=args.timeout,
+            cache_dir=None if args.no_cache else args.cache_dir,
+        )
+
+    if args.profile:
+        from repro.analysis.profiling import run_profiled
+
+        if args.shards > 1:
+            print("profiling runs inline: --shards collapsed to 1 so the "
+                  "profiler sees the task CPU", file=sys.stderr)
+        report = run_profiled(sweep, args.profile)
+        print(f"profile: {args.profile}")
+    else:
+        report = sweep()
     print(render_campaign_table(
         report.results,
         title=(f"campaign sweep: {report.total} tasks, "

@@ -11,9 +11,16 @@ oracle          fast path                              reference path
 ``symmetry``    ``api.solve`` with lex-leader SBP      ``api.solve(symmetry=0)``
 ``enumeration`` ``api.enumerate`` (one live session)   fresh solver per model
 ``evaluator``   ``api.enumerate`` (CDCL pipeline)      brute force + ground eval
+``kernels``     ``solver="kodkod-vector"`` (numpy)     ``solver="kodkod"`` (pure)
+``external``    ``solver="dimacs:<cmd>"`` (env-gated)  ``solver="kodkod"`` (pure)
 ``explorer``    ``api.run_protocol`` (memoized)        plain DFS (``memoize=False``)
 ``engines``     synchronous lock-step engine           asynchronous delivery
 ==============  =====================================  ==========================
+
+The ``external`` oracle needs a SAT-competition-conformant binary and is
+registered only when the ``REPRO_EXTERNAL_SOLVER`` environment variable
+names one (the nightly CI job installs picosat and sets it); call
+:func:`register_external_oracle` to wire a command explicitly.
 
 Fast paths go through the :mod:`repro.api` façade — the surface every
 user-facing caller takes — so the sweep exercises the exact production
@@ -28,6 +35,7 @@ diagnosable from the campaign JSON artifact alone.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -183,6 +191,104 @@ def _evaluator_oracle(spec: ScenarioSpec,
             "only_ground": len(ground - solved),
         },
     )
+
+
+@register_oracle("kernels", _RELATIONAL,
+                 "vector propagation kernel vs pure interpreted loop: "
+                 "same verdict and same model set")
+def _kernels_oracle(spec: ScenarioSpec,
+                    scenario: RelationalProblem) -> OracleOutcome:
+    problem = FormulaProblem(scenario.formula, scenario.bounds)
+    fast = api_solve(problem, solver="kodkod-vector")
+    reference = api_solve(problem, solver="kodkod")
+    vector_models = {
+        scenario.instance_key(inst)
+        for inst in api_enumerate(problem, solver="kodkod-vector",
+                                  limit=_ENUMERATION_CAP).instances
+    }
+    pure_models = {
+        scenario.instance_key(inst)
+        for inst in api_enumerate(problem, solver="kodkod",
+                                  limit=_ENUMERATION_CAP).instances
+    }
+    truncated = (len(vector_models) >= _ENUMERATION_CAP
+                 or len(pure_models) >= _ENUMERATION_CAP)
+    # The kernels are search-trajectory identical, so (unlike the
+    # enumeration oracle) even the truncated prefixes must match — any
+    # difference is a kernel bug, not an enumeration-order artifact.
+    agree = (fast.satisfiable == reference.satisfiable
+             and vector_models == pure_models)
+    return OracleOutcome(
+        oracle="kernels",
+        agree=agree,
+        detail={
+            "sat_vector": fast.satisfiable,
+            "sat_pure": reference.satisfiable,
+            "vector_models": len(vector_models),
+            "pure_models": len(pure_models),
+            "truncated": truncated,
+            # "vector" when numpy is installed, "pure" after the fallback
+            # (the oracle then degenerates to pure-vs-pure, which is fine).
+            "vector_kernel": fast.solver_stats.get("kernel", "pure"),
+        },
+    )
+
+
+def register_external_oracle(command: str) -> None:
+    """Register the ``external`` oracle against a solver ``command``.
+
+    The fast path round-trips through ``solver="dimacs:<command>"``; the
+    reference is the in-tree pure pipeline.  Verdicts and the enumerated
+    primary-variable projections must both match.  The command must print
+    ``v``-line models (picosat does; bare minisat does not).
+    """
+
+    @register_oracle("external", _RELATIONAL,
+                     f"external solver 'dimacs:{command}' vs built-in "
+                     "pipeline: same verdict and same model set")
+    def _external_oracle(spec: ScenarioSpec,
+                         scenario: RelationalProblem) -> OracleOutcome:
+        problem = FormulaProblem(scenario.formula, scenario.bounds)
+        backend = f"dimacs:{command}"
+        fast = api_solve(problem, solver=backend)
+        reference = api_solve(problem, solver="kodkod")
+        external_models = {
+            scenario.instance_key(inst)
+            for inst in api_enumerate(problem, solver=backend,
+                                      limit=_ENUMERATION_CAP).instances
+        }
+        pure_models = {
+            scenario.instance_key(inst)
+            for inst in api_enumerate(problem, solver="kodkod",
+                                      limit=_ENUMERATION_CAP).instances
+        }
+        truncated = (len(external_models) >= _ENUMERATION_CAP
+                     or len(pure_models) >= _ENUMERATION_CAP)
+        # Distinct solvers walk the model space in different orders, so at
+        # the cap only the counts are comparable (as in `enumeration`).
+        agree = (fast.satisfiable == reference.satisfiable
+                 and (len(external_models) == len(pure_models) if truncated
+                      else external_models == pure_models))
+        return OracleOutcome(
+            oracle="external",
+            agree=agree,
+            detail={
+                "sat_external": fast.satisfiable,
+                "sat_pure": reference.satisfiable,
+                "external_models": len(external_models),
+                "pure_models": len(pure_models),
+                "truncated": truncated,
+                "external_command": command,
+                "external_wall_time": round(
+                    fast.solver_stats.get("external_wall_time", 0.0), 6),
+            },
+        )
+
+
+_EXTERNAL_SOLVER_ENV = "REPRO_EXTERNAL_SOLVER"
+
+if os.environ.get(_EXTERNAL_SOLVER_ENV):
+    register_external_oracle(os.environ[_EXTERNAL_SOLVER_ENV])
 
 
 @register_oracle("explorer", _AUCTIONS,

@@ -412,8 +412,13 @@ def build_default_campaign(instances: int = 120,
         "relational", max(1, instances // 4), base_seed=base_seed,
         num_atoms=(3, 4), depth=(1, 2), max_edges=(0, 4),
     )
+    relational_oracles = ["symmetry", "evaluator", "kernels"]
+    if "external" in ORACLES:
+        # Registered only when REPRO_EXTERNAL_SOLVER names a real binary
+        # (see repro.campaign.oracles); ride the same spec sweep.
+        relational_oracles.append("external")
     for spec in relational:
-        for oracle_name in ("symmetry", "evaluator"):
+        for oracle_name in relational_oracles:
             tasks.append((spec, oracle_name))
     # Enumeration rebuilds a fresh solver per model, so it gets its own
     # sweep over 3-atom universes (<= 2^10 models) to keep shards brisk.

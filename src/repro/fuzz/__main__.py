@@ -62,26 +62,50 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--replay", metavar="DIR",
                         help="re-check a corpus directory instead of "
                              "generating new inputs")
+    parser.add_argument("--profile", nargs="?", metavar="PATH",
+                        const="BENCH_fuzz.profile.txt", default=None,
+                        help="run the sweep inline under cProfile and dump "
+                             "the top-25 cumulative table to PATH "
+                             "(default: %(const)s); forces --shards 1 so "
+                             "worker CPU is actually captured")
     args = parser.parse_args(argv)
 
+    profiled = None
+    if args.profile:
+        from repro.analysis.profiling import run_profiled
+
+        if args.shards > 1 and not args.replay:
+            print("profiling runs inline: --shards collapsed to 1 so the "
+                  "profiler sees the task CPU", file=sys.stderr)
+
+        def profiled(fn):
+            result = run_profiled(fn, args.profile)
+            print(f"profile: {args.profile}")
+            return result
+
     if args.replay:
-        report = replay_corpus(args.replay, inject=args.inject)
+        replay = lambda: replay_corpus(args.replay, inject=args.inject)
+        report = profiled(replay) if profiled else replay()
         title = (f"corpus replay: {report.total} checks over "
                  f"{report.corpus_size} entries, "
                  f"{report.wall_seconds:.2f}s wall")
     else:
         kinds = tuple(k for k in args.kinds.split(",") if k)
-        report = run_fuzz(
-            seed=args.seed,
-            budget=args.budget,
-            kinds=kinds,
-            max_size=args.max_size,
-            shards=args.shards,
-            task_timeout=args.timeout,
-            cache_dir=None if args.no_cache else args.cache_dir,
-            artifacts_dir=args.artifacts,
-            inject=args.inject,
-        )
+
+        def sweep():
+            return run_fuzz(
+                seed=args.seed,
+                budget=args.budget,
+                kinds=kinds,
+                max_size=args.max_size,
+                shards=1 if args.profile else args.shards,
+                task_timeout=args.timeout,
+                cache_dir=None if args.no_cache else args.cache_dir,
+                artifacts_dir=args.artifacts,
+                inject=args.inject,
+            )
+
+        report = profiled(sweep) if profiled else sweep()
         title = (f"fuzz sweep: {report.total} checks, "
                  f"{report.generations} generation(s), "
                  f"{report.coverage_points} coverage point(s), "

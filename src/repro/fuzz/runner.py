@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import random
 import re
 import time
@@ -59,8 +60,11 @@ from repro.fuzz.mutators import coverage_signature, mutate_problem
 from repro.fuzz.shrink import ShrinkResult, problem_size, shrink
 from repro.kodkod import ast
 
-FUZZ_SCHEMA = 1
-"""Bump to invalidate every cached fuzz result (semantic change)."""
+FUZZ_SCHEMA = 2
+"""Bump to invalidate every cached fuzz result (semantic change).
+
+2: encodings oracle grew the vector-kernel arm (and the env-gated
+   external-solver arm), changing detail keys and coverage signatures."""
 
 DEFAULT_CACHE_DIR = ".fuzz_cache"
 DEFAULT_ARTIFACTS_DIR = ".fuzz_artifacts"
@@ -119,22 +123,31 @@ class FuzzOracle:
 
 
 def _encodings_oracle(problem: FormulaProblem, seed: int) -> OracleOutcome:
-    """PG vs Tseitin vs DIMACS-round-trip: three paths, one verdict."""
+    """PG vs Tseitin vs DIMACS-round-trip vs vector kernel: one verdict.
+
+    When ``REPRO_EXTERNAL_SOLVER`` names a SAT-competition-conformant
+    binary, the PG CNF is additionally round-tripped through it as a
+    fifth arm (the nightly CI job runs with picosat).
+    """
     from repro.kodkod.translate import Translator
     from repro.sat import dimacs
     from repro.sat.solver import Solver
     from repro.sat.types import Status
 
-    def decide(encoding: str):
+    def decide(encoding: str, kernel: str = "pure"):
         translation = Translator(
             problem.bounds, cnf_encoding=encoding).translate(problem.formula)
-        solver = Solver()
+        solver = Solver(kernel=kernel)
         loaded = solver.add_cnf(translation.cnf)
         status = solver.solve() if loaded else Status.UNSAT
         return translation, status is Status.SAT, solver.stats
 
     pg, pg_sat, pg_stats = decide("pg")
     _, tseitin_sat, _ = decide("tseitin")
+    # The vector propagation kernel must preserve the verdict (it is
+    # search-trajectory identical to the pure loop; without numpy it
+    # falls back to "pure" and the arm degenerates to a re-run).
+    _, vector_sat, _ = decide("pg", kernel="vector")
     # The DIMACS export path (used by repro scripts and the external
     # cross-checking CLI) must also preserve the verdict — this is the
     # round trip that hits the trivially-true/false translation edges.
@@ -142,7 +155,17 @@ def _encodings_oracle(problem: FormulaProblem, seed: int) -> OracleOutcome:
     solver = Solver()
     loaded = solver.add_cnf(back)
     roundtrip_sat = (solver.solve() if loaded else Status.UNSAT) is Status.SAT
-    agree = pg_sat == tseitin_sat == roundtrip_sat
+    external_command = os.environ.get("REPRO_EXTERNAL_SOLVER")
+    external_sat = None
+    if external_command:
+        from repro.sat.external import ExternalSolver
+
+        run = ExternalSolver(external_command, timeout=60).solve_cnf(pg.cnf)
+        external_sat = run.status is Status.SAT
+    agree = (pg_sat == tseitin_sat == roundtrip_sat == vector_sat
+             and (external_sat is None or external_sat == pg_sat))
+    detail_external = (
+        {} if external_sat is None else {"sat_external": external_sat})
     return OracleOutcome(
         oracle="encodings",
         agree=agree,
@@ -150,6 +173,8 @@ def _encodings_oracle(problem: FormulaProblem, seed: int) -> OracleOutcome:
             "sat_pg": pg_sat,
             "sat_tseitin": tseitin_sat,
             "sat_dimacs_roundtrip": roundtrip_sat,
+            "sat_vector_kernel": vector_sat,
+            **detail_external,
             "pg_clauses": pg.stats.num_clauses,
             "clauses_saved_by_polarity": pg.stats.num_clauses_saved_by_polarity,
             "cnf_vars": pg.stats.num_cnf_vars,

@@ -70,6 +70,9 @@ class Session:
 
     ``symmetry`` is the lex-leader predicate length passed to the
     translator (0 disables breaking; see :mod:`repro.kodkod.symmetry`).
+    ``kernel`` selects the propagation engine of the session's solver
+    (``"pure"`` or ``"vector"``; see :mod:`repro.sat.kernel`) and is
+    ignored when an explicit ``solver`` is injected.
 
     .. warning::
        Symmetry breaking restricts the model space to one canonical
@@ -82,9 +85,10 @@ class Session:
     """
 
     def __init__(self, formula: ast.Formula, bounds: Bounds,
-                 symmetry: int = 0, solver: Solver | None = None) -> None:
+                 symmetry: int = 0, solver: Solver | None = None,
+                 kernel: str = "pure") -> None:
         self._translation = Translator(bounds, symmetry=symmetry).translate(formula)
-        self._solver = solver if solver is not None else Solver()
+        self._solver = solver if solver is not None else Solver(kernel=kernel)
         self._ok = self._solver.add_cnf(self._translation.cnf)
         self._primary_vars = self._translation.primary_vars()
         self._last_model = None
@@ -113,6 +117,7 @@ class Session:
         (clause loading and blocking-clause installation propagate too,
         but outside the timed window)."""
         stats = dict(self._solver.stats)
+        stats["kernel"] = self._solver.kernel
         if self._solve_seconds_total > 0:
             stats["propagations_per_second"] = round(
                 self._solve_propagations_total / self._solve_seconds_total

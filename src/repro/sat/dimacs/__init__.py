@@ -170,11 +170,14 @@ def _cmd_export(args) -> int:
 
 
 def _cmd_solve(args) -> int:
+    import sys
+
     from repro.sat.solver import solve_cnf
     from repro.sat.types import Status
 
     cnf = load_file(args.file)
-    status, model = solve_cnf(cnf, assumptions=args.assume or [])
+    status, model = solve_cnf(cnf, assumptions=args.assume or [],
+                              kernel=args.kernel)
     if status is Status.SAT:
         print("s SATISFIABLE")
         if model is not None and not args.quiet:
@@ -183,9 +186,13 @@ def _cmd_solve(args) -> int:
                 chunk = lits[offset:offset + 20]
                 print("v " + " ".join(str(lit) for lit in chunk))
             print("v 0")
-        return 10
-    print("s UNSATISFIABLE")
-    return 20
+    else:
+        print("s UNSATISFIABLE")
+    # This CLI doubles as an external solver for the `dimacs:` backend:
+    # the parent reads our stdout after waitpid, so the model must be
+    # flushed before the exit code is, or a block-buffered pipe loses it.
+    sys.stdout.flush()
+    return 10 if status is Status.SAT else 20
 
 
 def _cmd_info(args) -> int:
@@ -226,6 +233,10 @@ def main(argv: list[str] | None = None) -> int:
                        help="assumption literal (repeatable)")
     solve.add_argument("--quiet", action="store_true",
                        help="suppress the v-lines of the model")
+    solve.add_argument("--kernel", choices=["pure", "vector"],
+                       default="pure",
+                       help="propagation kernel (vector falls back to "
+                            "pure without numpy)")
     solve.set_defaults(run=_cmd_solve)
 
     info = sub.add_parser("info", help="print a DIMACS file's dimensions")

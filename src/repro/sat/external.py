@@ -1,0 +1,183 @@
+"""Round-trip to an external CDCL solver over the DIMACS bridge.
+
+The built-in solver is the differential reference; this module lets any
+SAT-competition-conformant binary (picosat, cadical, kissat, minisat
+wrappers, ...) serve as a fast production path.  The contract is the
+standard one:
+
+* input: a DIMACS CNF file passed as the last command-line argument,
+* output: an ``s SATISFIABLE`` / ``s UNSATISFIABLE`` status line and, for
+  satisfiable formulas, ``v`` lines listing the model literals terminated
+  by ``0``,
+* exit code: 10 for SAT, 20 for UNSAT.
+
+``python -m repro.sat.dimacs solve`` speaks exactly this protocol, so the
+external path can be exercised end to end without any third-party binary
+by pointing it back at the in-tree CLI.
+
+The API layer exposes this through the backend registry as
+``Options(solver="dimacs:<command>")`` — see
+:class:`repro.api.backends.DimacsBackend`.
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import subprocess
+import tempfile
+import time
+from dataclasses import dataclass
+
+from repro.sat.cnf import CNF
+from repro.sat.dimacs import dumps
+from repro.sat.types import Model, Status
+
+_EXIT_SAT = 10
+_EXIT_UNSAT = 20
+
+
+class ExternalSolverError(RuntimeError):
+    """The external solver could not be run or spoke a broken protocol."""
+
+
+@dataclass(frozen=True)
+class ExternalRun:
+    """Outcome of one external-solver invocation."""
+
+    status: Status
+    model: Model | None
+    wall_seconds: float
+    exit_code: int
+
+
+def parse_solver_output(text: str, num_vars: int,
+                        exit_code: int | None = None) -> tuple[Status, Model | None]:
+    """Parse SAT-competition ``s``/``v`` lines into a status and model.
+
+    ``exit_code`` (10/20) is authoritative when provided; the ``s`` line is
+    the fallback for harnesses that only capture the stream.  Variables the
+    solver leaves unmentioned default to False — the same completion rule
+    :func:`repro.kodkod.instance.extract_instance` applies to variables the
+    simplifier dropped from the CNF.  Returns ``(SAT, None)`` when the
+    solver reported SAT but printed no model (model printing disabled).
+    """
+    status: Status | None = None
+    lits: list[int] = []
+    saw_v_line = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if line.startswith("s ") or line == "s":
+            word = line[1:].strip().upper()
+            if word == "SATISFIABLE":
+                status = Status.SAT
+            elif word == "UNSATISFIABLE":
+                status = Status.UNSAT
+        elif line.startswith("v ") or line == "v":
+            saw_v_line = True
+            for token in line[1:].split():
+                try:
+                    lit = int(token)
+                except ValueError as exc:
+                    raise ExternalSolverError(
+                        f"malformed v-line token {token!r} in solver output"
+                    ) from exc
+                if lit != 0:
+                    lits.append(lit)
+    if exit_code == _EXIT_SAT:
+        status = Status.SAT
+    elif exit_code == _EXIT_UNSAT:
+        status = Status.UNSAT
+    if status is None:
+        raise ExternalSolverError(
+            "solver output carried no 's SATISFIABLE'/'s UNSATISFIABLE' "
+            "line and the exit code was neither 10 nor 20"
+        )
+    if status is not Status.SAT:
+        return status, None
+    if not saw_v_line:
+        return status, None
+    values = {var: False for var in range(1, num_vars + 1)}
+    for lit in lits:
+        var = abs(lit)
+        if var > num_vars:
+            raise ExternalSolverError(
+                f"solver model mentions variable {var} but the formula "
+                f"only has {num_vars}; output does not match the input file"
+            )
+        values[var] = lit > 0
+    return status, Model(values)
+
+
+class ExternalSolver:
+    """Run an external CDCL binary on CNF formulas via temp DIMACS files.
+
+    ``command`` is the solver invocation without the file argument, either
+    a pre-split argv or a shell-ish string split with :mod:`shlex`
+    (``"picosat"``, ``"python -m repro.sat.dimacs solve"``, ...).
+    """
+
+    def __init__(self, command: str | list[str],
+                 timeout: float | None = None) -> None:
+        argv = shlex.split(command) if isinstance(command, str) else list(command)
+        if not argv:
+            raise ValueError(
+                "external solver command is empty: pass e.g. "
+                "Options(solver='dimacs:picosat')"
+            )
+        self.command = argv
+        self.timeout = timeout
+
+    def solve_cnf(self, cnf: CNF, comments: list[str] | None = None) -> ExternalRun:
+        """Dump ``cnf`` to a temp file, invoke the solver, parse the answer."""
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", suffix=".cnf", prefix="repro-", encoding="ascii",
+            delete=False)
+        try:
+            with handle:
+                handle.write(dumps(cnf, comments=comments))
+            started = time.perf_counter()
+            try:
+                completed = subprocess.run(
+                    self.command + [handle.name],
+                    capture_output=True,
+                    text=True,
+                    timeout=self.timeout,
+                )
+            except FileNotFoundError as exc:
+                raise ExternalSolverError(
+                    f"external solver command {self.command[0]!r} was not "
+                    "found on PATH. Install a CDCL solver (e.g. `apt-get "
+                    "install picosat`) and select it with "
+                    f"Options(solver='dimacs:{self.command[0]}'), or use "
+                    "the dependency-free in-tree CLI: "
+                    "Options(solver='dimacs:python -m repro.sat.dimacs "
+                    "solve')"
+                ) from exc
+            except subprocess.TimeoutExpired as exc:
+                # subprocess.run kills the child before raising; report
+                # the budget that was exceeded.
+                raise ExternalSolverError(
+                    f"external solver {' '.join(self.command)!r} exceeded "
+                    f"the {self.timeout:.1f}s timeout and was killed"
+                ) from exc
+            wall = time.perf_counter() - started
+            if completed.returncode not in (_EXIT_SAT, _EXIT_UNSAT):
+                stderr = (completed.stderr or "").strip()
+                raise ExternalSolverError(
+                    f"external solver {' '.join(self.command)!r} exited "
+                    f"with code {completed.returncode} (expected 10 for SAT "
+                    f"or 20 for UNSAT)"
+                    + (f"; stderr: {stderr[:500]}" if stderr else "")
+                )
+            status, model = parse_solver_output(
+                completed.stdout, cnf.num_vars,
+                exit_code=completed.returncode)
+            return ExternalRun(status=status, model=model,
+                               wall_seconds=wall,
+                               exit_code=completed.returncode)
+        finally:
+            try:
+                os.unlink(handle.name)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass

@@ -1,0 +1,324 @@
+"""Vectorized unit-propagation kernel over the flat watcher arrays.
+
+The interpreted loop in :meth:`repro.sat.solver.Solver._propagate` spends
+most of its time re-discovering that watched clauses are already satisfied:
+on check-shaped problems the overwhelming majority of watcher entries pass
+the blocker test and are skipped untouched.  This kernel keeps that
+fast-path out of the interpreter: the blocker literals of each long watcher
+list are mirrored into contiguous numpy ``int32``/``int8`` buffers, the
+current assignment is mirrored into an ``int8`` array (synced in bulk from
+the trail delta), and one vector expression
+
+    ``assign[|blockers|] * sign(blockers) != TRUE``
+
+yields the indices of the few entries that actually need clause inspection.
+Those survivors are then processed by a scalar completion loop that is a
+line-for-line transcription of the interpreted body (normalize the false
+literal into slot 1, blocker/first checks, replacement-watch search,
+inlined unit enqueue, conflict copy-out).
+
+Equivalence contract
+--------------------
+The kernel performs *exactly* the same watch-list mutations, literal swaps,
+enqueues and statistics updates as the interpreted loop, in the same order.
+A blocker that is true at the start of a scan is still true when the
+interpreted loop would have reached it (assignments are only added during a
+propagation pass), so the snapshot filter skips precisely the entries the
+interpreted loop would have kept; every surviving entry re-checks the
+current assignment before being processed.  Consequently a ``vector``
+solver and a ``pure`` solver fed the same clauses take identical search
+trajectories: same models, same learned clauses, same ``stats``.  The
+differential oracles (``repro.campaign``, ``repro.fuzz``) rely on this to
+compare the two kernels entry for entry, not just verdict for verdict.
+
+Conflict-analysis assists are deliberately modest: the per-conflict ``seen``
+buffer is a zeroed numpy array (cheap calloc instead of a Python list
+build) and LBD computation switches to ``np.unique`` for long clauses.
+Python-level set arithmetic wins below those thresholds, and pretending
+otherwise would just slow the solver down.
+
+The kernel is optional: :func:`make_kernel` returns ``None`` when numpy is
+not installed and the solver falls back to the interpreted loop.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via stubbed-import tests
+    _np = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:
+    from repro.sat.solver import Solver
+    from repro.sat.types import Lit
+
+HAVE_NUMPY = _np is not None
+
+# Keep in sync with repro.sat.solver: assignment encoding and the "no
+# clause" sentinel are shared between the interpreted and vector paths.
+_TRUE = 1
+_FALSE = -1
+_NO_CLAUSE = -1
+
+# Watch lists shorter than this many [cid, blocker] pairs are scanned with
+# plain list indexing: below it the fixed cost of the numpy round-trip
+# (array build or cache lookup, gather, nonzero) exceeds the per-pair
+# savings of the vector filter.
+MIN_VECTOR_PAIRS = 24
+
+# Trail deltas and unassign batches below this size are synced scalar-wise;
+# np.fromiter only pays off once the batch amortizes its setup.
+_MIN_BULK_SYNC = 8
+
+# _compute_lbd switches to np.unique at this clause length (see
+# Solver._compute_lbd); below it a Python set comprehension is faster.
+MIN_VECTOR_LBD = 64
+
+
+def make_kernel(solver: "Solver") -> "VectorKernel | None":
+    """Build the vector kernel for ``solver``, or ``None`` without numpy."""
+    if _np is None:
+        return None
+    return VectorKernel(solver)
+
+
+class VectorKernel:
+    """Numpy-backed propagation engine attached to one :class:`Solver`.
+
+    The kernel owns two kinds of mirror state:
+
+    * ``_assign`` — an ``int8`` copy of the solver's assignment array,
+      synced lazily from the trail (``_trail_mark`` tracks the synced
+      prefix) and zeroed in bulk on backtrack via :meth:`on_unassign`;
+    * ``_cache`` — per-encoded-literal ``(|blocker|, sign)`` int arrays for
+      long watch lists, so repeated scans of a hot list skip the
+      list→ndarray conversion.  An entry is valid only while its length
+      matches the live list; any mutation the length check cannot see
+      (in-place blocker rewrites on the scalar path, arena compaction)
+      drops the entry instead.
+    """
+
+    def __init__(self, solver: "Solver") -> None:
+        self._solver = solver
+        self._assign = _np.zeros(max(len(solver._assign), 16), dtype=_np.int8)
+        self._trail_mark = 0
+        # encoded literal -> (abs(blockers) int32, sign(blockers) int8)
+        self._cache: dict[int, tuple["_np.ndarray", "_np.ndarray"]] = {}
+        # The solver may be handed to the kernel mid-life (not the case
+        # today, but cheap to be correct about): sync any existing trail.
+        self._sync_assign()
+
+    # ------------------------------------------------------------------
+    # Mirror maintenance
+    # ------------------------------------------------------------------
+
+    def _ensure_capacity(self, n: int) -> "_np.ndarray":
+        arr = self._assign
+        if arr.shape[0] < n:
+            grown = _np.zeros(max(n, 2 * arr.shape[0]), dtype=_np.int8)
+            grown[: arr.shape[0]] = arr
+            self._assign = arr = grown
+        return arr
+
+    def _sync_assign(self) -> None:
+        """Fold the unsynced trail suffix into the assignment mirror."""
+        trail = self._solver._trail
+        mark = self._trail_mark
+        n = len(trail)
+        if mark >= n:
+            return
+        np_assign = self._ensure_capacity(len(self._solver._assign))
+        if n - mark < _MIN_BULK_SYNC:
+            for idx in range(mark, n):
+                lit = trail[idx]
+                if lit > 0:
+                    np_assign[lit] = _TRUE
+                else:
+                    np_assign[-lit] = _FALSE
+        else:
+            lits = _np.fromiter(trail[mark:], dtype=_np.int32, count=n - mark)
+            np_assign[_np.abs(lits)] = _np.sign(lits).astype(_np.int8)
+        self._trail_mark = n
+
+    def on_unassign(self, removed: Sequence["Lit"], new_length: int) -> None:
+        """Zero the mirror for the trail suffix the solver is popping."""
+        if removed:
+            np_assign = self._ensure_capacity(len(self._solver._assign))
+            if len(removed) < _MIN_BULK_SYNC:
+                for lit in removed:
+                    np_assign[lit if lit > 0 else -lit] = 0
+            else:
+                lits = _np.fromiter(removed, dtype=_np.int32,
+                                    count=len(removed))
+                np_assign[_np.abs(lits)] = 0
+        if self._trail_mark > new_length:
+            self._trail_mark = new_length
+
+    def invalidate(self) -> None:
+        """Drop all cached watch arrays (arena compaction reorders lists)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+
+    def propagate(self) -> int:
+        """Unit propagation; returns a conflicting clause id or -1.
+
+        Semantically identical to the interpreted loop in
+        ``Solver._propagate`` — see the module docstring for the
+        equivalence argument.  Keep the scalar completion below in sync
+        with that loop.
+        """
+        np = _np
+        solver = self._solver
+        trail = solver._trail
+        trail_lim = solver._trail_lim
+        assign = solver._assign
+        level = solver._level
+        reason = solver._reason
+        phase = solver._phase
+        watches = solver._watches
+        arena = solver._arena
+        lits = arena.lits
+        start = arena.start
+        size = arena.size
+        deleted = arena.deleted
+        cache = self._cache
+        np_assign = self._ensure_capacity(len(assign))
+        propagated = 0
+        conflict = _NO_CLAUSE
+        while solver._qhead < len(trail):
+            lit = trail[solver._qhead]
+            solver._qhead += 1
+            propagated += 1
+            false_lit = -lit
+            e = 2 * false_lit if false_lit > 0 else -2 * false_lit + 1
+            wl = watches[e]
+            n = len(wl)
+            if not n:
+                continue
+            pairs = n >> 1
+            entry = None
+            if pairs >= MIN_VECTOR_PAIRS:
+                self._sync_assign()
+                np_assign = self._assign  # _sync_assign may have grown it
+                entry = cache.get(e)
+                if entry is None or entry[0].shape[0] != pairs:
+                    blockers = np.array(wl[1::2], dtype=np.int32)
+                    entry = (np.abs(blockers),
+                             np.sign(blockers).astype(np.int8))
+                    cache[e] = entry
+                signed = np_assign[entry[0]] * entry[1]
+                survivors = np.nonzero(signed != _TRUE)[0]
+                if survivors.shape[0] == 0:
+                    continue  # every entry blocker-satisfied: skip the list
+                pending = survivors.tolist()
+            else:
+                pending = range(pairs)
+            removed: set[int] | None = None
+            mutated = False
+            for kp in pending:
+                i = kp << 1
+                cid = wl[i]
+                blocker = wl[i + 1]
+                value = assign[blocker] if blocker > 0 else -assign[-blocker]
+                if value == _TRUE:
+                    continue
+                if deleted[cid]:
+                    # Lazily drop clauses removed by reduce_db.
+                    if removed is None:
+                        removed = set()
+                    removed.add(kp)
+                    continue
+                s = start[cid]
+                # Normalize: put the false literal in slot 1.
+                if lits[s] == false_lit:
+                    lits[s] = lits[s + 1]
+                    lits[s + 1] = false_lit
+                first = lits[s]
+                if first != blocker:
+                    value = assign[first] if first > 0 else -assign[-first]
+                    if value == _TRUE:
+                        wl[i + 1] = first
+                        if entry is not None:
+                            entry[0][kp] = first if first > 0 else -first
+                            entry[1][kp] = 1 if first > 0 else -1
+                        else:
+                            mutated = True
+                        continue
+                # Search for a replacement watch.
+                end = s + size[cid]
+                found = False
+                for k in range(s + 2, end):
+                    other = lits[k]
+                    if (assign[other] if other > 0 else -assign[-other]) \
+                            != _FALSE:
+                        lits[s + 1] = other
+                        lits[k] = false_lit
+                        new_list = watches[2 * other if other > 0
+                                           else -2 * other + 1]
+                        new_list.append(cid)
+                        new_list.append(first)
+                        if removed is None:
+                            removed = set()
+                        removed.add(kp)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                wl[i + 1] = first
+                if entry is not None:
+                    entry[0][kp] = first if first > 0 else -first
+                    entry[1][kp] = 1 if first > 0 else -1
+                else:
+                    mutated = True
+                if value == _FALSE:
+                    # Conflict: remaining entries are untouched (kept).
+                    conflict = cid
+                    break
+                # Enqueue the unit (inlined _enqueue: `first` is unassigned).
+                var = first if first > 0 else -first
+                assign[var] = _TRUE if first > 0 else _FALSE
+                level[var] = len(trail_lim)
+                reason[var] = cid
+                phase[var] = first > 0
+                trail.append(first)
+            if removed:
+                new_wl: list[int] = []
+                append = new_wl.append
+                for kp in range(pairs):
+                    if kp in removed:
+                        continue
+                    idx = kp << 1
+                    append(wl[idx])
+                    append(wl[idx + 1])
+                wl[:] = new_wl
+                # Length changed: any cached arrays are stale; and a later
+                # append could restore the old length, so drop eagerly.
+                cache.pop(e, None)
+            elif mutated:
+                # Scalar-path blocker rewrite the length check cannot see.
+                cache.pop(e, None)
+            if conflict != _NO_CLAUSE:
+                break
+        solver.stats["propagations"] += propagated
+        return conflict
+
+    # ------------------------------------------------------------------
+    # Conflict-analysis assists
+    # ------------------------------------------------------------------
+
+    def seen_buffer(self, num_vars: int) -> "_np.ndarray":
+        """Zeroed per-conflict 'seen' marks (calloc beats a list build)."""
+        return _np.zeros(num_vars + 1, dtype=bool)
+
+    def compute_lbd(self, clause: Sequence["Lit"]) -> int:
+        """Distinct decision levels of ``clause`` via ``np.unique``."""
+        level = self._solver._level
+        arr = _np.fromiter((level[q if q > 0 else -q] for q in clause),
+                           dtype=_np.int64, count=len(clause))
+        return int(_np.unique(arr).shape[0])

@@ -45,6 +45,10 @@ _UNASSIGNED = 0
 # Reason / conflict sentinel: "no clause".
 _NO_CLAUSE = -1
 
+# Clause length at which LBD computation is handed to the vector kernel
+# (np.unique); shorter clauses are faster through a Python set.
+_VECTOR_LBD_THRESHOLD = 64
+
 
 def luby(i: int) -> int:
     """The i-th term (1-based) of the Luby restart sequence 1,1,2,1,1,2,4,..."""
@@ -76,7 +80,8 @@ class Solver:
 
     def __init__(self, restart_base: int = 100, decay: float = 0.95,
                  clause_decay: float = 0.999, max_learned: int = 4000,
-                 reduce_growth: float = 1.3, glue_lbd: int = 2) -> None:
+                 reduce_growth: float = 1.3, glue_lbd: int = 2,
+                 kernel: str = "pure") -> None:
         self._num_vars = 0
         self._arena = ClauseArena()
         self._problem_db: list[int] = []
@@ -114,6 +119,24 @@ class Solver:
             "learned_deleted": 0,
             "db_reductions": 0,
         }
+        # Propagation kernel: "pure" is the interpreted loop below,
+        # "vector" delegates to repro.sat.kernel (numpy bulk blocker
+        # filtering) and falls back to "pure" when numpy is absent.  The
+        # two are search-trajectory identical; `self.kernel` records which
+        # one actually runs.
+        if kernel not in ("pure", "vector"):
+            raise ValueError(
+                f"unknown kernel {kernel!r}: expected 'pure' (interpreted "
+                "propagation loop) or 'vector' (numpy bulk propagation)"
+            )
+        self._kernel = None
+        self.kernel = "pure"
+        if kernel == "vector":
+            from repro.sat.kernel import make_kernel
+
+            self._kernel = make_kernel(self)
+            if self._kernel is not None:
+                self.kernel = "vector"
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -296,6 +319,8 @@ class Solver:
 
     def _propagate(self) -> int:
         """Unit propagation; returns a conflicting clause id or -1."""
+        if self._kernel is not None:
+            return self._kernel.propagate()
         trail = self._trail
         trail_lim = self._trail_lim
         assign = self._assign
@@ -399,6 +424,8 @@ class Solver:
         if len(self._trail_lim) <= level:
             return
         limit = self._trail_lim[level]
+        if self._kernel is not None:
+            self._kernel.on_unassign(self._trail[limit:], limit)
         assign = self._assign
         reason = self._reason
         activity = self._activity
@@ -441,7 +468,8 @@ class Solver:
         """First-UIP analysis; returns (learned clause, backjump level)."""
         arena = self._arena
         learned: list[Lit] = []
-        seen = [False] * (self._num_vars + 1)
+        seen = ([False] * (self._num_vars + 1) if self._kernel is None
+                else self._kernel.seen_buffer(self._num_vars))
         counter = 0
         lit: Lit | None = None
         if arena.learned[conflict]:
@@ -512,6 +540,8 @@ class Solver:
 
     def _compute_lbd(self, lits: Sequence[Lit]) -> int:
         """Literal block distance: number of distinct decision levels."""
+        if self._kernel is not None and len(lits) >= _VECTOR_LBD_THRESHOLD:
+            return self._kernel.compute_lbd(lits)
         return len({self._level[abs(q)] for q in lits})
 
     def _record_learned(self, learned: list[Lit]) -> None:
@@ -614,6 +644,10 @@ class Solver:
                 j += 2
             del watch_list[j:]
         self._arena = new
+        if self._kernel is not None:
+            # Compaction rewrote watch lists in place; cached arrays no
+            # longer match their contents.
+            self._kernel.invalidate()
 
     def clause_db_stats(self) -> dict[str, float]:
         """Snapshot of the clause database (feeds benchmark reports)."""
@@ -743,9 +777,10 @@ class Solver:
         return Model(values)
 
 
-def solve_cnf(cnf: CNF, assumptions: Iterable[Lit] = ()) -> tuple[Status, Model | None]:
+def solve_cnf(cnf: CNF, assumptions: Iterable[Lit] = (),
+              kernel: str = "pure") -> tuple[Status, Model | None]:
     """One-shot convenience: build a solver, load ``cnf``, solve."""
-    solver = Solver()
+    solver = Solver(kernel=kernel)
     if not solver.add_cnf(cnf):
         return Status.UNSAT, None
     status = solver.solve_with(assumptions)

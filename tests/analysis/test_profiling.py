@@ -1,0 +1,83 @@
+"""Tests for the ``--profile`` plumbing (`repro.analysis.profiling`)
+and the flag itself on both sweep CLIs."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.profiling import run_profiled
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _run_module(module, args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    return subprocess.run(
+        [sys.executable, "-m", module, *args],
+        cwd=cwd, env=env, capture_output=True, text=True, timeout=300,
+    )
+
+
+class TestRunProfiled:
+    def test_returns_result_and_writes_table(self, tmp_path):
+        artifact = tmp_path / "prof.txt"
+
+        def work():
+            return sum(range(1000))
+
+        assert run_profiled(work, artifact) == sum(range(1000))
+        text = artifact.read_text(encoding="utf-8")
+        assert "cumulative" in text
+        assert "function calls" in text
+
+    def test_top_n_limits_the_table(self, tmp_path):
+        artifact = tmp_path / "prof.txt"
+        run_profiled(lambda: [sorted(range(50)) for _ in range(5)],
+                     artifact, top=3)
+        assert "cumulative" in artifact.read_text(encoding="utf-8")
+
+    def test_profile_written_even_when_fn_raises(self, tmp_path):
+        artifact = tmp_path / "prof.txt"
+        with pytest.raises(RuntimeError, match="boom"):
+            run_profiled(lambda: (_ for _ in ()).throw(RuntimeError("boom")),
+                         artifact)
+        assert artifact.exists()
+        assert "cumulative" in artifact.read_text(encoding="utf-8")
+
+
+class TestProfileFlag:
+    def test_fuzz_profile_writes_artifact(self, tmp_path):
+        proc = _run_module("repro.fuzz",
+                           ["--seed", "0", "--budget", "6", "--no-cache",
+                            "--json", "out.json", "--profile", "fuzz.prof"],
+                           tmp_path)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "profile: fuzz.prof" in proc.stdout
+        text = (tmp_path / "fuzz.prof").read_text(encoding="utf-8")
+        assert "cumulative" in text
+
+    def test_fuzz_profile_collapses_shards_with_a_note(self, tmp_path):
+        proc = _run_module("repro.fuzz",
+                           ["--seed", "0", "--budget", "6", "--shards", "4",
+                            "--no-cache", "--json", "out.json", "--profile"],
+                           tmp_path)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "--shards collapsed to 1" in proc.stderr
+        assert (tmp_path / "BENCH_fuzz.profile.txt").exists()
+
+    def test_campaign_profile_writes_artifact(self, tmp_path):
+        proc = _run_module("repro.campaign",
+                           ["--instances", "8", "--seed", "0", "--no-cache",
+                            "--json", "out.json", "--profile", "camp.prof"],
+                           tmp_path)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "profile: camp.prof" in proc.stdout
+        text = (tmp_path / "camp.prof").read_text(encoding="utf-8")
+        assert "cumulative" in text
+        # The profile should surface the actual solve work, not just
+        # harness plumbing.
+        assert "solver.py" in text

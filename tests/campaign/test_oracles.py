@@ -6,8 +6,8 @@ import pytest
 from repro.campaign import ORACLES, ScenarioSpec, materialize, oracles_for
 from repro.campaign.specs import random_sweep
 
-EXPECTED_ORACLES = {"symmetry", "enumeration", "evaluator", "explorer",
-                    "engines"}
+EXPECTED_ORACLES = {"symmetry", "enumeration", "evaluator", "kernels",
+                    "explorer", "engines"}
 
 
 class TestRegistry:
@@ -16,8 +16,10 @@ class TestRegistry:
 
     def test_relational_oracles(self):
         spec = ScenarioSpec.make("relational", 0)
-        assert set(oracles_for(spec)) == {"symmetry", "enumeration",
-                                          "evaluator"}
+        # "external" additionally appears when REPRO_EXTERNAL_SOLVER is
+        # set in the environment (the nightly CI job does this).
+        assert set(oracles_for(spec)) - {"external"} == {
+            "symmetry", "enumeration", "evaluator", "kernels"}
 
     def test_auction_oracles(self):
         for family in ("mca", "dispatch", "uav", "vnet"):
@@ -48,6 +50,48 @@ class TestRelationalOracles:
         assert not outcome.detail["truncated"]
         assert (outcome.detail["incremental_models"]
                 == outcome.detail["fresh_solver_models"])
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_kernels_agree(self, seed):
+        spec = ScenarioSpec.make("relational", seed, num_atoms=3, depth=2,
+                                 max_edges=4)
+        outcome = ORACLES["kernels"].run(spec, materialize(spec))
+        assert outcome.agree, outcome.detail
+        assert outcome.detail["vector_models"] == outcome.detail["pure_models"]
+
+    def test_external_oracle_registers_and_agrees(self):
+        # Wire the oracle against the in-tree DIMACS CLI so the external
+        # round trip is exercised without any third-party binary.
+        import os
+        import sys
+
+        from repro.campaign.oracles import register_external_oracle
+
+        already = "external" in ORACLES
+        command = f"{sys.executable} -m repro.sat.dimacs solve"
+        register_external_oracle(command)
+        try:
+            spec = ScenarioSpec.make("relational", 3, num_atoms=3, depth=1,
+                                     max_edges=3)
+            env_path = os.environ.get("PYTHONPATH", "")
+            src = str(
+                __import__("pathlib").Path(__file__).resolve()
+                .parents[2] / "src")
+            os.environ["PYTHONPATH"] = (
+                src + (os.pathsep + env_path if env_path else ""))
+            try:
+                outcome = ORACLES["external"].run(spec, materialize(spec))
+            finally:
+                if env_path:
+                    os.environ["PYTHONPATH"] = env_path
+                else:
+                    os.environ.pop("PYTHONPATH", None)
+            assert outcome.agree, outcome.detail
+            assert outcome.detail["external_models"] == \
+                outcome.detail["pure_models"]
+        finally:
+            if not already:
+                ORACLES.pop("external", None)
 
     @pytest.mark.parametrize("seed", range(8))
     def test_evaluator_agrees(self, seed):

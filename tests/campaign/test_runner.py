@@ -195,7 +195,7 @@ class TestDefaultCampaign:
         assert len(oracles) >= 4
         for spec, oracle in tasks:
             assert oracle in {"symmetry", "enumeration", "evaluator",
-                              "explorer", "engines"}
+                              "kernels", "external", "explorer", "engines"}
 
     def test_deterministic_in_seed(self):
         assert (build_default_campaign(instances=40, base_seed=1)

@@ -164,3 +164,56 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["export", "--family", "mca", "--seed", "0",
                   "-o", str(tmp_path / "x.cnf")])
+
+    def test_solve_empty_clause_file_exits_20(self, tmp_path, capsys):
+        # A trivially-false CNF parsed from a file (bare "0" terminator)
+        # must come back as a clean UNSAT exit code, not a traceback.
+        from repro.sat.dimacs import main
+
+        path = tmp_path / "false.cnf"
+        path.write_text("p cnf 0 1\n0\n", encoding="ascii")
+        assert main(["solve", str(path)]) == 20
+        assert "s UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_solve_empty_clause_among_others_exits_20(self, tmp_path,
+                                                      capsys):
+        from repro.sat.dimacs import main
+
+        path = tmp_path / "false.cnf"
+        path.write_text("p cnf 2 3\n1 2 0\n0\n-1 0\n", encoding="ascii")
+        assert main(["solve", str(path)]) == 20
+        assert "s UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_solve_vector_kernel_matches_pure(self, tmp_path, capsys):
+        from repro.sat.dimacs import main
+
+        path = tmp_path / "tiny.cnf"
+        path.write_text("p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n",
+                        encoding="ascii")
+        pure = main(["solve", str(path), "--kernel", "pure"])
+        pure_out = capsys.readouterr().out
+        vector = main(["solve", str(path), "--kernel", "vector"])
+        vector_out = capsys.readouterr().out
+        assert pure == vector == 10
+        assert pure_out == vector_out
+
+    def test_solve_flushes_model_through_a_pipe(self, tmp_path):
+        # The CLI doubles as an external solver for the `dimacs:` backend:
+        # the model must survive block-buffered stdout when the parent
+        # only reads the pipe after the child exits.
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        path = tmp_path / "tiny.cnf"
+        path.write_text("p cnf 2 2\n1 2 0\n-1 0\n", encoding="ascii")
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src)
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.sat.dimacs", "solve", str(path)],
+            capture_output=True, text=True, env=env)
+        assert completed.returncode == 10
+        assert "s SATISFIABLE" in completed.stdout
+        assert "v 0" in completed.stdout

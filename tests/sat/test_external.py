@@ -1,0 +1,279 @@
+"""Tests for the external CDCL bridge (`repro.sat.external`).
+
+The whole suite runs without a real third-party solver installed: the
+protocol-conformance paths are exercised by *fake* CDCL subprocesses —
+small Python scripts written to ``tmp_path`` and invoked through
+``sys.executable`` — and the happy path rides the in-tree
+``python -m repro.sat.dimacs solve`` CLI, which speaks the same
+SAT-competition protocol.
+"""
+
+import os
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.sat.cnf import CNF
+from repro.sat.external import (
+    ExternalRun,
+    ExternalSolver,
+    ExternalSolverError,
+    parse_solver_output,
+)
+from repro.sat.types import Status
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+SELF_HOSTED = [sys.executable, "-m", "repro.sat.dimacs", "solve"]
+
+
+def sample_cnf():
+    cnf = CNF()
+    cnf.new_vars(3)
+    cnf.extend([[1, 2], [-1, 3], [-2, -3]])
+    return cnf
+
+
+def unsat_cnf():
+    cnf = CNF()
+    v = cnf.new_var()
+    cnf.add_clause([v])
+    cnf.add_clause([-v])
+    return cnf
+
+
+def fake_solver(tmp_path, body: str) -> list[str]:
+    """Write a fake CDCL subprocess and return its argv prefix.
+
+    ``body`` is the script's source after a header that exposes the CNF
+    file path as ``path``.
+    """
+    script = tmp_path / "fake_solver.py"
+    script.write_text("import sys, time\npath = sys.argv[-1]\n"
+                      + textwrap.dedent(body), encoding="utf-8")
+    return [sys.executable, str(script)]
+
+
+class TestParseSolverOutput:
+    def test_sat_with_model(self):
+        status, model = parse_solver_output(
+            "c banner\ns SATISFIABLE\nv 1 -2 3 0\n", num_vars=3)
+        assert status is Status.SAT
+        assert model.values == {1: True, 2: False, 3: True}
+
+    def test_v_lines_split_across_lines(self):
+        status, model = parse_solver_output(
+            "s SATISFIABLE\nv 1 -2\nv 3\nv 0\n", num_vars=3)
+        assert status is Status.SAT
+        assert model.values == {1: True, 2: False, 3: True}
+
+    def test_unsat(self):
+        status, model = parse_solver_output("s UNSATISFIABLE\n", num_vars=3)
+        assert status is Status.UNSAT
+        assert model is None
+
+    def test_exit_code_overrides_s_line(self):
+        # Exit codes are the authoritative channel in the competition
+        # protocol; a contradictory s-line loses.
+        status, _ = parse_solver_output(
+            "s UNSATISFIABLE\nv 1 0\n", num_vars=1, exit_code=10)
+        assert status is Status.SAT
+
+    def test_exit_code_alone_suffices(self):
+        status, model = parse_solver_output("", num_vars=2, exit_code=20)
+        assert status is Status.UNSAT
+        assert model is None
+
+    def test_unmentioned_variables_default_false(self):
+        _, model = parse_solver_output(
+            "s SATISFIABLE\nv 2 0\n", num_vars=4)
+        assert model.values == {1: False, 2: True, 3: False, 4: False}
+
+    def test_sat_without_v_lines_has_no_model(self):
+        status, model = parse_solver_output("s SATISFIABLE\n", num_vars=3)
+        assert status is Status.SAT
+        assert model is None
+
+    def test_no_status_rejected(self):
+        with pytest.raises(ExternalSolverError, match="no 's SATISFIABLE'"):
+            parse_solver_output("c chatter only\n", num_vars=1)
+
+    def test_malformed_v_token_rejected(self):
+        with pytest.raises(ExternalSolverError, match="malformed v-line"):
+            parse_solver_output("s SATISFIABLE\nv 1 banana 0\n", num_vars=2)
+
+    def test_model_variable_overflow_rejected(self):
+        with pytest.raises(ExternalSolverError, match="variable 9"):
+            parse_solver_output("s SATISFIABLE\nv 9 0\n", num_vars=3)
+
+
+class TestExternalSolverConstruction:
+    def test_string_command_is_shlex_split(self):
+        solver = ExternalSolver("picosat --some-flag")
+        assert solver.command == ["picosat", "--some-flag"]
+
+    def test_list_command_kept_verbatim(self):
+        solver = ExternalSolver(SELF_HOSTED)
+        assert solver.command == SELF_HOSTED
+
+    def test_empty_command_rejected(self):
+        with pytest.raises(ValueError, match="command is empty"):
+            ExternalSolver("   ")
+
+
+class TestFakeSolverSubprocess:
+    """Protocol conformance against scripted CDCL stand-ins."""
+
+    def test_model_parsing_from_fake_sat_solver(self, tmp_path):
+        command = fake_solver(tmp_path, """
+            print("c fake cdcl v0.0")
+            print("s SATISFIABLE")
+            print("v -1 2")
+            print("v 3 0")
+            sys.exit(10)
+        """)
+        run = ExternalSolver(command).solve_cnf(sample_cnf())
+        assert isinstance(run, ExternalRun)
+        assert run.status is Status.SAT
+        assert run.exit_code == 10
+        assert run.wall_seconds > 0
+        assert run.model.values == {1: False, 2: True, 3: True}
+
+    def test_unsat_exit_code(self, tmp_path):
+        command = fake_solver(tmp_path, """
+            print("s UNSATISFIABLE")
+            sys.exit(20)
+        """)
+        run = ExternalSolver(command).solve_cnf(sample_cnf())
+        assert run.status is Status.UNSAT
+        assert run.model is None
+        assert run.exit_code == 20
+
+    def test_unexpected_exit_code_rejected_with_stderr(self, tmp_path):
+        command = fake_solver(tmp_path, """
+            print("segfault-ish diagnostics", file=sys.stderr)
+            sys.exit(3)
+        """)
+        with pytest.raises(ExternalSolverError) as excinfo:
+            ExternalSolver(command).solve_cnf(sample_cnf())
+        message = str(excinfo.value)
+        assert "exited with code 3" in message
+        assert "segfault-ish diagnostics" in message
+
+    def test_timeout_kills_the_child(self, tmp_path):
+        command = fake_solver(tmp_path, """
+            time.sleep(60)
+            sys.exit(10)
+        """)
+        solver = ExternalSolver(command, timeout=0.5)
+        with pytest.raises(ExternalSolverError,
+                           match="exceeded the 0.5s timeout"):
+            solver.solve_cnf(sample_cnf())
+
+    def test_missing_binary_error_is_actionable(self):
+        solver = ExternalSolver("definitely-not-a-solver-xyz")
+        with pytest.raises(ExternalSolverError) as excinfo:
+            solver.solve_cnf(sample_cnf())
+        message = str(excinfo.value)
+        assert "'definitely-not-a-solver-xyz' was not found" in message
+        assert "picosat" in message  # suggests an installable solver
+        assert "repro.sat.dimacs" in message  # and the in-tree fallback
+
+    def test_solver_reads_the_dimacs_file(self, tmp_path):
+        # The fake echoes the header back as its model size — proves the
+        # temp file actually reaches the child intact.
+        command = fake_solver(tmp_path, """
+            header = [l for l in open(path) if l.startswith("p cnf")][0]
+            num_vars = int(header.split()[2])
+            print("s SATISFIABLE")
+            print("v", " ".join(str(v) for v in range(1, num_vars + 1)), 0)
+            sys.exit(10)
+        """)
+        run = ExternalSolver(command).solve_cnf(sample_cnf())
+        assert run.model.values == {1: True, 2: True, 3: True}
+
+
+class TestSelfHostedEndToEnd:
+    """Round trips through the in-tree CLI as the external binary."""
+
+    @pytest.fixture(autouse=True)
+    def _pythonpath(self, monkeypatch):
+        # The subprocess needs the src layout importable.
+        existing = os.environ.get("PYTHONPATH")
+        joined = (f"{SRC}{os.pathsep}{existing}" if existing else str(SRC))
+        monkeypatch.setenv("PYTHONPATH", joined)
+
+    def test_sat_round_trip(self):
+        cnf = sample_cnf()
+        run = ExternalSolver(SELF_HOSTED).solve_cnf(cnf)
+        assert run.status is Status.SAT
+        for clause in cnf.clauses():
+            assert any(run.model.values[abs(l)] == (l > 0) for l in clause)
+
+    def test_unsat_round_trip(self):
+        run = ExternalSolver(SELF_HOSTED).solve_cnf(unsat_cnf())
+        assert run.status is Status.UNSAT
+        assert run.exit_code == 20
+
+
+class TestDimacsBackendRegistry:
+    def test_dimacs_prefix_resolves_dynamically(self):
+        from repro.api.backends import DimacsBackend, get_backend
+
+        backend = get_backend("dimacs:picosat")
+        assert isinstance(backend, DimacsBackend)
+        assert backend.name == "dimacs:picosat"
+        # Cached: the same command yields the same instance.
+        assert get_backend("dimacs:picosat") is backend
+
+    def test_empty_dimacs_command_rejected(self):
+        from repro.api.backends import get_backend
+
+        with pytest.raises(ValueError, match="empty external solver"):
+            get_backend("dimacs:   ")
+
+    def test_unknown_backend_error_mentions_dimacs(self):
+        from repro.api.backends import get_backend
+
+        with pytest.raises(ValueError, match="dimacs:<command>"):
+            get_backend("no-such-backend")
+
+    def test_backend_solve_and_enumerate_match_kodkod(self, monkeypatch):
+        from repro import api
+        from repro.kodkod import ast
+        from repro.kodkod.bounds import Bounds
+        from repro.kodkod.universe import Universe
+
+        existing = os.environ.get("PYTHONPATH")
+        joined = (f"{SRC}{os.pathsep}{existing}" if existing else str(SRC))
+        monkeypatch.setenv("PYTHONPATH", joined)
+
+        universe = Universe(["a", "b", "c"])
+        r = ast.Relation("r", 1)
+        bounds = Bounds(universe)
+        bounds.bound(r, universe.empty(1), universe.all_tuples(1))
+        formula = ast.Some(r)
+        external = f"dimacs:{' '.join(SELF_HOSTED)}"
+
+        reference = api.solve(formula, bounds, solver="kodkod")
+        result = api.solve(formula, bounds, solver=external)
+        assert result.verdict == reference.verdict
+        assert result.solver_stats["kernel"] == "external"
+        assert result.solver_stats["external_wall_time"] > 0
+        assert result.solver_stats["external_invocations"] == 1
+
+        def keyset(res):
+            return {
+                tuple(sorted(
+                    (rel.name, frozenset(inst.value_of(rel)))
+                    for rel in bounds.relations()))
+                for inst in res.instances
+            }
+
+        ref_enum = api.enumerate(formula, bounds, solver="kodkod", limit=16)
+        ext_enum = api.enumerate(formula, bounds, solver=external, limit=16)
+        assert len(ext_enum.instances) == len(ref_enum.instances)
+        assert keyset(ext_enum) == keyset(ref_enum)
+        assert ext_enum.solver_stats["external_invocations"] >= \
+            len(ext_enum.instances)

@@ -1,0 +1,192 @@
+"""Differential tests for the vector propagation kernel.
+
+The kernel's contract is stronger than verdict agreement: a ``vector``
+solver and a ``pure`` solver fed the same clauses must take *identical*
+search trajectories — same models, same learned-clause statistics, same
+propagation counts (see :mod:`repro.sat.kernel`).  These tests pin that
+equivalence on random CNFs, under assumptions, across incremental
+enumeration with an aggressive clause-database budget, and against the
+brute-force reference.
+"""
+
+import random
+
+import pytest
+
+from repro.sat.cnf import CNF
+from repro.sat.simplify import brute_force_satisfiable
+from repro.sat.solver import Solver, solve_cnf
+from repro.sat.types import Status
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def random_cnf(rng: random.Random, num_vars: int, num_clauses: int,
+               max_width: int = 4) -> CNF:
+    cnf = CNF()
+    for _ in range(num_vars):
+        cnf.new_var()
+    for _ in range(num_clauses):
+        width = rng.randint(1, max_width)
+        cnf.add_clause([rng.choice([1, -1]) * rng.randint(1, num_vars)
+                        for _ in range(width)])
+    return cnf
+
+
+def chain_cnf(n_chain: int = 32, fanout: int = 80, pool: int = 12):
+    """A CNF engineered for long watcher lists (exercises the vector path:
+    every noise clause watching ``-c_i`` has the true blocker ``-g``)."""
+    cnf = CNF()
+    g = cnf.new_var()
+    chain = [cnf.new_var() for _ in range(n_chain)]
+    xs = [cnf.new_var() for _ in range(pool)]
+    cnf.add_clause([g, chain[0]])
+    for a, b in zip(chain, chain[1:]):
+        cnf.add_clause([-a, b])
+    for i, c in enumerate(chain):
+        for j in range(fanout):
+            cnf.add_clause([-c, -g, xs[(i + j) % pool]])
+    return cnf, g
+
+
+class TestKernelSelection:
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            Solver(kernel="simd")
+
+    def test_vector_kernel_resolves(self):
+        pytest.importorskip("numpy")
+        assert Solver(kernel="vector").kernel == "vector"
+
+    def test_pure_is_the_default(self):
+        assert Solver().kernel == "pure"
+
+    def test_fallback_without_numpy(self, monkeypatch):
+        import repro.sat.kernel as kernel_module
+
+        monkeypatch.setattr(kernel_module, "_np", None)
+        solver = Solver(kernel="vector")
+        assert solver.kernel == "pure"
+        assert solver._kernel is None
+        cnf = CNF()
+        v = cnf.new_var()
+        cnf.add_clause([v])
+        assert solver.add_cnf(cnf)
+        assert solver.solve() is Status.SAT
+
+    def test_solve_cnf_kernel_parameter(self):
+        cnf = CNF()
+        v = cnf.new_var()
+        cnf.add_clause([v])
+        for kernel in ("pure", "vector"):
+            status, model = solve_cnf(cnf, kernel=kernel)
+            assert status is Status.SAT
+            assert model.values[v] is True
+
+
+class TestTrajectoryEquivalence:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_cnfs_identical_status_model_stats(self, seed):
+        pytest.importorskip("numpy")
+        rng = random.Random(seed)
+        cnf = random_cnf(rng, rng.randint(3, 28), rng.randint(3, 110))
+        pure, vector = Solver(kernel="pure"), Solver(kernel="vector")
+        assert pure.add_cnf(cnf) == vector.add_cnf(cnf)
+        status_pure, status_vector = pure.solve(), vector.solve()
+        assert status_pure == status_vector
+        if status_pure is Status.SAT:
+            assert pure.model().values == vector.model().values
+        # Bit-identical trajectories: every counter matches, not just the
+        # verdict.
+        assert pure.stats == vector.stats
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agrees_with_brute_force(self, seed):
+        pytest.importorskip("numpy")
+        rng = random.Random(1000 + seed)
+        cnf = random_cnf(rng, rng.randint(3, 10), rng.randint(3, 30))
+        status, model = solve_cnf(cnf, kernel="vector")
+        assert (status is Status.SAT) == brute_force_satisfiable(cnf)
+        if model is not None:
+            for clause in cnf.clauses():
+                assert any(model.values[abs(l)] == (l > 0) for l in clause)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_enumeration_with_aggressive_reduction(self, seed):
+        """Blocking-clause enumeration under max_learned=5 drives clause
+        deletion and arena compaction through both kernels identically."""
+        pytest.importorskip("numpy")
+        rng = random.Random(2000 + seed)
+        num_vars = rng.randint(6, 16)
+        cnf = random_cnf(rng, num_vars, rng.randint(15, 70), max_width=3)
+
+        def enumerate_models(kernel):
+            solver = Solver(max_learned=5, kernel=kernel)
+            if not solver.add_cnf(cnf):
+                return []
+            models = []
+            while len(models) < 64 and solver.solve() is Status.SAT:
+                model = solver.model()
+                models.append(tuple(sorted(model.values.items())))
+                blocking = [-v if model.values[v] else v
+                            for v in range(1, num_vars + 1)]
+                if not solver.add_clause(blocking):
+                    break
+            return models
+
+        assert enumerate_models("pure") == enumerate_models("vector")
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_assumptions_identical(self, seed):
+        pytest.importorskip("numpy")
+        rng = random.Random(3000 + seed)
+        num_vars = rng.randint(5, 15)
+        cnf = random_cnf(rng, num_vars, rng.randint(10, 50))
+        pure, vector = Solver(kernel="pure"), Solver(kernel="vector")
+        if not pure.add_cnf(cnf):
+            assert not vector.add_cnf(cnf)
+            return
+        assert vector.add_cnf(cnf)
+        for _ in range(6):
+            assumptions = [rng.choice([1, -1]) * rng.randint(1, num_vars)
+                           for _ in range(rng.randint(0, 3))]
+            status_pure = pure.solve(assumptions)
+            status_vector = vector.solve(assumptions)
+            assert status_pure == status_vector
+            if status_pure is Status.SAT:
+                assert pure.model().values == vector.model().values
+        assert pure.stats == vector.stats
+
+
+class TestVectorPathProper:
+    """Workloads that actually reach the numpy bulk filter (long lists)."""
+
+    def test_long_watchlists_identical_and_sat(self):
+        pytest.importorskip("numpy")
+        cnf, g = chain_cnf()
+        pure, vector = Solver(kernel="pure"), Solver(kernel="vector")
+        assert pure.add_cnf(cnf) and vector.add_cnf(cnf)
+        for _ in range(5):  # repeated warm solves hit the watch cache
+            assert pure.solve([-g]) is Status.SAT
+            assert vector.solve([-g]) is Status.SAT
+            assert pure.model().values == vector.model().values
+        assert pure.stats == vector.stats
+
+    def test_watch_cache_survives_clause_additions(self):
+        pytest.importorskip("numpy")
+        cnf, g = chain_cnf(n_chain=16, fanout=60, pool=8)
+        pure, vector = Solver(kernel="pure"), Solver(kernel="vector")
+        assert pure.add_cnf(cnf) and vector.add_cnf(cnf)
+        assert pure.solve([-g]) == vector.solve([-g]) == Status.SAT
+        # Appending clauses grows watch lists; cached arrays must be
+        # rebuilt (length check), never reused stale.
+        model = vector.model()
+        num_vars = cnf.num_vars
+        blocking = [-v if model.values[v] else v
+                    for v in range(1, num_vars + 1)]
+        assert pure.add_clause(blocking) == vector.add_clause(blocking)
+        assert pure.solve([-g]) == vector.solve([-g])
+        if vector.solve([-g]) is Status.SAT:
+            assert pure.solve([-g]) is Status.SAT
+            assert pure.model().values == vector.model().values
+        assert pure.stats == vector.stats
