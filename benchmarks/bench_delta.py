@@ -1,0 +1,167 @@
+"""Benchmark: delta verification (warm re-solves vs cold solves).
+
+The delta path (:func:`repro.api.solve_delta` /
+:class:`repro.api.DeltaSession`) answers narrowed-bounds variants of an
+anchored problem on the live solver through unit assumptions, skipping
+the translate+solve pipeline entirely.  The workload here is a
+medium-sized relational problem whose translation dominates a cold
+solve, re-checked under a stream of single-tuple bound edits — the
+streaming re-check shape the delta layer exists for.
+
+Rows land in ``BENCH_delta.json``:
+
+* ``test_cold_solve`` — the full translate+solve cost per problem (what
+  every re-check paid before the delta path existed),
+* ``test_warm_delta_resolves`` — a stream of warm re-solves through one
+  anchored session (diff + assumptions + solve, no translation),
+* ``test_fallback_full_resolve`` — the fallback cost when the edit is
+  not delta-safe (a fresh anchor translate+solve, provenance-tagged).
+
+``test_warm_faster_than_cold`` is the CI regression gate: it fails
+whenever a warm re-verify stops being cheaper than a cold solve of the
+same variant.
+"""
+
+import time
+
+from repro.api import DeltaSession, FormulaProblem, solve as api_solve
+from repro.kodkod import ast
+from repro.kodkod.bounds import Bounds
+from repro.kodkod.universe import Universe
+
+NUM_ATOMS = 10
+WARM_RESOLVES = 10
+
+
+def delta_workload() -> FormulaProblem:
+    """A SAT problem big enough that translation dominates a cold solve."""
+    atoms = [f"n{i}" for i in range(NUM_ATOMS)]
+    universe = Universe(atoms)
+    r = ast.Relation("r", 1)
+    s = ast.Relation("s", 1)
+    edge = ast.Relation("edge", 2)
+    bounds = Bounds(universe)
+    bounds.bound(r, universe.empty(1), universe.all_tuples(1))
+    bounds.bound(s, universe.empty(1), universe.all_tuples(1))
+    bounds.bound(edge, universe.empty(2), universe.all_tuples(2))
+    x = ast.Variable("x")
+    formula = ast.And([
+        ast.Some(r),
+        ast.Subset(r, s),
+        ast.ForAll([(x, ast.Univ())], ast.Some(ast.Join(x, edge))),
+    ])
+    return FormulaProblem(formula, bounds)
+
+
+def narrowed_variants(problem: FormulaProblem,
+                      count: int) -> list[FormulaProblem]:
+    """``count`` variants, each dropping one more edge tuple (cumulative)."""
+    universe = problem.bounds.universe
+    atoms = list(universe.atoms)
+    edge = next(rel for rel in problem.bounds.relations()
+                if rel.name == "edge")
+    all_pairs = sorted(problem.bounds.upper(edge))
+    variants = []
+    for k in range(1, count + 1):
+        # Drop k distinct self-loops: every atom keeps >= NUM_ATOMS - 1
+        # outgoing edges, so each variant stays SAT.
+        dropped = {(atoms[i], atoms[i]) for i in range(k)}
+        bounds = Bounds(universe)
+        for rel in problem.bounds.relations():
+            if rel.name == "edge":
+                upper = universe.tuple_set(
+                    2, [p for p in all_pairs if p not in dropped])
+            else:
+                upper = problem.bounds.upper(rel)
+            bounds.bound(rel, problem.bounds.lower(rel), upper)
+        variants.append(FormulaProblem(problem.formula, bounds))
+    return variants
+
+
+def test_cold_solve(bench, report):
+    """Full translate+solve of one variant: the pre-delta re-check cost."""
+    variant = narrowed_variants(delta_workload(), 1)[0]
+    result = bench(api_solve, variant, symmetry=0)
+    assert result.satisfiable
+    bench.meta(verdict=result.verdict.value,
+               clauses=result.stats.num_clauses)
+    report.append(
+        f"delta cold solve: {bench._row['seconds']:.4f}s "
+        f"({result.stats.num_clauses} clauses)"
+    )
+
+
+def test_warm_delta_resolves(bench, report):
+    """A stream of narrowed-bounds re-checks through one warm anchor."""
+    anchor = delta_workload()
+    variants = narrowed_variants(anchor, WARM_RESOLVES)
+    session = DeltaSession(anchor, symmetry=0)
+
+    def run():
+        paths = []
+        for variant in variants:
+            result = session.solve(variant)
+            assert result.satisfiable
+            paths.append(result.detail["delta"]["path"])
+        return paths
+
+    paths = bench(run)
+    assert paths == ["reused"] * WARM_RESOLVES, paths
+    per_resolve = bench._row["seconds"] / WARM_RESOLVES
+    bench.meta(resolves=WARM_RESOLVES,
+               seconds_per_resolve=round(per_resolve, 6))
+    report.append(
+        f"delta warm re-solves: {WARM_RESOLVES} in "
+        f"{bench._row['seconds']:.4f}s ({per_resolve * 1000:.2f} ms each)"
+    )
+
+
+def test_fallback_full_resolve(bench, report):
+    """A formula edit: the delta path must pay a fresh anchor solve."""
+    anchor = delta_workload()
+    # Relations are bound by object identity, so reuse the anchor's "s".
+    s = next(rel for rel in anchor.bounds.relations() if rel.name == "s")
+    changed = FormulaProblem(
+        ast.And([anchor.formula, ast.Some(s)]), anchor.bounds)
+
+    def run():
+        session = DeltaSession(anchor, solve_anchor=False, symmetry=0)
+        return session.solve(changed)
+
+    result = bench(run)
+    assert result.satisfiable
+    provenance = result.detail["delta"]
+    assert provenance["path"] == "fallback"
+    assert provenance["reason"] == "formula_changed"
+    bench.meta(path=provenance["path"], reason=provenance["reason"])
+    report.append(
+        f"delta fallback (formula edit): {bench._row['seconds']:.4f}s"
+    )
+
+
+def test_warm_faster_than_cold(report):
+    """CI regression gate: a warm re-verify must beat a cold solve of the
+    same variant (best-of-3 each)."""
+    anchor = delta_workload()
+    variant = narrowed_variants(anchor, 1)[0]
+    session = DeltaSession(anchor, symmetry=0)
+    assert session.solve(variant).detail["delta"]["path"] == "reused"
+
+    def best_of(fn, repeats=3):
+        times = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - started)
+        return min(times)
+
+    warm = best_of(lambda: session.solve(variant))
+    cold = best_of(lambda: api_solve(variant, symmetry=0))
+    report.append(
+        f"delta gate: warm {warm * 1000:.2f}ms vs cold {cold * 1000:.2f}ms "
+        f"({cold / max(warm, 1e-9):.1f}x)"
+    )
+    assert warm < cold, (
+        f"warm delta re-verify regressed above a cold solve: "
+        f"{warm:.4f}s >= {cold:.4f}s"
+    )

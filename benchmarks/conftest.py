@@ -17,7 +17,9 @@ artifacts, keyed by test id:
 * ``BENCH_encoding.json`` — translation-pipeline rows (circuit/CNF sizes,
   polarity savings, translate+solve end-to-end times),
 * ``BENCH_solver.json``   — solver-centric rows (consensus checks,
-  counterexample searches, search statistics).
+  counterexample searches, search statistics),
+* ``BENCH_delta.json``    — delta-verification rows (cold anchor solve,
+  warm assumption re-solves, fallback cost).
 
 Rows whose test id appears in ``BASELINE`` also get ``baseline_seconds``
 and ``speedup_vs_baseline`` fields, so the artifact itself documents the
@@ -40,6 +42,7 @@ _ARTIFACT_BY_MODULE = {
     "bench_ablation": "encoding",
     "bench_check_scaling": "solver",
     "bench_solver_kernels": "solver",
+    "bench_delta": "delta",
     "bench_policy_matrix": "solver",
     "bench_rebidding": "solver",
     "bench_example1": None,
@@ -51,6 +54,7 @@ _ARTIFACT_BY_MODULE = {
 _ARTIFACT_FILES = {
     "encoding": "BENCH_encoding.json",
     "solver": "BENCH_solver.json",
+    "delta": "BENCH_delta.json",
 }
 
 # Pre-refactor reference times, measured on this repo at the PR-3 state

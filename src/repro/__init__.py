@@ -44,20 +44,24 @@ __version__ = "1.1.0"
 # root.  ``from repro import solve`` and ``repro.Options`` both work.
 _API_EXPORTS = frozenset({
     "Backend",
+    "DeltaSession",
     "FormulaProblem",
     "ModuleProblem",
     "Options",
     "Problem",
+    "ProblemDelta",
     "ProtocolProblem",
     "Result",
     "Verdict",
     "available_backends",
     "check",
+    "diff_problems",
     "enumerate",
     "problem_from_spec",
     "register_backend",
     "run_protocol",
     "solve",
+    "solve_delta",
     "solve_many",
 })
 

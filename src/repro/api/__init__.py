@@ -30,6 +30,7 @@ from repro.api.problems import (
     ProtocolProblem,
     problem_fingerprint,
     problem_from_spec,
+    problem_kind,
 )
 from repro.api.result import (
     Result,
@@ -48,18 +49,29 @@ from repro.api.backends import (
     get_backend,
     register_backend,
 )
-from repro.api.facade import check, enumerate, run_protocol, solve
-from repro.api.batch import BATCH_SCHEMA, batch_cache_key, solve_many
+from repro.api.facade import check, enumerate, run_protocol, solve, solve_delta
+from repro.api.batch import (
+    BATCH_SCHEMA,
+    DEFAULT_TASK_TIMEOUT,
+    batch_cache_key,
+    solve_many,
+)
+# Imported last: the delta module imports the facade/backends modules
+# above at load time (and pulls repro.fuzz in lazily at call time).
+from repro.api.delta import DeltaSession, ProblemDelta, diff_problems
 
 __all__ = [
     "BATCH_SCHEMA",
     "Backend",
+    "DEFAULT_TASK_TIMEOUT",
+    "DeltaSession",
     "ExplorerBackend",
     "FormulaProblem",
     "KodkodBackend",
     "ModuleProblem",
     "Options",
     "Problem",
+    "ProblemDelta",
     "ProtocolProblem",
     "Result",
     "Verdict",
@@ -68,15 +80,18 @@ __all__ = [
     "batch_cache_key",
     "check",
     "describe_verdict",
+    "diff_problems",
     "enumerate",
     "get_backend",
     "instance_payload",
     "problem_fingerprint",
     "problem_from_spec",
+    "problem_kind",
     "register_backend",
     "result_from_json",
     "result_to_json",
     "run_protocol",
     "solve",
+    "solve_delta",
     "solve_many",
 ]

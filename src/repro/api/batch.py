@@ -28,6 +28,9 @@ BATCH_SCHEMA = 1
 """Bump to invalidate every cached batch result (semantic change)."""
 
 DEFAULT_TASK_TIMEOUT = 120.0
+"""Default pool *stall* bound for the sharded path (seconds without any
+task completing before the pool is declared wedged).  Independent of
+``Options.timeout``, which budgets a single solve."""
 
 
 def batch_cache_key(problem: Problem, options: Options) -> str:
@@ -74,14 +77,32 @@ def solve_many(
 ) -> list[Result]:
     """Solve every problem; return results in input order.
 
-    ``workers``/``cache_dir``/``task_timeout`` default to the
-    corresponding :class:`Options` fields (``workers=1`` runs inline).
-    With a cache directory, results are content-addressed by
-    (problem fingerprint, result-affecting options), so a warm re-run is
-    pure cache reads — cache hits carry ``detail["cached"] = True``.
-    ``task_timeout`` is the sharded path's *stall* bound (no completion
-    for that long kills the pool); the inline path cannot preempt a
-    running solve.
+    ``workers``/``cache_dir`` default to the corresponding
+    :class:`Options` fields (``workers=1`` runs inline).  With a cache
+    directory, results are content-addressed by (problem fingerprint,
+    result-affecting options), so a warm re-run is pure cache reads —
+    cache hits carry ``detail["cached"] = True``.
+
+    Timeouts are two separate knobs:
+
+    * ``task_timeout`` — the sharded path's *pool stall* bound: when no
+      task completes for that long, every worker is considered wedged and
+      the remaining tasks are recorded as ``Verdict.ERROR``.  Defaults to
+      :data:`DEFAULT_TASK_TIMEOUT` — deliberately **not** to
+      ``Options.timeout``, which is a per-solve budget: a tight 5 s
+      per-problem budget must not kill an otherwise-healthy batch whose
+      individual solves simply take 6 s each.
+    * ``Options.timeout`` — the per-invocation budget each backend
+      enforces where it can (the external ``dimacs:`` backends kill the
+      solver process at the deadline).  In-process backends cannot
+      preempt a running solve; neither can the inline (``workers=1``)
+      path.
+
+    ``progress`` contract: the callback fires exactly once per problem
+    with ``(input index, result)`` — first for every cache hit during the
+    upfront scan (in input order), then for each miss as its worker
+    completes (in completion order, which is *not* input order).  The
+    returned list is always in input order regardless.
     """
     # Imported lazily: repro.campaign's oracles import this package, so a
     # module-level import here would cycle.
@@ -97,8 +118,10 @@ def solve_many(
     if cache_dir is None:
         cache_dir = opts.cache_dir
     if task_timeout is None:
-        task_timeout = (opts.timeout if opts.timeout is not None
-                        else DEFAULT_TASK_TIMEOUT)
+        # Never fall back to opts.timeout: that is a *per-solve* budget,
+        # and using it as the pool's stall bound would kill a healthy
+        # batch whose solves are individually slower than it.
+        task_timeout = DEFAULT_TASK_TIMEOUT
 
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     results: list[Result] = [None] * len(problems)  # type: ignore[list-item]

@@ -53,10 +53,13 @@ class Options:
     """Protocol-check canonical-state memoization (verdict-preserving)."""
 
     timeout: float | None = None
-    """Per-task stall timeout in seconds.  Enforced on the sharded
-    ``solve_many`` path and as the per-invocation budget of external
-    ``dimacs:`` backends; inline in-process execution cannot preempt a
-    running task."""
+    """Per-solve time budget in seconds, enforced where preemption is
+    possible — the external ``dimacs:`` backends kill the solver process
+    at the deadline.  In-process backends cannot preempt a running
+    solve.  This is *not* the batch pool's stall bound: ``solve_many``
+    has a separate ``task_timeout`` argument for that (defaulting to
+    ``repro.api.batch.DEFAULT_TASK_TIMEOUT``), so a tight per-solve
+    budget never kills an otherwise-healthy sharded batch."""
 
     workers: int = 1
     """Process count for ``solve_many`` (1 runs inline, in-process)."""

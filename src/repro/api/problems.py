@@ -97,6 +97,25 @@ class ProtocolProblem:
 Problem = Union[FormulaProblem, ModuleProblem, ProtocolProblem]
 
 
+def problem_kind(problem: Problem) -> str:
+    """The problem's kind tag: ``"formula"``, ``"module"`` or ``"protocol"``.
+
+    The vocabulary matches the codec/corpus payloads and the
+    ``detail["delta"]`` provenance emitted by the delta-verification path
+    (:func:`repro.api.solve_delta`).
+    """
+    if isinstance(problem, FormulaProblem):
+        return "formula"
+    if isinstance(problem, ModuleProblem):
+        return "module"
+    if isinstance(problem, ProtocolProblem):
+        return "protocol"
+    raise ValueError(
+        f"not a façade problem: {type(problem).__name__} (expected "
+        f"FormulaProblem, ModuleProblem or ProtocolProblem)"
+    )
+
+
 def problem_from_spec(spec) -> Problem:
     """Lift a campaign :class:`~repro.campaign.specs.ScenarioSpec` into a
     façade problem: relational specs become :class:`FormulaProblem`,

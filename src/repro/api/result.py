@@ -50,6 +50,20 @@ class Result:
     counterexample for a failed ``check``.  ``trace`` carries a protocol
     counterexample schedule.  ``detail`` is the backend's JSON-able extra
     telemetry (paths explored, memo hits, solve seconds, cache status).
+
+    Results produced by the delta-verification path
+    (:func:`repro.api.solve_delta` / ``repro.api.DeltaSession``) carry a
+    ``detail["delta"]`` provenance block:
+
+    * ``path`` — ``"reused"`` (live-solver warm re-solve), ``"fallback"``
+      (diff was not delta-safe; fresh full solve) or ``"cold"`` (the
+      anchor solve itself);
+    * ``reason`` — the edit classification behind the decision
+      (``"identical"``, ``"bounds_narrowed"``, ``"formula_changed"``,
+      ``"bounds_widened"``, ``"symmetry"``, ...);
+    * ``dropped``/``promoted``/``assumptions`` — edit size on the reuse
+      path;
+    * ``warm_solve_seconds`` — pure search time of a warm re-solve.
     """
 
     verdict: Verdict
@@ -85,6 +99,12 @@ class Result:
     def instance(self) -> Instance | None:
         """The first witnessing instance, if any."""
         return self.instances[0] if self.instances else None
+
+    @property
+    def delta(self) -> dict | None:
+        """The delta-verification provenance block, if this result came
+        from :func:`repro.api.solve_delta` (see the class docstring)."""
+        return self.detail.get("delta")
 
     @property
     def counterexample(self) -> Instance | list[str] | None:

@@ -15,6 +15,7 @@ oracle          fast path                              reference path
 ``external``    ``solver="dimacs:<cmd>"`` (env-gated)  ``solver="kodkod"`` (pure)
 ``explorer``    ``api.run_protocol`` (memoized)        plain DFS (``memoize=False``)
 ``engines``     synchronous lock-step engine           asynchronous delivery
+``delta``       ``solve_delta`` on a mutated problem   fresh ``api.solve``
 ==============  =====================================  ==========================
 
 The ``external`` oracle needs a SAT-competition-conformant binary and is
@@ -36,6 +37,7 @@ diagnosable from the campaign JSON artifact alone.
 from __future__ import annotations
 
 import os
+import random
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -322,6 +324,66 @@ def _explorer_oracle(spec: ScenarioSpec,
             "plain_worst_rounds": plain.max_rounds_to_converge,
             "memo_hits": memoized.detail["memo_hits"],
             "plain_paths": plain.paths_explored,
+        },
+    )
+
+
+@register_oracle("delta", _RELATIONAL | _AUCTIONS,
+                 "solve_delta on a mutated problem vs fresh solve: "
+                 "same verdict")
+def _delta_oracle(spec: ScenarioSpec, scenario) -> OracleOutcome:
+    """Verdict equivalence of the delta path against a fresh full solve.
+
+    Anchors a :class:`repro.api.DeltaSession` on the scenario's problem,
+    mutates the problem once (seeded by spec seed + problem identity, so
+    reruns are deterministic in any process), solves the mutant through
+    the session, and compares against a cold ``api.solve`` of the same
+    mutant.  Both the warm-reuse path (delta-safe edits) and the fallback
+    path (structural edits, protocol edits) flow through here — which
+    path was taken is recorded in the detail, but *any* verdict
+    difference is a disagreement regardless of path.
+    """
+    # Imported lazily: repro.fuzz pulls the campaign oracles in at
+    # package load time (and repro.api.delta pulls repro.fuzz in), so
+    # module-level imports here would cycle through three packages.
+    from repro.api.delta import DeltaSession
+    from repro.fuzz import codec
+    from repro.fuzz.mutators import mutate_problem
+
+    if isinstance(scenario, AuctionScenario):
+        problem = ProtocolProblem(scenario.network, tuple(scenario.items),
+                                  scenario.policies)
+        opts = {
+            "max_rounds": int(spec.param("explore_rounds", 8)),
+            "max_paths": int(spec.param("explore_paths", 4000)),
+        }
+    else:
+        problem = FormulaProblem(scenario.formula, scenario.bounds)
+        opts = {"symmetry": 0}
+    identity = codec.problem_identity(codec.problem_to_json(problem))
+    rng = random.Random(f"delta:{spec.seed}:{identity}")
+    mutated = mutate_problem(problem, rng)
+    if mutated is None:
+        new_problem, mutation = problem, "identity"
+    else:
+        new_problem, mutation = mutated
+    session = DeltaSession(problem, **opts)
+    delta_result = session.solve(new_problem)
+    fresh = api_solve(new_problem, **opts)
+    provenance = delta_result.detail.get("delta", {})
+    return OracleOutcome(
+        oracle="delta",
+        agree=delta_result.verdict == fresh.verdict,
+        detail={
+            "mutation": mutation,
+            "delta_path": provenance.get("path"),
+            "delta_reason": provenance.get("reason"),
+            "verdict_delta": delta_result.verdict.value,
+            "verdict_fresh": fresh.verdict.value,
+            "delta_seconds": round(
+                delta_result.detail.get("solve_seconds", 0.0), 6),
+            "fresh_seconds": round(
+                fresh.detail.get("solve_seconds", 0.0), 6),
         },
     )
 

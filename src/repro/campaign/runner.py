@@ -160,13 +160,20 @@ class ResultCache:
         return self._dir / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> dict | None:
-        """Stored result payload, or None on miss / unreadable entry."""
+        """Stored result payload, or None on miss / unreadable entry.
+
+        A truncated or otherwise corrupt entry (killed writer, disk
+        hiccup) is a cache *miss*, never an exception: ``ValueError``
+        covers ``json.JSONDecodeError`` plus malformed-content cases,
+        and a payload that parses but is not a dict is rejected too.
+        """
         path = self._path(key)
         try:
             with open(path, encoding="utf-8") as handle:
-                return json.load(handle)
-        except (OSError, json.JSONDecodeError):
+                payload = json.load(handle)
+        except (OSError, ValueError):
             return None
+        return payload if isinstance(payload, dict) else None
 
     def put(self, key: str, payload: dict) -> None:
         """Atomically persist one result payload under its key.
@@ -412,7 +419,7 @@ def build_default_campaign(instances: int = 120,
         "relational", max(1, instances // 4), base_seed=base_seed,
         num_atoms=(3, 4), depth=(1, 2), max_edges=(0, 4),
     )
-    relational_oracles = ["symmetry", "evaluator", "kernels"]
+    relational_oracles = ["symmetry", "evaluator", "kernels", "delta"]
     if "external" in ORACLES:
         # Registered only when REPRO_EXTERNAL_SOLVER names a real binary
         # (see repro.campaign.oracles); ride the same spec sweep.
@@ -452,6 +459,25 @@ def build_default_campaign(instances: int = 120,
     )
     for spec in explorer_specs:
         tasks.append((spec, "explorer"))
+    # Delta verification over protocols re-runs the (factorially
+    # exploding) explorer twice per task, so its auction specs stay as
+    # small as the explorer's; vnet additionally caps the exploration
+    # budget through spec params (read via ``spec.param`` by the oracle).
+    delta_specs = (
+        random_sweep("mca", per_family, base_seed=base_seed + 9,
+                     num_agents=(2, 3), num_items=(1, 2), target=(1, 2))
+        + random_sweep("dispatch", per_family, base_seed=base_seed + 10,
+                       num_units=(2, 3), num_blocks=(1, 2),
+                       capacity_blocks=(1, 1))
+        + random_sweep("uav", per_family, base_seed=base_seed + 11,
+                       num_uavs=(2, 3), num_tasks=(1, 2), capacity=(1, 1))
+        + random_sweep("vnet", per_family, base_seed=base_seed + 12,
+                       grid_width=(2, 2), grid_height=(2, 2),
+                       request_size=(2, 2), explore_rounds=(6, 6),
+                       explore_paths=(400, 400))
+    )
+    for spec in delta_specs:
+        tasks.append((spec, "delta"))
     # Top up with extra relational specs until the requested size is hit.
     extra_seed = base_seed + 1000
     while len(tasks) < instances:

@@ -20,6 +20,7 @@ oracle          checks
 ``session``     incremental enumeration vs a fresh solver per model
 ``explorer``    memoized schedule exploration vs plain DFS
 ``engines``     synchronous vs asynchronous (fifo + random) convergence
+``delta``       ``solve_delta`` on a mutated problem vs fresh solve
 ==============  ========================================================
 
 Any disagreeing or crashing input is handed to the shrinker
@@ -60,11 +61,13 @@ from repro.fuzz.mutators import coverage_signature, mutate_problem
 from repro.fuzz.shrink import ShrinkResult, problem_size, shrink
 from repro.kodkod import ast
 
-FUZZ_SCHEMA = 2
+FUZZ_SCHEMA = 3
 """Bump to invalidate every cached fuzz result (semantic change).
 
 2: encodings oracle grew the vector-kernel arm (and the env-gated
-   external-solver arm), changing detail keys and coverage signatures."""
+   external-solver arm), changing detail keys and coverage signatures.
+3: delta oracle added (solve_delta vs fresh solve), changing the task
+   stream, coverage signatures and corpus evolution of every sweep."""
 
 DEFAULT_CACHE_DIR = ".fuzz_cache"
 DEFAULT_ARTIFACTS_DIR = ".fuzz_artifacts"
@@ -109,10 +112,15 @@ def lift_module(problem: ModuleProblem) -> FormulaProblem:
 
 @dataclass(frozen=True)
 class FuzzOracle:
-    """A differential oracle over one problem kind, with a size gate."""
+    """A differential oracle over one problem kind, with a size gate.
+
+    ``problem_type`` is anything :func:`isinstance` accepts — a single
+    problem class or a tuple of them (the ``delta`` oracle spans both
+    formula and protocol problems).
+    """
 
     name: str
-    problem_type: type
+    problem_type: type | tuple[type, ...]
     run: Callable[[Problem, int], OracleOutcome]
     gate: Callable[[Problem], bool]
     description: str = ""
@@ -225,6 +233,21 @@ def _explorer_gate(problem: ProtocolProblem) -> bool:
     )
 
 
+def _delta_oracle_run(problem: Problem, seed: int) -> OracleOutcome:
+    """Dispatch the campaign delta oracle by problem kind."""
+    if isinstance(problem, ProtocolProblem):
+        return _campaign_protocol_oracle("delta")(problem, seed)
+    return _campaign_formula_oracle("delta")(problem, seed)
+
+
+def _delta_gate(problem: Problem) -> bool:
+    # Protocol mutants re-run the (factorial) explorer twice, so they
+    # share the explorer's size gate; formula problems are always cheap.
+    if isinstance(problem, ProtocolProblem):
+        return _explorer_gate(problem)
+    return True
+
+
 FUZZ_ORACLES: dict[str, FuzzOracle] = {
     "encodings": FuzzOracle(
         "encodings", FormulaProblem, _encodings_oracle, _always,
@@ -241,6 +264,9 @@ FUZZ_ORACLES: dict[str, FuzzOracle] = {
     "engines": FuzzOracle(
         "engines", ProtocolProblem, _campaign_protocol_oracle("engines"),
         _always, "synchronous vs asynchronous convergence + consensus"),
+    "delta": FuzzOracle(
+        "delta", (FormulaProblem, ProtocolProblem), _delta_oracle_run,
+        _delta_gate, "solve_delta on a mutated problem vs fresh solve"),
 }
 
 
@@ -270,9 +296,11 @@ def run_oracle(name: str, problem: Problem, seed: int = 0,
     if isinstance(problem, ModuleProblem):
         problem = lift_module(problem)
     if not isinstance(problem, oracle.problem_type):
+        accepted = (oracle.problem_type if isinstance(oracle.problem_type, tuple)
+                    else (oracle.problem_type,))
         raise ValueError(
-            f"oracle {name!r} checks {oracle.problem_type.__name__}, got "
-            f"{type(problem).__name__}"
+            f"oracle {name!r} checks {'/'.join(t.__name__ for t in accepted)}, "
+            f"got {type(problem).__name__}"
         )
     outcome = oracle.run(problem, seed)
     if fault is not None and fault_matches(fault, problem):

@@ -27,6 +27,7 @@ from repro.kodkod.ast import (
 )
 from repro.kodkod.bounds import Bounds
 from repro.kodkod.engine import (
+    DeltaSession,
     Session,
     Solution,
     count_solutions,
@@ -48,6 +49,7 @@ from repro.kodkod.universe import TupleSet, Universe
 __all__ = [
     "Bounds",
     "DEFAULT_SBP_LENGTH",
+    "DeltaSession",
     "Session",
     "SymmetryInfo",
     "atom_partition",

@@ -94,6 +94,11 @@ class Session:
         self._last_model = None
         self._solve_seconds_total = 0.0
         self._solve_propagations_total = 0
+        # Blocking clauses installed while assumptions were active are
+        # *conditional*: each assumption set gets activation literals that
+        # scope its blocking clauses to re-solves under the same set.
+        self._scoped_blockers: dict[tuple[Lit, ...], list[Lit]] = {}
+        self._last_assumption_key: tuple[Lit, ...] = ()
 
     @property
     def translation(self) -> Translation:
@@ -148,13 +153,24 @@ class Session:
         return var if present else -var
 
     def solve(self, assumptions: Iterable[Lit] = ()) -> Solution:
-        """Decide the problem under optional assumption literals."""
+        """Decide the problem under optional assumption literals.
+
+        Blocking clauses installed by :meth:`block_current` after an
+        assumption-based solve apply only to later solves under the *same*
+        assumption set (see :meth:`block_current`); assumption-free solves
+        are blocked only by assumption-free blocking clauses.
+        """
         started = time.perf_counter()
+        assumption_list = list(assumptions)
+        key = tuple(sorted(assumption_list))
+        # Activate the blocking clauses scoped to this assumption set.
+        effective = assumption_list + self._scoped_blockers.get(key, [])
         propagations_before = self._solver.stats["propagations"]
         if not self._ok:
             status = Status.UNSAT
         else:
-            status = self._solver.solve(assumptions)
+            status = self._solver.solve(effective)
+        self._last_assumption_key = key
         elapsed = time.perf_counter() - started
         self._solve_seconds_total += elapsed
         self._solve_propagations_total += (
@@ -178,12 +194,27 @@ class Session:
         yields a semantically different instance.  Returns False when the
         model space is exhausted (no model to block, an empty projection,
         or the solver became UNSAT).
+
+        A model found under assumptions exists only *under* them, so
+        blocking it must not contaminate assumption-free queries: in that
+        case the blocking clause gets a fresh activation literal and is
+        enforced only on later :meth:`solve` calls with the exact same
+        assumption set.  Assumption-free blocking clauses stay permanent
+        (the :meth:`iter_solutions` enumeration behaviour).
         """
         if self._last_model is None or not self._primary_vars:
             return False
         model = self._last_model
         blocking = [-v if model[v] else v for v in self._primary_vars]
         self._last_model = None
+        key = self._last_assumption_key
+        if key:
+            # Conditional clause: (blocking OR NOT selector).  The clause
+            # is inert unless the selector is assumed true, which happens
+            # exactly on re-solves under the same assumption set.
+            selector = self._solver.new_var()
+            self._scoped_blockers.setdefault(key, []).append(selector)
+            return self._solver.add_clause(blocking + [-selector])
         if not self._solver.add_clause(blocking):
             self._ok = False
             return False
@@ -202,6 +233,79 @@ class Session:
             produced += 1
             if not self.block_current():
                 return
+
+
+class DeltaSession:
+    """A :class:`Session` specialized for *delta re-solves*: deciding a
+    stream of bound-narrowed variants of one anchor problem on a single
+    live solver.
+
+    The anchor translation assigns every free tuple a CNF variable, so a
+    variant that only narrows the bounds — dropping free tuples from an
+    upper bound, promoting free tuples into a lower bound — is exactly an
+    assumption set over the anchor's variables: no re-translation, and
+    clauses learned by earlier queries keep working for later ones.
+    :meth:`assumptions_for` performs that mapping; :meth:`solve` decides
+    under the resulting assumptions.
+
+    .. warning::
+       Symmetry breaking is hard-wired to 0 here, mirroring the
+       :class:`Session` caveat: the lex-leader predicate is computed from
+       the *anchor* bounds and restricts the model space to canonical
+       representatives, so under narrowed bounds it could refute variants
+       whose only models are non-canonical for the anchor.  Callers that
+       want symmetry breaking must fall back to a fresh full translation
+       (the façade's ``solve_delta`` does exactly that).
+    """
+
+    def __init__(self, formula: ast.Formula, bounds: Bounds,
+                 kernel: str = "pure") -> None:
+        self._session = Session(formula, bounds, symmetry=0, kernel=kernel)
+        self._relations = {
+            (rel.name, rel.arity): rel for rel in bounds.relations()
+        }
+
+    @property
+    def session(self) -> Session:
+        """The underlying incremental session (one live solver)."""
+        return self._session
+
+    @property
+    def translation(self) -> Translation:
+        """The anchor translation every delta query is answered over."""
+        return self._session.translation
+
+    def assumptions_for(self, dropped: Iterable[tuple[str, int, tuple]],
+                        promoted: Iterable[tuple[str, int, tuple]],
+                        ) -> list[Lit] | None:
+        """Assumption literals realizing a bound-narrowing edit.
+
+        ``dropped``/``promoted`` are ``(relation name, arity, atoms)``
+        triples: tuples removed from an upper bound (assumed absent) and
+        tuples promoted into a lower bound (assumed present).  Returns
+        ``None`` when any edit cannot be expressed over the anchor
+        translation — an unknown relation, or a free tuple the translator
+        never materialized a variable for (relations unmentioned by the
+        formula are translated lazily) — in which case the caller must
+        fall back to a fresh full solve.
+        """
+        literals: list[Lit] = []
+        try:
+            for name, arity, atoms in promoted:
+                relation = self._relations[(name, arity)]
+                literals.append(self._session.assume_tuple(
+                    relation, tuple(atoms), present=True))
+            for name, arity, atoms in dropped:
+                relation = self._relations[(name, arity)]
+                literals.append(self._session.assume_tuple(
+                    relation, tuple(atoms), present=False))
+        except KeyError:
+            return None
+        return literals
+
+    def solve(self, assumptions: Iterable[Lit] = ()) -> Solution:
+        """Decide the anchor problem under delta assumptions."""
+        return self._session.solve(assumptions)
 
 
 def _solution_from_result(result) -> Solution:

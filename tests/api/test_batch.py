@@ -81,6 +81,44 @@ class TestBatchParity:
             == [_signature(r) for r in expected]
 
 
+class TestTimeoutKnobs:
+    """Regression: ``task_timeout`` must never inherit ``Options.timeout``
+    — the per-solve budget and the pool's stall bound are separate knobs,
+    and conflating them killed healthy batches whose individual solves
+    were slower than the per-solve budget."""
+
+    @staticmethod
+    def _spy_map_jobs(monkeypatch, captured):
+        import repro.campaign.runner as campaign_runner
+
+        real_map_jobs = campaign_runner.map_jobs
+
+        def spy(jobs, worker, record, failure, *, shards, task_timeout):
+            captured.append(task_timeout)
+            return real_map_jobs(jobs, worker, record, failure,
+                                 shards=shards, task_timeout=task_timeout)
+
+        # solve_many imports map_jobs lazily from the runner module at
+        # call time, so patching the source module intercepts it.
+        monkeypatch.setattr(campaign_runner, "map_jobs", spy)
+
+    def test_stall_bound_ignores_per_solve_timeout(self, problems,
+                                                   monkeypatch):
+        from repro.api.batch import DEFAULT_TASK_TIMEOUT
+
+        captured = []
+        self._spy_map_jobs(monkeypatch, captured)
+        results = api.solve_many(problems[:2], timeout=0.001)
+        assert all(r.error is None for r in results)
+        assert captured == [DEFAULT_TASK_TIMEOUT]
+
+    def test_explicit_task_timeout_wins(self, problems, monkeypatch):
+        captured = []
+        self._spy_map_jobs(monkeypatch, captured)
+        api.solve_many(problems[:2], timeout=0.001, task_timeout=7.5)
+        assert captured == [7.5]
+
+
 class TestBatchCacheSemantics:
     def test_cache_key_depends_on_semantic_options(self, problems):
         base = api.Options()
@@ -127,6 +165,45 @@ class TestBatchCacheSemantics:
         api.solve_many(problems[:5], cache_dir=tmp_path / "progress_cache",
                        progress=lambda index, result: seen.append(index))
         assert sorted(seen) == [0, 1, 2, 3, 4]
+
+    def test_progress_contract_hits_first_in_input_order(
+            self, problems, tmp_path):
+        """The documented contract: exactly once per problem; cache hits
+        first (in input order), then misses in completion order."""
+        cache_dir = tmp_path / "contract_cache"
+        api.solve_many(problems[:4], cache_dir=cache_dir)
+        seen = []
+        api.solve_many(
+            problems[:6], cache_dir=cache_dir,
+            progress=lambda i, r: seen.append(
+                (i, bool(r.detail.get("cached")))))
+        assert sorted(i for i, _ in seen) == [0, 1, 2, 3, 4, 5]
+        assert seen[:4] == [(0, True), (1, True), (2, True), (3, True)]
+        assert {i for i, cached in seen[4:] if not cached} == {4, 5}
+
+    def test_corrupt_cache_entries_are_recomputed(self, problems, tmp_path,
+                                                  sequential):
+        """Regression: a truncated or non-dict cache entry must read as a
+        miss and be recomputed, not crash ``solve_many``."""
+        cache_dir = tmp_path / "corrupt_cache"
+        api.solve_many(problems[:2], cache_dir=cache_dir)
+        opts = api.Options()
+        keys = [batch_cache_key(problem, opts) for problem in problems[:2]]
+        paths = [cache_dir / key[:2] / f"{key}.json" for key in keys]
+        assert all(path.is_file() for path in paths)
+        truncated = paths[0].read_text(encoding="utf-8")[:10]
+        paths[0].write_text(truncated, encoding="utf-8")  # killed writer
+        paths[1].write_text("[1, 2, 3]", encoding="utf-8")  # not a dict
+        cache = ResultCache(cache_dir)
+        assert cache.get(keys[0]) is None
+        assert cache.get(keys[1]) is None
+        results = api.solve_many(problems[:2], cache_dir=cache_dir)
+        assert not any(r.detail.get("cached") for r in results)
+        assert [_signature(r) for r in results] \
+            == [_signature(r) for r in sequential[:2]]
+        # The recompute repaired both entries.
+        warm = api.solve_many(problems[:2], cache_dir=cache_dir)
+        assert all(r.detail.get("cached") for r in warm)
 
     def test_protocol_problems_batch(self, tmp_path):
         specs = random_sweep("mca", 4, base_seed=3, num_agents=(2, 3),

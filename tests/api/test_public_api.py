@@ -15,32 +15,39 @@ EXPECTED_REPRO_ALL = [
     "__version__",
     "api",
     "Backend",
+    "DeltaSession",
     "FormulaProblem",
     "ModuleProblem",
     "Options",
     "Problem",
+    "ProblemDelta",
     "ProtocolProblem",
     "Result",
     "Verdict",
     "available_backends",
     "check",
+    "diff_problems",
     "enumerate",
     "problem_from_spec",
     "register_backend",
     "run_protocol",
     "solve",
+    "solve_delta",
     "solve_many",
 ]
 
 EXPECTED_API_ALL = [
     "BATCH_SCHEMA",
     "Backend",
+    "DEFAULT_TASK_TIMEOUT",
+    "DeltaSession",
     "ExplorerBackend",
     "FormulaProblem",
     "KodkodBackend",
     "ModuleProblem",
     "Options",
     "Problem",
+    "ProblemDelta",
     "ProtocolProblem",
     "Result",
     "Verdict",
@@ -49,16 +56,19 @@ EXPECTED_API_ALL = [
     "batch_cache_key",
     "check",
     "describe_verdict",
+    "diff_problems",
     "enumerate",
     "get_backend",
     "instance_payload",
     "problem_fingerprint",
     "problem_from_spec",
+    "problem_kind",
     "register_backend",
     "result_from_json",
     "result_to_json",
     "run_protocol",
     "solve",
+    "solve_delta",
     "solve_many",
 ]
 
@@ -79,6 +89,8 @@ EXPECTED_SIGNATURES = {
                   "'float | None' = None, progress: "
                   "'Callable[[int, Result], None] | None' = None, "
                   "**overrides) -> 'list[Result]'",
+    "solve_delta": "(prev, new_problem, *, options: "
+                   "'Options | None' = None, **overrides) -> 'Result'",
 }
 
 EXPECTED_OPTIONS_FIELDS = [

@@ -7,7 +7,7 @@ from repro.campaign import ORACLES, ScenarioSpec, materialize, oracles_for
 from repro.campaign.specs import random_sweep
 
 EXPECTED_ORACLES = {"symmetry", "enumeration", "evaluator", "kernels",
-                    "explorer", "engines"}
+                    "explorer", "engines", "delta"}
 
 
 class TestRegistry:
@@ -19,12 +19,12 @@ class TestRegistry:
         # "external" additionally appears when REPRO_EXTERNAL_SOLVER is
         # set in the environment (the nightly CI job does this).
         assert set(oracles_for(spec)) - {"external"} == {
-            "symmetry", "enumeration", "evaluator", "kernels"}
+            "symmetry", "enumeration", "evaluator", "kernels", "delta"}
 
     def test_auction_oracles(self):
         for family in ("mca", "dispatch", "uav", "vnet"):
             spec = ScenarioSpec.make(family, 0)
-            assert set(oracles_for(spec)) == {"explorer", "engines"}
+            assert set(oracles_for(spec)) == {"explorer", "engines", "delta"}
 
     def test_applicability(self):
         assert ORACLES["symmetry"].applicable(

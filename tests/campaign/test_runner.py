@@ -195,7 +195,13 @@ class TestDefaultCampaign:
         assert len(oracles) >= 4
         for spec, oracle in tasks:
             assert oracle in {"symmetry", "enumeration", "evaluator",
-                              "kernels", "external", "explorer", "engines"}
+                              "kernels", "external", "explorer", "engines",
+                              "delta"}
+        # The delta oracle must sweep every family it applies to.
+        delta_families = {spec.family for spec, oracle in tasks
+                          if oracle == "delta"}
+        assert delta_families == {"relational", "mca", "dispatch", "uav",
+                                  "vnet"}
 
     def test_deterministic_in_seed(self):
         assert (build_default_campaign(instances=40, base_seed=1)

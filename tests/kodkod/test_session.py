@@ -1,8 +1,8 @@
-"""Tests for the incremental model-finding Session."""
+"""Tests for the incremental model-finding Session and DeltaSession."""
 
 import pytest
 
-from repro.kodkod import Bounds, Session, Universe, relation
+from repro.kodkod import Bounds, DeltaSession, Session, Universe, relation
 from repro.kodkod import ast
 from repro.sat.solver import Solver
 
@@ -145,3 +145,125 @@ class TestSessionEnumeration:
             frozenset(i.value_of(r)) for i in session.iter_solutions()
         }
         assert frozenset(first.value_of(r)) not in rest
+
+
+class TestScopedBlocking:
+    """Regression: ``block_current`` after ``solve(assumptions=...)`` used
+    to install a *permanent* blocking clause, excluding a model found only
+    under those assumptions from every later assumption-free query."""
+
+    def test_blocking_under_assumptions_is_scoped(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        session = Session(ast.TrueF(), bounds)
+        lit = session.assume_tuple(r, ("a",), present=True)
+        assert session.solve([lit]).satisfiable
+        assert session.block_current()
+        # The assumption-free model space must be untouched: all 8 models
+        # (2^3 valuations of a free unary relation) are still reachable.
+        seen = {frozenset(i.value_of(r)) for i in session.iter_solutions()}
+        assert len(seen) == 8
+
+    def test_scoped_blocking_enumerates_under_assumptions(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        session = Session(ast.TrueF(), bounds)
+        lit = session.assume_tuple(r, ("a",), present=True)
+        seen = set()
+        while True:
+            solution = session.solve([lit])
+            if not solution.satisfiable:
+                break
+            key = frozenset(solution.instance.value_of(r))
+            assert key not in seen, "blocking clause did not stick"
+            seen.add(key)
+            assert session.block_current()
+        # Exactly the 4 models containing ("a",) were walked.
+        assert len(seen) == 4
+        assert all(("a",) in key for key in seen)
+        # ... and the plain query still sees the whole space.
+        assert session.solve().satisfiable
+
+    def test_blocking_scoped_to_the_exact_assumption_set(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        session = Session(ast.TrueF(), bounds)
+        lit_a = session.assume_tuple(r, ("a",), present=True)
+        lit_b = session.assume_tuple(r, ("b",), present=True)
+        while session.solve([lit_a]).satisfiable:
+            assert session.block_current()
+        # [lit_a] is exhausted, but the distinct set [lit_a, lit_b] is a
+        # different scope and still has all its models.
+        assert not session.solve([lit_a]).satisfiable
+        assert session.solve([lit_a, lit_b]).satisfiable
+
+    def test_plain_blocking_still_permanent(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        session = Session(ast.TrueF(), bounds)
+        first = session.solve()
+        assert first.satisfiable
+        blocked = frozenset(first.instance.value_of(r))
+        assert session.block_current()
+        lit = session.assume_tuple(r, ("a",), present=True)
+        # An assumption-free blocking clause binds every later query,
+        # including assumption queries.
+        solution = session.solve([lit])
+        if solution.satisfiable:
+            assert frozenset(solution.instance.value_of(r)) != blocked
+
+
+class TestDeltaSession:
+    def test_dropped_tuples_become_absence_assumptions(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        delta = DeltaSession(r.some(), bounds)
+        assumptions = delta.assumptions_for(
+            dropped=[("r", 1, ("a",)), ("r", 1, ("b",))], promoted=[])
+        assert assumptions is not None and len(assumptions) == 2
+        solution = delta.solve(assumptions)
+        assert solution.satisfiable
+        assert set(solution.instance.value_of(r)) == {("c",)}
+
+    def test_promoted_tuples_become_presence_assumptions(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        delta = DeltaSession(ast.TrueF(), bounds)
+        assumptions = delta.assumptions_for(
+            dropped=[], promoted=[("r", 1, ("c",))])
+        solution = delta.solve(assumptions)
+        assert solution.satisfiable
+        assert ("c",) in solution.instance.value_of(r)
+
+    def test_narrowing_to_unsat_matches_fresh_solve(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        delta = DeltaSession(r.some(), bounds)
+        assumptions = delta.assumptions_for(
+            dropped=[("r", 1, (a,)) for a in ("a", "b", "c")], promoted=[])
+        assert not delta.solve(assumptions).satisfiable
+        # The session survives: the unnarrowed anchor is still SAT.
+        assert delta.solve().satisfiable
+
+    def test_unknown_relation_returns_none(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        delta = DeltaSession(r.some(), bounds)
+        assert delta.assumptions_for(
+            dropped=[("nope", 1, ("a",))], promoted=[]) is None
+
+    def test_unmentioned_relation_is_still_assumable(self, three_atoms):
+        # ``s`` is bounded but unmentioned by the formula; the translator
+        # still allocates primary variables for every bounded relation
+        # (enumeration needs them), so its free tuples remain assumable.
+        r, bounds = _free_unary(three_atoms)
+        s = relation("s", 1)
+        bounds.bound(s, three_atoms.empty(1), three_atoms.all_tuples(1))
+        delta = DeltaSession(r.some(), bounds)
+        assumptions = delta.assumptions_for(
+            dropped=[("s", 1, ("a",))], promoted=[("s", 1, ("b",))])
+        assert assumptions is not None
+        solution = delta.solve(assumptions)
+        assert solution.satisfiable
+        values = set(solution.instance.value_of(s))
+        assert ("a",) not in values and ("b",) in values
+
+    def test_solver_persists_across_delta_queries(self, three_atoms):
+        r, bounds = _free_unary(three_atoms)
+        delta = DeltaSession(r.some(), bounds)
+        solver = delta.session.solver
+        delta.solve(delta.assumptions_for([("r", 1, ("a",))], []))
+        delta.solve(delta.assumptions_for([("r", 1, ("b",))], []))
+        assert delta.session.solver is solver
