@@ -1,0 +1,146 @@
+"""Benchmark: the verification service's submit-to-result latency.
+
+One live :class:`~repro.service.VerificationService` (real HTTP over a
+loopback socket, real journal fsyncs, real worker pool) serves the whole
+module.  The cold workload is the campaign's ``dispatch`` protocol
+family — tens of milliseconds of real exploration per seed — so the
+cold rows measure a realistic solve behind the full service stack
+rather than socket overhead.
+
+Rows land in ``BENCH_service.json``:
+
+* ``test_submit_to_result_cold`` — a fresh problem through the whole
+  stack: POST + journal fsync + dispatch + process-pool solve + durable
+  cache write + poll;
+* ``test_cache_hit_fast_path`` — a job whose ``cache_key`` is already in
+  the shared cache: same POST/journal/dispatch path, zero solving.
+
+``test_cache_hit_at_least_10x_cold`` is the CI regression gate: the
+cache-hit fast path must stay at least an order of magnitude faster
+than the cold solve it replaces.
+"""
+
+import itertools
+import time
+
+import pytest
+
+from repro.campaign.specs import ScenarioSpec
+from repro.service import ServiceConfig, VerificationService
+from repro.service.client import ServiceClient
+
+POLL_INTERVAL = 0.002
+"""Tight polling so the rows measure the service, not the poll loop."""
+
+_COLD_SEEDS = itertools.count()
+"""One fresh seed per timed call: resubmitting a finished job would be
+an idempotent no-op, so every cold measurement needs a new problem."""
+
+
+def _cold_body():
+    spec = ScenarioSpec.make("dispatch", next(_COLD_SEEDS))
+    return {"spec": spec.as_dict(), "label": "bench-cold"}
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    root = tmp_path_factory.mktemp("service-bench")
+    instance = VerificationService(ServiceConfig(
+        queue_dir=root / "queue", cache_dir=root / "cache",
+        workers=2)).start()
+    yield instance
+    instance.stop()
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    return ServiceClient(service.url)
+
+
+def _submit_and_wait(client, body):
+    job = client.submit(body)
+    return client.wait(job["id"], timeout=120,
+                       poll_interval=POLL_INTERVAL)
+
+
+def test_submit_to_result_cold(bench, report, client):
+    """A fresh problem through POST + journal + pool solve + poll."""
+
+    def run():
+        final = _submit_and_wait(client, _cold_body())
+        assert final["state"] == "done"
+        return final
+
+    final = bench(run)
+    bench.meta(verdict=final["result"]["verdict"],
+               solves=client.metrics()["solves"])
+    report.append(
+        f"service cold submit-to-result: {bench._row['seconds']:.4f}s"
+    )
+
+
+def test_cache_hit_fast_path(bench, report, client):
+    """A warm job: full queue/dispatch path, result served from cache.
+
+    Each call needs a *distinct* job id over the same cache entry
+    (resubmitting an identical finished job short-circuits at the HTTP
+    layer), so the calls chain ``delta_of`` anchors: every link is a new
+    content address with the same ``cache_key``, and the dispatcher
+    completes it from the cache before the delta path is ever consulted.
+    """
+    body = {"spec": ScenarioSpec.make("dispatch", 9000).as_dict(),
+            "label": "bench-warm"}
+    state = {"last": _submit_and_wait(client, body)["id"]}
+    hits_before = client.metrics()["cache_hits"]
+
+    def run():
+        final = _submit_and_wait(client,
+                                 {**body, "delta_of": state["last"]})
+        assert final["state"] == "done"
+        state["last"] = final["id"]
+        return final
+
+    bench(run)
+    hits = client.metrics()["cache_hits"] - hits_before
+    assert hits >= 1, "the warm path never hit the cache"
+    bench.meta(cache_hits=hits)
+    report.append(
+        f"service cache-hit fast path: {bench._row['seconds']:.4f}s"
+    )
+
+
+def test_cache_hit_at_least_10x_cold(report, client):
+    """CI gate: the cache-hit path must be >= 10x faster than cold."""
+
+    def best_of(fn, repeats=3):
+        times = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - started)
+        return min(times)
+
+    def cold():
+        assert _submit_and_wait(client, _cold_body())["state"] == "done"
+
+    warm_body = {"spec": ScenarioSpec.make("dispatch", 9001).as_dict(),
+                 "label": "bench-gate"}
+    state = {"last": _submit_and_wait(client, warm_body)["id"]}
+
+    def warm():
+        final = _submit_and_wait(
+            client, {**warm_body, "delta_of": state["last"]})
+        assert final["state"] == "done"
+        state["last"] = final["id"]
+
+    cold_seconds = best_of(cold)
+    warm_seconds = best_of(warm)
+    ratio = cold_seconds / max(warm_seconds, 1e-9)
+    report.append(
+        f"service gate: cold {cold_seconds * 1000:.2f}ms vs cache-hit "
+        f"{warm_seconds * 1000:.2f}ms ({ratio:.1f}x)"
+    )
+    assert warm_seconds * 10 <= cold_seconds, (
+        f"cache-hit fast path regressed below 10x cold: "
+        f"{warm_seconds:.4f}s vs {cold_seconds:.4f}s ({ratio:.1f}x)"
+    )

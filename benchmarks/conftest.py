@@ -19,7 +19,10 @@ artifacts, keyed by test id:
 * ``BENCH_solver.json``   — solver-centric rows (consensus checks,
   counterexample searches, search statistics),
 * ``BENCH_delta.json``    — delta-verification rows (cold anchor solve,
-  warm assumption re-solves, fallback cost).
+  warm assumption re-solves, fallback cost),
+* ``BENCH_service.json``  — verification-service rows (submit-to-result
+  latency through the HTTP + journal + worker-pool stack, cache-hit
+  fast path).
 
 Rows whose test id appears in ``BASELINE`` also get ``baseline_seconds``
 and ``speedup_vs_baseline`` fields, so the artifact itself documents the
@@ -43,6 +46,7 @@ _ARTIFACT_BY_MODULE = {
     "bench_check_scaling": "solver",
     "bench_solver_kernels": "solver",
     "bench_delta": "delta",
+    "bench_service": "service",
     "bench_policy_matrix": "solver",
     "bench_rebidding": "solver",
     "bench_example1": None,
@@ -55,6 +59,7 @@ _ARTIFACT_FILES = {
     "encoding": "BENCH_encoding.json",
     "solver": "BENCH_solver.json",
     "delta": "BENCH_delta.json",
+    "service": "BENCH_service.json",
 }
 
 # Pre-refactor reference times, measured on this repo at the PR-3 state

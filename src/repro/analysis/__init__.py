@@ -5,9 +5,11 @@ from repro.analysis.report import (
     fuzz_summary,
     render_campaign_table,
     render_fuzz_table,
+    render_service_table,
     render_table,
     write_campaign_json,
     write_fuzz_json,
+    write_service_json,
 )
 
 __all__ = [
@@ -15,7 +17,9 @@ __all__ = [
     "fuzz_summary",
     "render_campaign_table",
     "render_fuzz_table",
+    "render_service_table",
     "render_table",
     "write_campaign_json",
     "write_fuzz_json",
+    "write_service_json",
 ]

@@ -183,6 +183,50 @@ def write_fuzz_json(report: "FuzzReport", path: str | Path) -> dict:
     return artifact
 
 
+def render_service_table(metrics: dict,
+                         title: str = "service metrics") -> str:
+    """A ``/v1/metrics`` snapshot as an aligned monospace table.
+
+    Takes the plain dict the endpoint (or
+    ``VerificationService.metrics_body()``) returns; the latency
+    histogram is flattened into one ``bucket=count`` row so the whole
+    snapshot reads as a single table.
+    """
+    jobs = metrics.get("jobs", {})
+    histogram = metrics.get("latency_histogram", {})
+    rows = [
+        ["queue_depth", metrics.get("queue_depth", 0)],
+        ["jobs", " ".join(f"{state}={count}"
+                          for state, count in sorted(jobs.items()))],
+        ["solves", metrics.get("solves", 0)],
+        ["cache_hits", metrics.get("cache_hits", 0)],
+        ["cache_hit_rate", metrics.get("cache_hit_rate")],
+        ["delta_reused", metrics.get("delta_reused", 0)],
+        ["delta_fallback", metrics.get("delta_fallback", 0)],
+        ["retries", metrics.get("retries", 0)],
+        ["recovered", metrics.get("recovered", 0)],
+        ["latency", " ".join(f"{bucket}={count}"
+                             for bucket, count in histogram.items())],
+        ["worker_utilization", metrics.get("worker_utilization", 0.0)],
+    ]
+    return render_table(["metric", "value"], rows, title=title)
+
+
+def write_service_json(metrics: dict, path: str | Path) -> dict:
+    """Write a ``/v1/metrics`` snapshot as a BENCH-style artifact.
+
+    The CI smoke job and ops tooling use this to persist a service's
+    final state next to the other ``BENCH_*.json`` trajectories.
+    """
+    artifact = {"benchmark": "service", **metrics}
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return artifact
+
+
 def write_campaign_json(results: Sequence["CampaignResult"],
                         path: str | Path,
                         wall_seconds: float = 0.0,

@@ -131,6 +131,32 @@ class Options:
         """A copy with fields replaced (re-validated on construction)."""
         return dataclasses.replace(self, **overrides)
 
+    def to_json(self) -> dict:
+        """Every field as a JSON-able dict (the wire form).
+
+        Unlike :meth:`cache_signature` this includes the execution knobs
+        (``timeout``, ``workers``, ``cache_dir``) — the wire form must
+        reconstruct the exact options, not just their result identity.
+        """
+        return {f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Options":
+        """Rebuild validated options from :meth:`to_json` output.
+
+        Accepts any subset of the fields (missing ones default); unknown
+        keys raise the same actionable :class:`ValueError` the façade's
+        keyword overrides do, so a typo in a wire submission is caught at
+        the edge instead of silently ignored.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"options must be a JSON object of Options fields, "
+                f"got {type(payload).__name__}"
+            )
+        return resolve_options(None, dict(payload))
+
     def cache_signature(self) -> dict:
         """The result-affecting fields, as a canonical JSON-able dict.
 

@@ -146,10 +146,22 @@ def cache_key(spec: ScenarioSpec, oracle_name: str) -> str:
 
 
 class ResultCache:
-    """Content-addressed on-disk store of campaign results."""
+    """Content-addressed on-disk store of campaign results.
 
-    def __init__(self, directory: str | Path) -> None:
+    Safe under concurrent multi-process writers and readers: every write
+    lands via an exclusive temp file plus an atomic ``os.replace``, so a
+    reader sees either nothing or one complete entry — never a
+    half-written one — and racing writers of the same key resolve to
+    whichever complete entry replaced last.  ``durable=True`` adds an
+    ``fsync`` before the rename (and of the directory after it), so an
+    entry that :meth:`put` has acknowledged survives a machine crash —
+    the verification service runs its shared result store in this mode,
+    backing its no-accepted-job-lost recovery guarantee.
+    """
+
+    def __init__(self, directory: str | Path, *, durable: bool = False) -> None:
         self._dir = Path(directory)
+        self._durable = durable
 
     @property
     def directory(self) -> Path:
@@ -175,28 +187,56 @@ class ResultCache:
             return None
         return payload if isinstance(payload, dict) else None
 
-    def put(self, key: str, payload: dict) -> None:
+    def put(self, key: str, payload: dict) -> bool:
         """Atomically persist one result payload under its key.
 
         Best-effort: a failed write (disk, or a third-party oracle whose
         detail dict is not JSON-able) must never abort the campaign, so
         every failure is swallowed after cleaning up the temp file.
+        Returns True when the entry is fully in place (callers that need
+        the write — the service's worker pool — can react to False).
         """
         try:
             path = self._path(key)
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         except OSError:
-            return
+            return False
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            try:
+                handle = os.fdopen(fd, "w", encoding="utf-8")
+            except OSError:
+                os.close(fd)
+                raise
+            with handle:
                 json.dump(payload, handle, sort_keys=True)
+                if self._durable:
+                    handle.flush()
+                    os.fsync(handle.fileno())
             os.replace(tmp, path)
+            if self._durable:
+                self._fsync_dir(path.parent)
+            return True
         except Exception:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+            return False
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Flush a rename to disk (POSIX: the directory holds the name)."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     def __len__(self) -> int:
         if not self._dir.is_dir():
@@ -265,12 +305,14 @@ def map_jobs(
     *,
     shards: int,
     task_timeout: float,
-) -> None:
+    executor: ProcessPoolExecutor | None = None,
+) -> bool:
     """Run ``worker(*args)`` for every ``(slot, args)`` job and record it.
 
     The generic half of the campaign runner, shared with the façade's
-    ``solve_many`` batch path.  ``shards <= 1`` runs inline (no pool, no
-    preemption); otherwise jobs fan out over a
+    ``solve_many`` batch path and the verification service's worker
+    pool.  ``shards <= 1`` runs inline (no pool, no preemption);
+    otherwise jobs fan out over a
     :class:`~concurrent.futures.ProcessPoolExecutor` with the *stall*
     semantics documented on :func:`run_campaign`: when no job completes
     for ``task_timeout`` seconds, every unfinished job is recorded via
@@ -278,12 +320,22 @@ def map_jobs(
     killed.  ``worker`` must be a module-level (picklable) callable that
     returns a JSON-able payload dict; a worker that raises is recorded
     as a failure payload instead of aborting the batch.
+
+    ``executor`` lends an existing pool for this batch: long-running
+    callers (the service drains job batches continuously) reuse one pool
+    across calls instead of paying worker spawn per batch.  A lent pool
+    is left running on success and is **killed and shut down** after a
+    stall/crash, exactly like an owned one — the caller must replace it
+    then.  Returns True when the pool stayed healthy (always True on the
+    inline path), False when it was abandoned.
     """
-    if shards <= 1:
+    if executor is None and shards <= 1:
         for slot, args in jobs:
             record(slot, worker(*args))
-        return
-    executor = ProcessPoolExecutor(max_workers=shards)
+        return True
+    owned = executor is None
+    if owned:
+        executor = ProcessPoolExecutor(max_workers=shards)
     abandoned = False
     try:
         pending = {
@@ -324,7 +376,9 @@ def map_jobs(
             for process in list(
                     (getattr(executor, "_processes", None) or {}).values()):
                 process.kill()
-        executor.shutdown(wait=True, cancel_futures=True)
+        if owned or abandoned:
+            executor.shutdown(wait=True, cancel_futures=True)
+    return not abandoned
 
 
 def run_campaign(

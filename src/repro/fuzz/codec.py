@@ -14,14 +14,19 @@ directly.  This module maps problems onto plain JSON-able trees and back:
   (:class:`~repro.mca.policies.TableUtility`), which reproduces the
   generated ``GeometricUtility``/``TableUtility`` behaviours exactly
   (both depend only on bundle size);
-* module problems are not tree-encoded — the runner lowers them to their
-  compiled :class:`~repro.api.problems.FormulaProblem` first (see
-  :func:`repro.fuzz.runner.lift_module`), so everything downstream of
-  generation speaks just two tree kinds.
+* module problems record their declarations (sigs, fields, facts) plus
+  the command/goal/scope, and decode to a fingerprint-identical
+  :class:`~repro.api.problems.ModuleProblem`; decoded fact and goal
+  trees share the rebuilt module's sig/field relation *instances*, the
+  identity discipline compilation relies on.  The fuzz loop itself still
+  lowers modules to their compiled formula before mutating (see
+  :func:`repro.fuzz.runner.lift_module`) — the direct encoding exists so
+  wire consumers (the verification service) accept all three kinds.
 
-The trees double as the corpus file format (``tests/fuzz/corpus``) and as
-the payload embedded in emitted repro scripts, so a shrunk counterexample
-is replayable from the JSON alone.
+The trees double as the corpus file format (``tests/fuzz/corpus``), the
+payload embedded in emitted repro scripts, and the verification
+service's job-submission problem format, so a shrunk counterexample or a
+wire job is replayable from the JSON alone.
 """
 
 from __future__ import annotations
@@ -29,7 +34,14 @@ from __future__ import annotations
 import json
 from typing import Callable, Iterator
 
-from repro.api.problems import FormulaProblem, Problem, ProtocolProblem
+from repro.alloylite.module import Module, Scope
+from repro.alloylite.sig import Sig
+from repro.api.problems import (
+    FormulaProblem,
+    ModuleProblem,
+    Problem,
+    ProtocolProblem,
+)
 from repro.kodkod import ast
 from repro.kodkod.bounds import Bounds
 from repro.kodkod.universe import Universe
@@ -160,6 +172,15 @@ class _Decoder:
         if key not in self._relations:
             self._relations[key] = ast.Relation(name, int(arity))
         return self._relations[key]
+
+    def seed_relation(self, relation: ast.Relation) -> None:
+        """Pre-register an existing relation instance under its key.
+
+        The module decoder seeds the rebuilt module's sig/field relations
+        here, so decoded fact trees reference those exact objects —
+        bounds and facts must share relation identity for compilation.
+        """
+        self._relations[(relation.name, relation.arity)] = relation
 
     def variable(self, name: str) -> ast.Variable:
         if name not in self._variables:
@@ -392,8 +413,115 @@ def _probed_table(policy: AgentPolicy, items: tuple) -> list[list]:
     return rows
 
 
+def _module_to_json(problem: ModuleProblem) -> dict:
+    module = problem.module
+    if type(module) is not Module:
+        # Subclasses (e.g. OrderedModule) may bound extra relations during
+        # compile; re-encoding them as a plain declaration list would
+        # silently drop that, breaking the fingerprint-preserving
+        # guarantee.  Refuse instead.
+        raise CodecError(
+            f"cannot encode {type(module).__name__}; only plain Module "
+            f"declarations have a faithful tree form"
+        )
+    sigs = []
+    fields = []
+    for sig in module.sigs:
+        sigs.append({
+            "name": sig.name,
+            "parent": sig.parent.name if sig.parent is not None else None,
+            "one": sig.is_one,
+            "abstract": sig.abstract,
+        })
+        for fld in sig.fields:
+            columns = []
+            for col in fld.columns:
+                if not isinstance(col, Sig):
+                    raise CodecError(
+                        f"cannot encode field {sig.name}.{fld.name}: "
+                        f"non-sig column {type(col).__name__}"
+                    )
+                columns.append(col.name)
+            fields.append({
+                "owner": sig.name,
+                "name": fld.name,
+                "columns": columns,
+                "mult": fld.mult,
+            })
+    scope = problem.scope
+    return {
+        "kind": "module",
+        "name": module.name,
+        "sigs": sigs,
+        "fields": fields,
+        "facts": [formula_to_tree(f) for f in module.facts],
+        "command": problem.command,
+        "goal": (formula_to_tree(problem.goal)
+                 if problem.goal is not None else None),
+        "scope": ({"default": scope.default,
+                   "per_sig": dict(scope.per_sig)}
+                  if scope is not None else None),
+    }
+
+
+def _module_from_json(payload: dict) -> ModuleProblem:
+    try:
+        decoder = _Decoder()
+        module = Module(payload.get("name", "module"))
+        sig_map: dict[str, Sig] = {}
+        for entry in payload["sigs"]:
+            parent_name = entry.get("parent")
+            if parent_name is not None and parent_name not in sig_map:
+                raise CodecError(
+                    f"sig {entry['name']!r} extends undeclared sig "
+                    f"{parent_name!r} (parents must be declared first)"
+                )
+            sig = module.sig(
+                entry["name"],
+                parent=(sig_map[parent_name] if parent_name is not None
+                        else None),
+                is_one=bool(entry.get("one", False)),
+                abstract=bool(entry.get("abstract", False)),
+            )
+            sig_map[sig.name] = sig
+            decoder.seed_relation(sig.relation)
+        for entry in payload["fields"]:
+            owner = sig_map.get(entry["owner"])
+            if owner is None:
+                raise CodecError(
+                    f"field {entry['name']!r} owned by undeclared sig "
+                    f"{entry['owner']!r}"
+                )
+            try:
+                columns = [sig_map[name] for name in entry["columns"]]
+            except KeyError as exc:
+                raise CodecError(
+                    f"field {entry['owner']}.{entry['name']} references "
+                    f"undeclared column sig {exc.args[0]!r}"
+                ) from exc
+            fld = owner.field(entry["name"], *columns, mult=entry["mult"])
+            decoder.seed_relation(fld.relation)
+        for tree in payload.get("facts", []):
+            module.fact(decoder.formula(tree))
+        goal_tree = payload.get("goal")
+        goal = decoder.formula(goal_tree) if goal_tree is not None else None
+        scope_payload = payload.get("scope")
+        scope = (Scope(int(scope_payload["default"]),
+                       {str(name): int(count) for name, count
+                        in scope_payload.get("per_sig", {}).items()})
+                 if scope_payload is not None else None)
+        return ModuleProblem(module, payload.get("command", "run"), goal,
+                             scope)
+    except CodecError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CodecError(f"malformed module payload: {exc}") from exc
+
+
 def problem_to_json(problem: Problem) -> dict:
-    """Encode a formula or protocol problem as a JSON-able payload."""
+    """Encode a formula, module or protocol problem as a JSON payload."""
+    if isinstance(problem, ModuleProblem):
+        return _module_to_json(problem)
     if isinstance(problem, FormulaProblem):
         return {
             "kind": "formula",
@@ -416,15 +544,14 @@ def problem_to_json(problem: Problem) -> dict:
                 for agent, policy in sorted(problem.policies.items())
             },
         }
-    raise CodecError(
-        f"cannot encode {type(problem).__name__}; module problems must be "
-        f"lowered to their compiled formula first (repro.fuzz.runner.lift_module)"
-    )
+    raise CodecError(f"cannot encode {type(problem).__name__}")
 
 
 def problem_from_json(payload: dict) -> Problem:
     """Rebuild a problem from :func:`problem_to_json` output."""
     kind = payload.get("kind")
+    if kind == "module":
+        return _module_from_json(payload)
     if kind == "formula":
         decoder = _Decoder()
         bounds = _bounds_from_json(payload["bounds"], decoder)

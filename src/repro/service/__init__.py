@@ -1,0 +1,60 @@
+"""Verification-as-a-service: an HTTP job API over the façade.
+
+The service turns the library into a long-running system: clients POST
+problem submissions to ``/v1/jobs``, a persistent on-disk queue journals
+every accepted job, an async worker pool drains the queue through the
+campaign runner's process-pool machinery, and the content-addressed
+:class:`~repro.campaign.runner.ResultCache` is the shared result store —
+a job whose (problem fingerprint, options) pair was ever solved
+completes without solving again.
+
+Layers (stdlib only — ``http.server``, ``threading``, ``json``):
+
+* :mod:`repro.service.schema` — the versioned wire schema: job
+  submissions (codec problem trees or campaign specs), validated
+  :class:`~repro.api.Options`, content-addressed job ids;
+* :mod:`repro.service.queue` — the append-only journal + atomic state
+  transitions (pending → running → done/error), crash-safe recovery,
+  stall-kill requeue with a retry cap;
+* :mod:`repro.service.workers` — the worker pool: cache-first completion,
+  ``delta_of`` jobs routed through the warm
+  :class:`~repro.api.DeltaSession` path, everything else fanned out over
+  a persistent :func:`~repro.campaign.runner.map_jobs` pool;
+* :mod:`repro.service.app` — the HTTP layer (`/v1/jobs`, `/v1/results`,
+  `/v1/healthz`, `/v1/metrics`) with token-auth and per-client
+  token-bucket rate-limit stubs;
+* :mod:`repro.service.client` — a small stdlib client used by the tests,
+  the benchmark and the CI smoke job.
+
+Run one with ``python -m repro.service`` (see ``--help``).
+
+The job/result schema is deliberately the contract a distributed
+execution fabric can reuse: satellites that claim queue jobs and write
+into the same cache need nothing the wire format does not already carry.
+"""
+
+from repro.service.app import ServiceConfig, VerificationService
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.queue import JobQueue, JobRecord
+from repro.service.schema import (
+    SERVICE_SCHEMA,
+    JobSubmission,
+    SchemaError,
+    decode_submission,
+)
+from repro.service.workers import ServiceMetrics, WorkerPool
+
+__all__ = [
+    "SERVICE_SCHEMA",
+    "JobQueue",
+    "JobRecord",
+    "JobSubmission",
+    "SchemaError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceMetrics",
+    "VerificationService",
+    "WorkerPool",
+    "decode_submission",
+]

@@ -1,0 +1,85 @@
+"""``python -m repro.service`` — run a verification service.
+
+Prints ``serving on http://HOST:PORT`` once the socket is bound (with
+``--port 0`` the kernel picks the port, so callers — the CI smoke job,
+the e2e tests — parse it from this line), then serves until interrupted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+
+from repro.service.app import ServiceConfig, VerificationService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="HTTP verification service over the repro façade",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="0 binds an ephemeral port (printed on start)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="solver processes in the pool")
+    parser.add_argument("--queue-dir", required=True,
+                        help="persistent job journal directory")
+    parser.add_argument("--cache-dir", required=True,
+                        help="content-addressed result cache directory")
+    parser.add_argument("--token", default=None,
+                        help="require 'Authorization: Bearer <token>'")
+    parser.add_argument("--rate-limit", type=float, default=0.0,
+                        help="requests/second per client (0 = unlimited)")
+    parser.add_argument("--burst", type=int, default=20,
+                        help="rate-limit bucket capacity per client")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="attempts before a stalling job is parked")
+    parser.add_argument("--batch-limit", type=int, default=16,
+                        help="jobs claimed per dispatch round")
+    parser.add_argument("--task-timeout", type=float, default=120.0,
+                        help="pool stall bound in seconds")
+    parser.add_argument("--metrics-json", default=None,
+                        help="write a final /v1/metrics snapshot here on "
+                             "shutdown (BENCH-style artifact)")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    service = VerificationService(ServiceConfig(
+        queue_dir=args.queue_dir,
+        cache_dir=args.cache_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        token=args.token,
+        rate_limit=args.rate_limit,
+        burst=args.burst,
+        max_attempts=args.max_attempts,
+        batch_limit=args.batch_limit,
+        task_timeout=args.task_timeout,
+    ))
+    service.start()
+    print(f"serving on {service.url}", flush=True)
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        from repro.analysis.report import (
+            render_service_table,
+            write_service_json,
+        )
+
+        snapshot = service.metrics_body()
+        service.stop()
+        print(render_service_table(snapshot), flush=True)
+        if args.metrics_json:
+            write_service_json(snapshot, args.metrics_json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,324 @@
+"""The HTTP layer: four versioned endpoints over one service object.
+
+============================  =========================================
+``POST /v1/jobs``             submit a job (``202``; idempotent — the
+                              same work resubmitted returns the same
+                              content-addressed id with ``created``
+                              false, and a finished job's result is
+                              inlined in the response)
+``GET /v1/jobs/<id>``         poll one job: state envelope + the result
+                              payload once the state is ``done``
+``GET /v1/results/<fp>``      every finished result for one problem
+                              fingerprint (any options)
+``GET /v1/healthz``           liveness + queue counts (never auth-gated)
+``GET /v1/metrics``           queue depth, jobs by state, cache hit
+                              rate, solve-latency histogram, worker
+                              utilization
+============================  =========================================
+
+Served by a stdlib :class:`~http.server.ThreadingHTTPServer` — requests
+are handled on threads, solving happens in the worker pool's processes,
+and the two meet only at the (locked) queue.
+
+Two production stubs ship default-off so local use never trips them:
+
+* **token auth** — configuring ``token`` requires
+  ``Authorization: Bearer <token>`` on every endpoint except
+  ``/v1/healthz`` (``401`` otherwise);
+* **rate limiting** — configuring ``rate_limit`` gives each client
+  address a token bucket (``burst`` capacity, ``rate_limit`` refills
+  per second); an empty bucket answers ``429`` with ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.campaign.runner import ResultCache
+from repro.service.queue import DONE, JobQueue, JobRecord
+from repro.service.schema import SERVICE_SCHEMA, SchemaError, decode_submission
+from repro.service.workers import WorkerPool
+
+MAX_BODY_BYTES = 8 * 1024 * 1024
+"""Submission size ceiling (a codec tree this large is a client bug)."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a service instance needs; only the paths are required."""
+
+    queue_dir: str | Path
+    cache_dir: str | Path
+    host: str = "127.0.0.1"
+    port: int = 0
+    """0 binds an ephemeral port; read it back from ``service.port``."""
+    workers: int = 2
+    max_attempts: int = 3
+    batch_limit: int = 16
+    task_timeout: float = 120.0
+    token: str | None = None
+    """Bearer token required on every endpoint but healthz (None = open)."""
+    rate_limit: float = 0.0
+    """Requests/second refilled per client (0 disables rate limiting)."""
+    burst: int = 20
+    """Token-bucket capacity per client."""
+
+
+class _TokenBucket:
+    """One client's rate-limit state (monotonic-clock refill)."""
+
+    __slots__ = ("tokens", "updated")
+
+    def __init__(self, burst: int) -> None:
+        self.tokens = float(burst)
+        self.updated = time.monotonic()
+
+    def allow(self, rate: float, burst: int) -> tuple[bool, float]:
+        now = time.monotonic()
+        self.tokens = min(float(burst),
+                          self.tokens + (now - self.updated) * rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self.tokens) / rate
+
+
+class VerificationService:
+    """Queue + cache + worker pool + HTTP server, one object to run."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.queue = JobQueue(config.queue_dir,
+                              max_attempts=config.max_attempts)
+        # Durable: a job the journal marks done must have its result on
+        # disk even through kill -9, so cache writes fsync.
+        self.cache = ResultCache(config.cache_dir, durable=True)
+        self.pool = WorkerPool(
+            self.queue, self.cache,
+            workers=config.workers,
+            task_timeout=config.task_timeout,
+            batch_limit=config.batch_limit,
+        )
+        self._buckets: dict[str, _TokenBucket] = {}
+        self._buckets_lock = threading.Lock()
+        self._httpd: ThreadingHTTPServer | None = None
+        self._http_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "VerificationService":
+        self.pool.start()
+        self.pool.kick()  # recovered jobs may already be pending
+        self._httpd = _Server((self.config.host, self.config.port),
+                              _Handler, service=self)
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="service-http",
+            daemon=True)
+        self._http_thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=10)
+            self._http_thread = None
+        self.pool.stop()
+        self.queue.close()
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # operations (HTTP-independent, reusable in-process)
+    # ------------------------------------------------------------------
+
+    def submit(self, payload) -> tuple[JobRecord, bool]:
+        """Validate and enqueue one submission (raises SchemaError)."""
+        submission = decode_submission(payload)
+        if submission.delta_of is not None:
+            if self.queue.get(submission.delta_of) is None:
+                raise SchemaError(
+                    f"delta_of references unknown job "
+                    f"{submission.delta_of!r}; submit the anchor first"
+                )
+        record, created = self.queue.submit(submission)
+        if created:
+            self.pool.metrics.count("submitted")
+        self.pool.kick()
+        return record, created
+
+    def job_body(self, record: JobRecord) -> dict:
+        """The GET /v1/jobs/<id> body: envelope + result when done."""
+        body = record.envelope()
+        if record.state == DONE:
+            body["result"] = self.cache.get(record.cache_key)
+        return body
+
+    def results_for(self, fingerprint: str) -> dict:
+        """Every finished result for one problem fingerprint."""
+        entries = []
+        for record in self.queue.by_fingerprint(fingerprint):
+            if record.state != DONE:
+                continue
+            entries.append({"id": record.id,
+                            "label": record.label,
+                            "result": self.cache.get(record.cache_key)})
+        return {"schema": SERVICE_SCHEMA, "fingerprint": fingerprint,
+                "results": entries}
+
+    def metrics_body(self) -> dict:
+        counts = self.queue.counts()
+        return {
+            "schema": SERVICE_SCHEMA,
+            "queue_depth": counts["pending"],
+            "jobs": counts,
+            "recovered": self.queue.recovered,
+            **self.pool.metrics.snapshot(),
+        }
+
+    def health_body(self) -> dict:
+        return {"ok": True, "schema": SERVICE_SCHEMA,
+                "jobs": self.queue.counts(),
+                "recovered": self.queue.recovered}
+
+    # ------------------------------------------------------------------
+    # edge policies
+    # ------------------------------------------------------------------
+
+    def authorized(self, header: str | None) -> bool:
+        if self.config.token is None:
+            return True
+        return header == f"Bearer {self.config.token}"
+
+    def admit(self, client: str) -> tuple[bool, float]:
+        """Rate-limit one request from ``client`` (True = admitted)."""
+        if self.config.rate_limit <= 0:
+            return True, 0.0
+        with self._buckets_lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = _TokenBucket(
+                    self.config.burst)
+            return bucket.allow(self.config.rate_limit, self.config.burst)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, *,
+                 service: VerificationService) -> None:
+        self.service = service
+        super().__init__(address, handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: _Server
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # the service is quiet; metrics are the observability surface
+
+    def _send(self, status: int, body: dict,
+              headers: dict | None = None) -> None:
+        data = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _error(self, status: int, message: str,
+               headers: dict | None = None) -> None:
+        self._send(status, {"error": message}, headers)
+
+    def _gate(self, path: str) -> bool:
+        """Auth + rate limit; True means the request may proceed."""
+        service = self.server.service
+        admitted, retry_after = service.admit(self.client_address[0])
+        if not admitted:
+            self._error(429, "rate limit exceeded",
+                        {"Retry-After": f"{retry_after:.3f}"})
+            return False
+        if path != "/v1/healthz" and not service.authorized(
+                self.headers.get("Authorization")):
+            self._error(401, "missing or invalid bearer token",
+                        {"WWW-Authenticate": "Bearer"})
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if not self._gate(self.path):
+            return
+        if self.path != "/v1/jobs":
+            self._error(404, f"no such endpoint: POST {self.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._error(413, f"body must be 0..{MAX_BODY_BYTES} bytes")
+            return
+        try:
+            payload = json.loads(self.rfile.read(length) or b"null")
+        except ValueError:
+            self._error(400, "body is not valid JSON")
+            return
+        service = self.server.service
+        try:
+            record, created = service.submit(payload)
+        except SchemaError as exc:
+            self._error(400, str(exc))
+            return
+        body = service.job_body(record)
+        body["created"] = created
+        self._send(202, body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if not self._gate(self.path):
+            return
+        service = self.server.service
+        if self.path == "/v1/healthz":
+            self._send(200, service.health_body())
+        elif self.path == "/v1/metrics":
+            self._send(200, service.metrics_body())
+        elif self.path.startswith("/v1/jobs/"):
+            job_id = self.path[len("/v1/jobs/"):]
+            record = service.queue.get(job_id)
+            if record is None:
+                self._error(404, f"unknown job {job_id!r}")
+            else:
+                self._send(200, service.job_body(record))
+        elif self.path.startswith("/v1/results/"):
+            fingerprint = self.path[len("/v1/results/"):]
+            self._send(200, service.results_for(fingerprint))
+        else:
+            self._error(404, f"no such endpoint: GET {self.path}")

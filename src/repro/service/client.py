@@ -1,0 +1,100 @@
+"""A small stdlib client for the verification service.
+
+Used by the tests, the benchmark and the CI smoke job; also the shortest
+path for scripts::
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    job = client.submit({"problem": tree, "options": {"solver": "kodkod"}})
+    result = client.wait(job["id"])["result"]
+
+Every method raises :class:`ServiceError` (carrying the HTTP status and
+the server's ``error`` message) on any non-2xx response.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response (``.status`` holds the HTTP code)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Thin JSON-over-HTTP wrapper around the five endpoints."""
+
+    def __init__(self, base_url: str, *, token: str | None = None,
+                 timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.token = token
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def request(self, method: str, path: str, body=None) -> dict:
+        data = None if body is None else json.dumps(body).encode()
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method)
+        request.add_header("Content-Type", "application/json")
+        if self.token is not None:
+            request.add_header("Authorization", f"Bearer {self.token}")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except ValueError:
+                message = str(exc)
+            raise ServiceError(exc.code, message) from exc
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+
+    def submit(self, submission: dict) -> dict:
+        """POST /v1/jobs — returns the job envelope (``id``, ``state``)."""
+        return self.request("POST", "/v1/jobs", submission)
+
+    def job(self, job_id: str) -> dict:
+        """GET /v1/jobs/<id>."""
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def results(self, fingerprint: str) -> dict:
+        """GET /v1/results/<fingerprint>."""
+        return self.request("GET", f"/v1/results/{fingerprint}")
+
+    def metrics(self) -> dict:
+        """GET /v1/metrics."""
+        return self.request("GET", "/v1/metrics")
+
+    def healthz(self) -> dict:
+        """GET /v1/healthz."""
+        return self.request("GET", "/v1/healthz")
+
+    def wait(self, job_id: str, *, timeout: float = 120.0,
+             poll_interval: float = 0.05) -> dict:
+        """Poll one job until it leaves pending/running.
+
+        Returns the final job body (``state`` is ``done`` or ``error``);
+        raises :class:`TimeoutError` if the deadline passes first.
+        """
+        deadline = time.time() + timeout
+        while True:
+            body = self.job(job_id)
+            if body["state"] in ("done", "error"):
+                return body
+            if time.time() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {body['state']} after {timeout}s")
+            time.sleep(poll_interval)

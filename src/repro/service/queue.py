@@ -1,0 +1,355 @@
+"""The persistent job queue: an append-only journal + in-memory index.
+
+Every accepted job is an event stream in ``journal.jsonl``::
+
+    {"event": "submit", "id": ..., "payload": {...}, ...}
+    {"event": "start",  "id": ..., "attempt": 1, ...}
+    {"event": "done",   "id": ..., ...}        # or "error" / "requeue"
+
+Appends are single ``write()`` calls of one ``\\n``-terminated line,
+flushed and fsynced before :meth:`JobQueue.submit` returns — an accepted
+job survives ``kill -9`` of the server.  Recovery replays the journal:
+a torn final line (the crash interrupted the write itself) is dropped,
+finished jobs stay finished, and jobs that were *running* when the
+process died are requeued — each replay/stall costs one attempt, and a
+job that exhausts :attr:`JobQueue.max_attempts` is parked as an error
+instead of crash-looping the service.
+
+State transitions are atomic under one lock shared by the HTTP threads
+and the worker pool; the journal is the only persistent state (results
+live in the content-addressed cache, keyed by each record's
+``cache_key``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.service.schema import SERVICE_SCHEMA, JobSubmission
+
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+ERROR = "error"
+
+STATES = (PENDING, RUNNING, DONE, ERROR)
+
+DEFAULT_MAX_ATTEMPTS = 3
+"""Attempts (initial + retries) before a stalling job is parked as error."""
+
+
+class QueueError(RuntimeError):
+    """An impossible transition was requested (caller bug)."""
+
+
+@dataclass
+class JobRecord:
+    """One job's full state, reconstructible from the journal."""
+
+    id: str
+    payload: dict
+    fingerprint: str
+    cache_key: str
+    kind: str
+    state: str = PENDING
+    attempts: int = 0
+    error: str | None = None
+    label: str = ""
+    delta_of: str | None = None
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    def envelope(self) -> dict:
+        """The job's wire envelope (GET /v1/jobs/<id> body, sans result)."""
+        return {
+            "schema": SERVICE_SCHEMA,
+            "id": self.id,
+            "state": self.state,
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "attempts": self.attempts,
+            "error": self.error,
+            "label": self.label,
+            "delta_of": self.delta_of,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+        }
+
+
+class JobQueue:
+    """Crash-safe persistent queue with atomic state transitions."""
+
+    def __init__(self, directory: str | Path, *,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self.max_attempts = max_attempts
+        self._lock = threading.RLock()
+        self._jobs: dict[str, JobRecord] = {}
+        self._by_fingerprint: dict[str, list[str]] = {}
+        self._recovered = 0
+        self._dropped_lines = 0
+        self._replay()
+        self._journal = open(self._journal_path, "a", encoding="utf-8")
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    @property
+    def _journal_path(self) -> Path:
+        return self._dir / "journal.jsonl"
+
+    @property
+    def recovered(self) -> int:
+        """Jobs that were running at the last crash and were requeued."""
+        return self._recovered
+
+    # ------------------------------------------------------------------
+    # journal
+    # ------------------------------------------------------------------
+
+    def _append(self, event: dict) -> None:
+        """Durably append one event line (fsync before returning)."""
+        line = json.dumps(event, sort_keys=True) + "\n"
+        self._journal.write(line)
+        self._journal.flush()
+        os.fsync(self._journal.fileno())
+
+    def _replay(self) -> None:
+        """Rebuild the index from the journal; requeue interrupted jobs."""
+        path = self._journal_path
+        if not path.exists():
+            return
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    # A torn line: either the tail the crash cut short, or
+                    # corruption.  Either way the event never finished
+                    # being accepted; drop it and keep replaying.
+                    self._dropped_lines += 1
+                    continue
+                if isinstance(event, dict):
+                    self._apply(event)
+        # Jobs mid-flight when the process died: the attempt is lost, so
+        # requeue (or park) exactly as a stall would.
+        for record in self._jobs.values():
+            if record.state == RUNNING:
+                self._recovered += 1
+                if record.attempts >= self.max_attempts:
+                    record.state = ERROR
+                    record.error = (
+                        f"gave up after {record.attempts} interrupted "
+                        f"attempt(s) (crash or stall each time)"
+                    )
+                    record.finished_at = time.time()
+                else:
+                    record.state = PENDING
+
+    def _apply(self, event: dict) -> None:
+        """Fold one journal event into the in-memory index."""
+        kind = event.get("event")
+        if kind == "submit":
+            record = JobRecord(
+                id=event["id"],
+                payload=event.get("payload", {}),
+                fingerprint=event.get("fingerprint", ""),
+                cache_key=event.get("cache_key", ""),
+                kind=event.get("kind", ""),
+                label=event.get("label", ""),
+                delta_of=event.get("delta_of"),
+                submitted_at=event.get("t", 0.0),
+            )
+            if record.id not in self._jobs:
+                self._jobs[record.id] = record
+                self._by_fingerprint.setdefault(
+                    record.fingerprint, []).append(record.id)
+            return
+        record = self._jobs.get(event.get("id", ""))
+        if record is None:
+            return  # an event for a submit line that was torn: ignore
+        if kind == "start":
+            record.state = RUNNING
+            record.attempts = event.get("attempt", record.attempts + 1)
+            record.started_at = event.get("t")
+        elif kind == "done":
+            record.state = DONE
+            record.error = None
+            record.finished_at = event.get("t")
+        elif kind == "error":
+            record.state = ERROR
+            record.error = event.get("error", "unknown error")
+            record.finished_at = event.get("t")
+        elif kind == "requeue":
+            record.state = PENDING
+            record.error = None
+
+    # ------------------------------------------------------------------
+    # transitions
+    # ------------------------------------------------------------------
+
+    def submit(self, submission: JobSubmission) -> tuple[JobRecord, bool]:
+        """Accept a submission; idempotent on the content-addressed id.
+
+        Returns ``(record, created)``.  Resubmitting a pending/running/
+        done job is a no-op returning the existing record; resubmitting
+        an *errored* job requeues it with a fresh attempt budget (errors
+        are never cached, so the client is explicitly asking for a
+        retry).
+        """
+        with self._lock:
+            existing = self._jobs.get(submission.job_id)
+            if existing is not None:
+                if existing.state == ERROR:
+                    existing.state = PENDING
+                    existing.error = None
+                    existing.attempts = 0
+                    self._append({"event": "requeue",
+                                  "id": existing.id,
+                                  "reason": "resubmitted",
+                                  "t": time.time()})
+                return existing, False
+            now = time.time()
+            record = JobRecord(
+                id=submission.job_id,
+                payload=submission.payload(),
+                fingerprint=submission.fingerprint,
+                cache_key=submission.cache_key,
+                kind=submission.kind,
+                label=submission.label,
+                delta_of=submission.delta_of,
+                submitted_at=now,
+            )
+            self._append({
+                "event": "submit",
+                "id": record.id,
+                "payload": record.payload,
+                "fingerprint": record.fingerprint,
+                "cache_key": record.cache_key,
+                "kind": record.kind,
+                "label": record.label,
+                "delta_of": record.delta_of,
+                "t": now,
+            })
+            self._jobs[record.id] = record
+            self._by_fingerprint.setdefault(
+                record.fingerprint, []).append(record.id)
+            return record, True
+
+    def claim(self, limit: int) -> list[JobRecord]:
+        """Atomically move up to ``limit`` pending jobs to running."""
+        claimed: list[JobRecord] = []
+        with self._lock:
+            for record in self._jobs.values():
+                if len(claimed) >= limit:
+                    break
+                if record.state != PENDING:
+                    continue
+                record.state = RUNNING
+                record.attempts += 1
+                record.started_at = time.time()
+                self._append({"event": "start", "id": record.id,
+                              "attempt": record.attempts,
+                              "t": record.started_at})
+                claimed.append(record)
+        return claimed
+
+    def complete(self, job_id: str) -> JobRecord:
+        """running → done (the result is in the cache under cache_key)."""
+        with self._lock:
+            record = self._require(job_id, RUNNING)
+            record.state = DONE
+            record.error = None
+            record.finished_at = time.time()
+            self._append({"event": "done", "id": record.id,
+                          "t": record.finished_at})
+            return record
+
+    def fail(self, job_id: str, error: str, *,
+             retryable: bool = True) -> JobRecord:
+        """running → pending (stall-kill requeue) or → error (cap hit).
+
+        ``retryable=False`` parks the job immediately — a deterministic
+        solver crash will not pass on attempt three either; retries are
+        for environmental failures (stalled/killed workers).
+        """
+        with self._lock:
+            record = self._require(job_id, RUNNING)
+            if retryable and record.attempts < self.max_attempts:
+                record.state = PENDING
+                record.error = None
+                self._append({"event": "requeue", "id": record.id,
+                              "reason": error[:500], "t": time.time()})
+            else:
+                record.state = ERROR
+                record.error = error
+                record.finished_at = time.time()
+                self._append({"event": "error", "id": record.id,
+                              "error": error, "t": record.finished_at})
+            return record
+
+    def _require(self, job_id: str, state: str) -> JobRecord:
+        record = self._jobs.get(job_id)
+        if record is None:
+            raise QueueError(f"unknown job {job_id!r}")
+        if record.state != state:
+            raise QueueError(
+                f"job {job_id!r} is {record.state}, expected {state}"
+            )
+        return record
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def get(self, job_id: str) -> JobRecord | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def by_fingerprint(self, fingerprint: str) -> list[JobRecord]:
+        """Every job (any state) submitted for one problem fingerprint."""
+        with self._lock:
+            return [self._jobs[jid]
+                    for jid in self._by_fingerprint.get(fingerprint, [])]
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per state (the /v1/metrics ``jobs`` block)."""
+        with self._lock:
+            counts = {state: 0 for state in STATES}
+            for record in self._jobs.values():
+                counts[record.state] += 1
+            return counts
+
+    def depth(self) -> int:
+        """Pending jobs (the queue-depth gauge)."""
+        return self.counts()[PENDING]
+
+    def unfinished(self) -> int:
+        """Pending + running jobs (drain detection)."""
+        counts = self.counts()
+        return counts[PENDING] + counts[RUNNING]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def close(self) -> None:
+        """Close the journal handle (the queue object is done)."""
+        with self._lock:
+            try:
+                self._journal.close()
+            except OSError:
+                pass

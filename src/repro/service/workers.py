@@ -1,0 +1,314 @@
+"""The async worker pool: drains the queue through the campaign runner.
+
+One dispatcher thread claims batches of pending jobs and completes them
+by the cheapest route available:
+
+* **cache hit** — the job's ``cache_key`` is already in the shared
+  :class:`~repro.campaign.runner.ResultCache`: the job completes without
+  solving anything (errors are never cached, so a hit is always a real
+  verdict);
+* **delta job** — a ``delta_of`` submission is answered in-process
+  through :class:`repro.api.DeltaSession`: sessions are anchored on the
+  referenced job's problem and kept in a small LRU so a stream of edits
+  against one anchor reuses a live solver (``detail["delta"]`` records
+  which path answered);
+* **miss** — everything else fans out over a *persistent*
+  :class:`~concurrent.futures.ProcessPoolExecutor` lent to
+  :func:`~repro.campaign.runner.map_jobs`, reusing the batch path's
+  stall-kill semantics: a wedged pool is killed, the affected jobs are
+  requeued (up to the queue's retry cap), and the pool is rebuilt for
+  the next batch.
+
+Solved results are written into the cache *before* the job is marked
+done — with ``durable=True`` the cache write is fsynced, so a job the
+journal says is done always has its result on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.api.batch import DEFAULT_TASK_TIMEOUT, _solve_worker
+from repro.api.delta import DeltaSession
+from repro.api.options import Options
+from repro.campaign.runner import ResultCache, map_jobs
+from repro.service.queue import JobQueue, JobRecord
+from repro.service.schema import decode_problem
+
+_LATENCY_BUCKETS = tuple(0.001 * 2 ** i for i in range(18))
+"""Histogram bucket upper bounds: 1 ms .. ~131 s, powers of two."""
+
+_SESSION_CAP = 8
+"""Live DeltaSessions kept warm (LRU) — each holds a solver."""
+
+
+class ServiceMetrics:
+    """Thread-safe counters + histogram behind ``/v1/metrics``."""
+
+    def __init__(self, workers: int) -> None:
+        self._lock = threading.Lock()
+        self._workers = max(1, workers)
+        self._started = time.time()
+        self._busy_seconds = 0.0
+        self._latency = [0] * (len(_LATENCY_BUCKETS) + 1)
+        self.submitted = 0
+        self.cache_hits = 0
+        self.solves = 0
+        self.delta_reused = 0
+        self.delta_fallback = 0
+        self.jobs_done = 0
+        self.jobs_error = 0
+        self.retries = 0
+
+    def count(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def observe_done(self, latency_seconds: float) -> None:
+        """A job reached ``done``; bucket its submit-to-result latency."""
+        with self._lock:
+            self.jobs_done += 1
+            for index, bound in enumerate(_LATENCY_BUCKETS):
+                if latency_seconds <= bound:
+                    self._latency[index] += 1
+                    break
+            else:
+                self._latency[-1] += 1
+
+    def observe_busy(self, seconds: float) -> None:
+        """Solver time actually burned (utilization numerator)."""
+        with self._lock:
+            self._busy_seconds += max(0.0, seconds)
+
+    def snapshot(self) -> dict:
+        """The metrics block of ``/v1/metrics`` (plain JSON)."""
+        with self._lock:
+            elapsed = max(1e-9, time.time() - self._started)
+            completions = self.cache_hits + self.solves
+            histogram = {}
+            for index, bound in enumerate(_LATENCY_BUCKETS):
+                if self._latency[index]:
+                    histogram[f"le_{bound:g}s"] = self._latency[index]
+            if self._latency[-1]:
+                histogram["inf"] = self._latency[-1]
+            return {
+                "uptime_seconds": round(elapsed, 3),
+                "submitted": self.submitted,
+                "jobs_done": self.jobs_done,
+                "jobs_error": self.jobs_error,
+                "retries": self.retries,
+                "solves": self.solves,
+                "cache_hits": self.cache_hits,
+                "cache_hit_rate": (round(self.cache_hits / completions, 4)
+                                   if completions else None),
+                "delta_reused": self.delta_reused,
+                "delta_fallback": self.delta_fallback,
+                "latency_histogram": histogram,
+                "worker_utilization": round(
+                    min(1.0, self._busy_seconds / (self._workers * elapsed)),
+                    4),
+            }
+
+
+class WorkerPool:
+    """The dispatcher thread + persistent solve pool over one queue."""
+
+    def __init__(self, queue: JobQueue, cache: ResultCache, *,
+                 workers: int = 2,
+                 task_timeout: float = DEFAULT_TASK_TIMEOUT,
+                 batch_limit: int = 16,
+                 poll_interval: float = 0.05) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.queue = queue
+        self.cache = cache
+        self.workers = workers
+        self.task_timeout = task_timeout
+        self.batch_limit = max(1, batch_limit)
+        self.poll_interval = poll_interval
+        self.metrics = ServiceMetrics(workers)
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._executor: ProcessPoolExecutor | None = None
+        self._sessions: OrderedDict[tuple, DeltaSession] = OrderedDict()
+        self._thread = threading.Thread(
+            target=self._run, name="service-dispatcher", daemon=True)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        self._thread.start()
+        return self
+
+    def kick(self) -> None:
+        """Wake the dispatcher now (called on every accepted submission)."""
+        self._wake.set()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._wake.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=30)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self._sessions.clear()
+
+    def drain(self, timeout: float = 60.0) -> bool:
+        """Block until no job is pending/running (True) or timeout."""
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            if self.queue.unfinished() == 0 and self._idle.is_set():
+                return True
+            time.sleep(0.02)
+        return self.queue.unfinished() == 0
+
+    # ------------------------------------------------------------------
+    # the dispatch loop
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(self.poll_interval)
+            self._wake.clear()
+            if self._stop.is_set():
+                break
+            claimed = self.queue.claim(self.batch_limit)
+            if not claimed:
+                continue
+            self._idle.clear()
+            try:
+                self._process(claimed)
+            finally:
+                self._idle.set()
+
+    def _process(self, claimed: list[JobRecord]) -> None:
+        misses: list[JobRecord] = []
+        for record in claimed:
+            hit = self.cache.get(record.cache_key)
+            if hit is not None and hit.get("error") is None:
+                self.metrics.count("cache_hits")
+                self._finish(record, latency_start=record.submitted_at)
+            elif record.delta_of is not None:
+                self._solve_delta_job(record)
+            else:
+                misses.append(record)
+        if misses:
+            self._solve_batch(misses)
+
+    # ------------------------------------------------------------------
+    # completion routes
+    # ------------------------------------------------------------------
+
+    def _finish(self, record: JobRecord, *, latency_start: float) -> None:
+        self.queue.complete(record.id)
+        self.metrics.observe_done(time.time() - latency_start)
+
+    def _job_options(self, record: JobRecord) -> Options:
+        return Options.from_json(record.payload.get("options") or {})
+
+    def _solve_delta_job(self, record: JobRecord) -> None:
+        """Answer a ``delta_of`` job on a warm (LRU-cached) session."""
+        try:
+            options = self._job_options(record)
+            problem = decode_problem(record.payload["problem"])
+            session = self._session_for(record, options)
+            result = session.solve(problem)
+        except Exception as exc:  # decode/anchor errors are deterministic
+            self.queue.fail(record.id, f"delta job failed: {exc}",
+                            retryable=False)
+            self.metrics.count("jobs_error")
+            return
+        from repro.api.result import result_to_json
+
+        payload = result_to_json(result)
+        path = (result.detail.get("delta") or {}).get("path")
+        self.metrics.count("delta_reused" if path == "reused"
+                           else "delta_fallback")
+        self.metrics.count("solves")
+        self.metrics.observe_busy(result.seconds)
+        if payload.get("error") is None:
+            self.cache.put(record.cache_key, payload)
+            self._finish(record, latency_start=record.submitted_at)
+        else:
+            self.queue.fail(record.id, payload["error"], retryable=False)
+            self.metrics.count("jobs_error")
+
+    def _session_for(self, record: JobRecord,
+                     options: Options) -> DeltaSession:
+        anchor = self.queue.get(record.delta_of)
+        if anchor is None:
+            raise ValueError(
+                f"delta_of references unknown job {record.delta_of!r}")
+        key = (record.delta_of,
+               json.dumps(options.cache_signature(), sort_keys=True))
+        session = self._sessions.get(key)
+        if session is not None:
+            self._sessions.move_to_end(key)
+            return session
+        anchor_problem = decode_problem(anchor.payload["problem"])
+        # The anchor was (or will be) solved by its own job; the session
+        # only needs its translation, so skip the redundant anchor solve.
+        session = DeltaSession(anchor_problem, options=options,
+                               solve_anchor=False)
+        self._sessions[key] = session
+        while len(self._sessions) > _SESSION_CAP:
+            self._sessions.popitem(last=False)
+        return session
+
+    def _solve_batch(self, records: list[JobRecord]) -> None:
+        """Fan cache misses out over the persistent process pool."""
+        jobs = []
+        stalled: set[int] = set()
+        for slot, record in enumerate(records):
+            try:
+                options = self._job_options(record)
+                problem = decode_problem(record.payload["problem"])
+            except Exception as exc:
+                self.queue.fail(record.id, f"undecodable job: {exc}",
+                                retryable=False)
+                self.metrics.count("jobs_error")
+                continue
+            jobs.append((slot, (problem, options)))
+        if not jobs:
+            return
+
+        def record_result(slot: int, payload: dict) -> None:
+            record = records[slot]
+            self.metrics.count("solves")
+            self.metrics.observe_busy(payload.get("seconds") or 0.0)
+            if payload.get("error") is None:
+                self.cache.put(record.cache_key, payload)
+                self._finish(record, latency_start=record.submitted_at)
+                return
+            # A stall is environmental (requeue, costing an attempt); a
+            # worker exception is deterministic (park immediately).
+            retryable = slot in stalled
+            updated = self.queue.fail(record.id, payload["error"],
+                                      retryable=retryable)
+            if updated.state == "pending":
+                self.metrics.count("retries")
+            else:
+                self.metrics.count("jobs_error")
+
+        def failure(slot: int, error: str, seconds: float) -> dict:
+            stalled.add(slot)
+            return {"verdict": "error", "seconds": seconds, "error": error}
+
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        healthy = map_jobs(jobs, _solve_worker, record_result, failure,
+                           shards=self.workers,
+                           task_timeout=self.task_timeout,
+                           executor=self._executor)
+        if not healthy:
+            # map_jobs killed and shut the lent pool down; rebuild lazily.
+            self._executor = None

@@ -1,6 +1,12 @@
 """Tests for report rendering."""
 
-from repro.analysis import render_table
+import json
+
+from repro.analysis import (
+    render_service_table,
+    render_table,
+    write_service_json,
+)
 
 
 class TestRenderTable:
@@ -24,3 +30,40 @@ class TestRenderTable:
         assert header.count("|") == 2
         assert row.count("|") == 2
         assert separator.count("+") == 2
+
+
+SNAPSHOT = {
+    "schema": 1,
+    "queue_depth": 2,
+    "jobs": {"pending": 2, "running": 1, "done": 7, "error": 0},
+    "recovered": 1,
+    "solves": 5,
+    "cache_hits": 2,
+    "cache_hit_rate": 0.2857,
+    "delta_reused": 1,
+    "delta_fallback": 0,
+    "retries": 1,
+    "latency_histogram": {"le_0.032s": 6, "le_0.064s": 1},
+    "worker_utilization": 0.41,
+}
+
+
+class TestServiceReport:
+    def test_table_flattens_the_snapshot(self):
+        out = render_service_table(SNAPSHOT)
+        assert out.splitlines()[0] == "service metrics"
+        assert "pending=2" in out and "done=7" in out
+        assert "le_0.032s=6" in out
+        assert "cache_hit_rate" in out
+
+    def test_table_tolerates_a_minimal_snapshot(self):
+        out = render_service_table({})
+        assert "queue_depth" in out
+
+    def test_artifact_round_trips(self, tmp_path):
+        target = tmp_path / "nested" / "BENCH_service_state.json"
+        artifact = write_service_json(SNAPSHOT, target)
+        assert artifact["benchmark"] == "service"
+        on_disk = json.loads(target.read_text(encoding="utf-8"))
+        assert on_disk == artifact
+        assert on_disk["jobs"]["done"] == 7

@@ -39,10 +39,57 @@ class TestRoundTrip:
         rebuilt = codec.problem_from_json(codec.problem_to_json(problem))
         assert problem_fingerprint(rebuilt) == problem_fingerprint(problem)
 
-    def test_module_problems_are_rejected(self):
-        problem = generate(FuzzSpec.make("module", 0, size=2))
-        with pytest.raises(CodecError, match="lowered to their compiled"):
-            codec.problem_to_json(problem)
+    @pytest.mark.parametrize("seed", range(8))
+    def test_module_problems_round_trip(self, seed):
+        """Direct module encoding preserves the fingerprint — which hashes
+        the *compiled* universe/bounds/facts, so sigs, fields, implicit
+        facts and the scope must all survive the wire."""
+        problem = generate(FuzzSpec.make("module", seed, size=3))
+        payload = codec.problem_to_json(problem)
+        json.dumps(payload)  # must be JSON-able
+        assert payload["kind"] == "module"
+        rebuilt = codec.problem_from_json(payload)
+        assert rebuilt.command == problem.command
+        assert problem_fingerprint(rebuilt) == problem_fingerprint(problem)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_module_round_trip_solves_identically(self, seed):
+        from repro import api
+
+        problem = generate(FuzzSpec.make("module", seed, size=2))
+        rebuilt = codec.problem_from_json(codec.problem_to_json(problem))
+        assert (api.solve(rebuilt).verdict
+                == api.solve(problem).verdict)
+
+    def test_module_facts_share_sig_relations(self):
+        """Decoded fact/goal trees must reference the rebuilt module's own
+        sig/field relation objects (compilation compares by identity)."""
+        problem = generate(FuzzSpec.make("module", 3, size=3))
+        rebuilt = codec.problem_from_json(codec.problem_to_json(problem))
+        module_rels = {id(s.relation) for s in rebuilt.module.sigs}
+        module_rels |= {id(f.relation) for s in rebuilt.module.sigs
+                        for f in s.fields}
+        names = {s.name for s in rebuilt.module.sigs}
+        names |= {f.relation.name for s in rebuilt.module.sigs
+                  for f in s.fields}
+        trees = list(rebuilt.module.facts)
+        if rebuilt.goal is not None:
+            trees.append(rebuilt.goal)
+        for formula in trees:
+            for node in _walk_relations(formula):
+                if node.name in names:
+                    assert id(node) in module_rels
+
+    def test_ordered_module_subclasses_are_rejected(self):
+        from repro.alloylite import OrderedModule
+
+        module = OrderedModule("ord")
+        state = module.sig("State")
+        module.ordering(state)
+        from repro.api.problems import ModuleProblem
+
+        with pytest.raises(CodecError, match="OrderedModule"):
+            codec.problem_to_json(ModuleProblem(module))
 
     def test_relations_decode_to_shared_instances(self):
         """The same (name, arity) must decode to one Relation object —
@@ -80,6 +127,44 @@ class TestMalformedTrees:
     def test_unknown_problem_kind(self):
         with pytest.raises(CodecError, match="unknown problem kind"):
             codec.problem_from_json({"kind": "haiku"})
+
+    def test_module_with_undeclared_parent_sig(self):
+        with pytest.raises(CodecError, match="undeclared sig"):
+            codec.problem_from_json({
+                "kind": "module",
+                "sigs": [{"name": "B", "parent": "A",
+                          "one": False, "abstract": False}],
+                "fields": [], "facts": [],
+                "command": "run", "goal": None, "scope": None,
+            })
+
+    def test_module_with_undeclared_field_column(self):
+        with pytest.raises(CodecError, match="undeclared column sig"):
+            codec.problem_from_json({
+                "kind": "module",
+                "sigs": [{"name": "A", "parent": None,
+                          "one": False, "abstract": False}],
+                "fields": [{"owner": "A", "name": "f",
+                            "columns": ["Z"], "mult": "set"}],
+                "facts": [],
+                "command": "run", "goal": None, "scope": None,
+            })
+
+    def test_module_missing_sigs_key(self):
+        with pytest.raises(CodecError, match="malformed module payload"):
+            codec.problem_from_json({"kind": "module", "fields": []})
+
+    def test_module_check_without_goal(self):
+        """Problem-level validation surfaces as CodecError, mirroring the
+        formula decoder's contract."""
+        with pytest.raises(CodecError, match="requires a goal"):
+            codec.problem_from_json({
+                "kind": "module",
+                "sigs": [{"name": "A", "parent": None,
+                          "one": False, "abstract": False}],
+                "fields": [], "facts": [],
+                "command": "check", "goal": None, "scope": None,
+            })
 
     def test_arity_mismatch_is_codec_error(self):
         tree = {"f": "subset",

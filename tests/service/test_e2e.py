@@ -1,0 +1,149 @@
+"""End-to-end service tests: real server process, real HTTP, kill -9.
+
+The acceptance bar for the service:
+
+* a 50-problem mixed-family batch submitted over HTTP returns verdicts
+  identical to in-process ``facade.solve``;
+* warm resubmission (a second service instance sharing the cache
+  directory) completes entirely from cache — zero new solves, measured
+  in ``/v1/metrics``;
+* ``kill -9`` mid-batch loses no accepted job: after a restart on the
+  same queue directory every submitted job still reaches ``done``.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import problem_from_spec, solve
+from repro.campaign.specs import FAMILIES, ScenarioSpec
+from repro.fuzz.codec import problem_to_json
+from repro.fuzz.generators import FuzzSpec, generate
+from repro.service import ServiceConfig, VerificationService
+from repro.service.client import ServiceClient
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def mixed_batch(count: int):
+    """``count`` (problem, submission body) pairs across every family."""
+    problems = []
+    for index in range(count):
+        if index % 5 == 4:
+            family = sorted(FAMILIES)[(index // 5) % len(FAMILIES)]
+            spec = ScenarioSpec.make(family, index)
+            problems.append((problem_from_spec(spec),
+                             {"spec": spec.as_dict(), "label": family}))
+        else:
+            kind = ("formula", "module", "protocol", "formula")[index % 4]
+            problem = generate(FuzzSpec.make(kind, index))
+            problems.append((problem,
+                             {"problem": problem_to_json(problem)}))
+    return problems
+
+
+class TestAcceptanceBatch:
+    def test_fifty_problem_batch_matches_inprocess_then_runs_warm(
+            self, tmp_path):
+        batch = mixed_batch(50)
+        cold = VerificationService(ServiceConfig(
+            queue_dir=tmp_path / "q-cold", cache_dir=tmp_path / "cache",
+            workers=4)).start()
+        verdicts = {}
+        try:
+            client = ServiceClient(cold.url)
+            jobs = [client.submit(body)["id"] for _, body in batch]
+            assert len(set(jobs)) == 50
+            for (problem, _), job_id in zip(batch, jobs):
+                final = client.wait(job_id, timeout=300)
+                assert final["state"] == "done"
+                direct = solve(problem)
+                assert final["result"]["verdict"] == direct.verdict.value
+                verdicts[job_id] = final["result"]["verdict"]
+            metrics = client.metrics()
+            assert metrics["jobs"]["done"] == 50
+            assert metrics["jobs"]["error"] == 0
+        finally:
+            cold.stop()
+
+        # A new instance, fresh queue, same cache: everything completes
+        # without a single new solve.
+        warm = VerificationService(ServiceConfig(
+            queue_dir=tmp_path / "q-warm", cache_dir=tmp_path / "cache",
+            workers=4)).start()
+        try:
+            client = ServiceClient(warm.url)
+            jobs = [client.submit(body)["id"] for _, body in batch]
+            for job_id in jobs:
+                final = client.wait(job_id, timeout=60)
+                assert final["state"] == "done"
+                assert final["result"]["verdict"] == verdicts[job_id]
+            metrics = client.metrics()
+            assert metrics["solves"] == 0
+            assert metrics["cache_hits"] == 50
+            assert metrics["cache_hit_rate"] == 1.0
+        finally:
+            warm.stop()
+
+
+def start_server(queue_dir, cache_dir, *, workers=2):
+    """Run ``python -m repro.service`` and parse the bound port."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--port", "0",
+         "--queue-dir", str(queue_dir), "--cache-dir", str(cache_dir),
+         "--workers", str(workers)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, cwd=str(REPO_ROOT),
+    )
+    line = process.stdout.readline().strip()
+    assert line.startswith("serving on "), f"unexpected banner: {line!r}"
+    return process, line.removeprefix("serving on ")
+
+
+class TestKillDashNine:
+    def test_kill_mid_batch_then_clean_recovery(self, tmp_path):
+        queue_dir = tmp_path / "queue"
+        cache_dir = tmp_path / "cache"
+        batch = mixed_batch(12)
+
+        process, url = start_server(queue_dir, cache_dir)
+        try:
+            client = ServiceClient(url)
+            jobs = [client.submit(body)["id"] for _, body in batch]
+            # Let the pool get partway through the batch, then SIGKILL:
+            # no flush, no shutdown hook, nothing graceful.
+            deadline = time.time() + 60
+            while time.time() < deadline:
+                if client.metrics()["jobs"]["done"] >= 1:
+                    break
+                time.sleep(0.02)
+        finally:
+            process.kill()
+            process.wait(timeout=30)
+
+        process, url = start_server(queue_dir, cache_dir)
+        try:
+            client = ServiceClient(url)
+            assert client.healthz()["ok"] is True
+            for (problem, _), job_id in zip(batch, jobs):
+                final = client.wait(job_id, timeout=300)
+                assert final["state"] == "done", (
+                    f"job {job_id} lost to the crash: {final}")
+                assert final["result"]["verdict"] == \
+                    solve(problem).verdict.value
+            counts = client.metrics()["jobs"]
+            assert counts["done"] == 12 and counts["error"] == 0
+        finally:
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)

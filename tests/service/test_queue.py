@@ -1,0 +1,179 @@
+"""JobQueue state transitions, journal durability and crash recovery."""
+
+import json
+
+import pytest
+
+from repro.fuzz.codec import problem_to_json
+from repro.fuzz.generators import FuzzSpec, generate
+from repro.service.queue import DONE, ERROR, PENDING, RUNNING, JobQueue
+from repro.service.queue import QueueError
+from repro.service.schema import decode_submission
+
+
+def submission(seed=0, **extra):
+    payload = {"problem": problem_to_json(
+        generate(FuzzSpec.make("formula", seed)))}
+    payload.update(extra)
+    return decode_submission(payload)
+
+
+class TestTransitions:
+    def test_happy_path(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        record, created = queue.submit(submission())
+        assert created and record.state == PENDING
+        claimed = queue.claim(10)
+        assert [r.id for r in claimed] == [record.id]
+        assert record.state == RUNNING and record.attempts == 1
+        queue.complete(record.id)
+        assert record.state == DONE
+        assert queue.counts() == {"pending": 0, "running": 0,
+                                  "done": 1, "error": 0}
+
+    def test_submission_is_idempotent(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        first, created1 = queue.submit(submission())
+        second, created2 = queue.submit(submission())
+        assert created1 and not created2
+        assert first is second
+        assert len(queue) == 1
+
+    def test_claim_respects_the_limit(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        for seed in range(5):
+            queue.submit(submission(seed))
+        assert len(queue.claim(2)) == 2
+        assert len(queue.claim(10)) == 3
+        assert queue.claim(10) == []
+
+    def test_retryable_failure_requeues_until_the_cap(self, tmp_path):
+        queue = JobQueue(tmp_path, max_attempts=2)
+        record, _ = queue.submit(submission())
+        queue.claim(1)
+        queue.fail(record.id, "stalled", retryable=True)
+        assert record.state == PENDING and record.attempts == 1
+        queue.claim(1)
+        queue.fail(record.id, "stalled again", retryable=True)
+        assert record.state == ERROR
+        assert "stalled again" in record.error
+
+    def test_non_retryable_failure_parks_immediately(self, tmp_path):
+        queue = JobQueue(tmp_path, max_attempts=5)
+        record, _ = queue.submit(submission())
+        queue.claim(1)
+        queue.fail(record.id, "deterministic crash", retryable=False)
+        assert record.state == ERROR and record.attempts == 1
+
+    def test_resubmitting_an_errored_job_requeues_it(self, tmp_path):
+        queue = JobQueue(tmp_path, max_attempts=1)
+        record, _ = queue.submit(submission())
+        queue.claim(1)
+        queue.fail(record.id, "boom", retryable=True)
+        assert record.state == ERROR
+        again, created = queue.submit(submission())
+        assert again is record and not created
+        assert record.state == PENDING and record.attempts == 0
+
+    def test_impossible_transitions_raise(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        with pytest.raises(QueueError, match="unknown job"):
+            queue.complete("nope")
+        record, _ = queue.submit(submission())
+        with pytest.raises(QueueError, match="pending, expected running"):
+            queue.complete(record.id)
+
+    def test_by_fingerprint_indexes_every_job(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        plain = submission()
+        tuned = submission(options={"symmetry": 0})
+        queue.submit(plain)
+        queue.submit(tuned)
+        assert plain.fingerprint == tuned.fingerprint
+        assert len(queue.by_fingerprint(plain.fingerprint)) == 2
+        assert queue.by_fingerprint("f" * 64) == []
+
+
+class TestRecovery:
+    def test_replay_restores_finished_and_pending_jobs(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        done, _ = queue.submit(submission(0))
+        pending, _ = queue.submit(submission(1))
+        queue.claim(1)
+        queue.complete(done.id)
+        queue.close()
+
+        revived = JobQueue(tmp_path)
+        assert revived.get(done.id).state == DONE
+        assert revived.get(pending.id).state == PENDING
+        assert revived.recovered == 0
+        revived.close()
+
+    def test_running_jobs_are_requeued_after_a_crash(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        record, _ = queue.submit(submission())
+        queue.claim(1)
+        assert record.state == RUNNING
+        queue.close()  # the process dies here; no done/error was journaled
+
+        revived = JobQueue(tmp_path)
+        assert revived.get(record.id).state == PENDING
+        assert revived.get(record.id).attempts == 1  # the lost attempt
+        assert revived.recovered == 1
+        revived.close()
+
+    def test_crash_looping_jobs_are_parked_at_the_cap(self, tmp_path):
+        for crash in range(2):
+            queue = JobQueue(tmp_path, max_attempts=2)
+            queue.submit(submission())
+            queue.claim(1)
+            queue.close()
+        revived = JobQueue(tmp_path, max_attempts=2)
+        record = next(iter(revived.by_fingerprint(
+            submission().fingerprint)))
+        assert record.state == ERROR
+        assert "interrupted" in record.error
+        revived.close()
+
+    def test_torn_journal_tail_is_dropped(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        record, _ = queue.submit(submission())
+        queue.close()
+        journal = tmp_path / "journal.jsonl"
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "start", "id": "' )  # kill -9 mid-write
+
+        revived = JobQueue(tmp_path)
+        assert revived.get(record.id).state == PENDING
+        assert revived._dropped_lines == 1
+        # The journal stays appendable and consistent after recovery.
+        revived.claim(1)
+        revived.complete(record.id)
+        revived.close()
+        assert JobQueue(tmp_path).get(record.id).state == DONE
+
+    def test_journal_is_one_event_per_line(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        record, _ = queue.submit(submission())
+        queue.claim(1)
+        queue.complete(record.id)
+        queue.close()
+        lines = (tmp_path / "journal.jsonl").read_text().splitlines()
+        events = [json.loads(line)["event"] for line in lines]
+        assert events == ["submit", "start", "done"]
+
+    def test_payload_survives_the_journal(self, tmp_path):
+        """The replayed payload still decodes to the same job."""
+        queue = JobQueue(tmp_path)
+        original = submission(3, options={"max_paths": 50}, label="probe")
+        queue.submit(original)
+        queue.close()
+        revived = JobQueue(tmp_path)
+        record = revived.get(original.job_id)
+        assert decode_submission(record.payload).job_id == original.job_id
+        assert record.label == "probe"
+        revived.close()
+
+    def test_max_attempts_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="max_attempts"):
+            JobQueue(tmp_path, max_attempts=0)

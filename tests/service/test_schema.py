@@ -1,0 +1,145 @@
+"""Wire-schema validation and content addressing."""
+
+import pytest
+
+from repro.api import (
+    Options,
+    problem_fingerprint,
+    problem_from_spec,
+    problem_kind,
+)
+from repro.campaign.specs import FAMILIES, ScenarioSpec
+from repro.fuzz.codec import problem_to_json
+from repro.fuzz.generators import FuzzSpec, generate
+from repro.service.schema import (
+    SERVICE_SCHEMA,
+    SchemaError,
+    decode_submission,
+    job_id_for,
+)
+
+
+def tree(kind="formula", seed=0):
+    return problem_to_json(generate(FuzzSpec.make(kind, seed)))
+
+
+class TestValidation:
+    def test_non_dict_is_rejected(self):
+        with pytest.raises(SchemaError, match="JSON object"):
+            decode_submission([1, 2])
+
+    def test_unknown_keys_are_rejected(self):
+        with pytest.raises(SchemaError, match="probem"):
+            decode_submission({"probem": tree()})
+
+    def test_foreign_schema_version_is_rejected(self):
+        with pytest.raises(SchemaError, match="schema version 99"):
+            decode_submission({"schema": 99, "problem": tree()})
+
+    def test_exactly_one_problem_source(self):
+        with pytest.raises(SchemaError, match="exactly one"):
+            decode_submission({})
+        with pytest.raises(SchemaError, match="exactly one"):
+            decode_submission({
+                "problem": tree(),
+                "spec": {"family": "mca", "seed": 0, "params": {}},
+            })
+
+    def test_option_typos_are_caught_at_the_edge(self):
+        with pytest.raises(SchemaError, match="sovler"):
+            decode_submission({"problem": tree(),
+                               "options": {"sovler": "kodkod"}})
+
+    def test_malformed_problem_tree_is_rejected(self):
+        with pytest.raises(SchemaError, match="invalid problem payload"):
+            decode_submission({"problem": {"kind": "formula"}})
+
+    def test_malformed_spec_is_rejected(self):
+        with pytest.raises(SchemaError, match="invalid spec"):
+            decode_submission({"spec": {"family": "no-such-family",
+                                        "seed": 0, "params": {}}})
+
+    def test_delta_of_must_be_a_job_id_string(self):
+        for bad in ("", 7, ["id"]):
+            with pytest.raises(SchemaError, match="delta_of"):
+                decode_submission({"problem": tree(), "delta_of": bad})
+
+    def test_label_must_be_a_string(self):
+        with pytest.raises(SchemaError, match="label"):
+            decode_submission({"problem": tree(), "label": 3})
+
+
+class TestContentAddressing:
+    def test_execution_knobs_do_not_change_the_job_id(self):
+        """workers/timeout/cache_dir change how, not what — same job."""
+        base = decode_submission({"problem": tree()})
+        tuned = decode_submission({
+            "problem": tree(),
+            "options": {"workers": 4, "timeout": 30.0, "cache_dir": "/x"},
+        })
+        assert tuned.job_id == base.job_id
+        assert tuned.cache_key == base.cache_key
+
+    def test_result_affecting_options_change_the_job_id(self):
+        base = decode_submission({"problem": tree()})
+        other = decode_submission({"problem": tree(),
+                                   "options": {"symmetry": 0}})
+        assert other.job_id != base.job_id
+
+    def test_delta_of_changes_the_job_id(self):
+        base = decode_submission({"problem": tree()})
+        delta = decode_submission({"problem": tree(),
+                                   "delta_of": "a" * 64})
+        assert delta.job_id != base.job_id
+        assert delta.cache_key == base.cache_key
+
+    def test_journal_payload_round_trips_to_the_same_job(self):
+        """decode(submission.payload()) is a fixpoint: canonical form."""
+        first = decode_submission({"problem": tree("module", 2),
+                                   "options": {"max_rounds": 9},
+                                   "label": "x"})
+        second = decode_submission(first.payload())
+        assert second.job_id == first.job_id
+        assert second.problem_payload == first.problem_payload
+        assert second.options == first.options
+
+    def test_job_id_is_deterministic(self):
+        opts = Options(symmetry=0)
+        assert job_id_for("f" * 64, opts) == job_id_for("f" * 64, opts)
+        assert job_id_for("f" * 64, opts) != job_id_for("e" * 64, opts)
+
+
+class TestSpecLifting:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_every_family_lifts_to_the_same_problem(self, family):
+        spec = ScenarioSpec.make(family, 0)
+        submission = decode_submission({"spec": spec.as_dict()})
+        direct = problem_from_spec(spec)
+        assert submission.kind == problem_kind(direct)
+        assert submission.fingerprint == problem_fingerprint(direct)
+
+    def test_spec_and_tree_spellings_address_the_same_job(self):
+        spec = ScenarioSpec.make("relational", 0)
+        via_spec = decode_submission({"spec": spec.as_dict()})
+        via_tree = decode_submission(
+            {"problem": problem_to_json(problem_from_spec(spec))})
+        assert via_spec.job_id == via_tree.job_id
+
+
+class TestOptionsWire:
+    def test_to_json_round_trips_every_field(self):
+        opts = Options(solver="kodkod", symmetry=3, max_instances=7,
+                       max_rounds=5, max_paths=99, memoize=False,
+                       timeout=2.5, workers=3, cache_dir="/tmp/c")
+        assert Options.from_json(opts.to_json()) == opts
+
+    def test_from_json_defaults_missing_fields(self):
+        assert Options.from_json({}) == Options()
+        assert Options.from_json({"workers": 2}) == Options(workers=2)
+
+    def test_from_json_rejects_non_dicts(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            Options.from_json("solver=kodkod")
+
+    def test_submission_schema_constant_is_versioned(self):
+        assert SERVICE_SCHEMA == 1

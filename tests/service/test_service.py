@@ -1,0 +1,244 @@
+"""Full job lifecycle over HTTP against an in-process service."""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.api import solve
+from repro.campaign.specs import FAMILIES, ScenarioSpec
+from repro.fuzz.codec import problem_to_json
+from repro.fuzz.generators import FuzzSpec, generate
+from repro.service import ServiceConfig, VerificationService
+from repro.service.client import ServiceClient, ServiceError
+
+from tests.api.test_delta import free_problem, rebound
+
+
+@pytest.fixture
+def service(tmp_path):
+    instance = VerificationService(ServiceConfig(
+        queue_dir=tmp_path / "queue",
+        cache_dir=tmp_path / "cache",
+        workers=2,
+    )).start()
+    yield instance
+    instance.stop()
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(service.url)
+
+
+class TestLifecycle:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_spec_jobs_match_direct_solve(self, client, family):
+        """Submit → poll → result parity with facade.solve, per family."""
+        spec = ScenarioSpec.make(family, 0)
+        job = client.submit({"spec": spec.as_dict(), "label": family})
+        assert job["created"] is True and job["kind"] in (
+            "formula", "module", "protocol")
+        final = client.wait(job["id"])
+        assert final["state"] == "done"
+        from repro.api import problem_from_spec
+
+        direct = solve(problem_from_spec(spec))
+        assert final["result"]["verdict"] == direct.verdict.value
+
+    @pytest.mark.parametrize("kind", ["formula", "module", "protocol"])
+    def test_codec_tree_jobs_match_direct_solve(self, client, kind):
+        problem = generate(FuzzSpec.make(kind, 1))
+        job = client.submit({"problem": problem_to_json(problem)})
+        final = client.wait(job["id"])
+        assert final["state"] == "done"
+        assert final["result"]["verdict"] == solve(problem).verdict.value
+
+    def test_finished_jobs_resubmit_without_requeueing(self, client):
+        body = {"problem": problem_to_json(
+            generate(FuzzSpec.make("formula", 2)))}
+        first = client.submit(body)
+        client.wait(first["id"])
+        again = client.submit(body)
+        assert again["created"] is False
+        assert again["state"] == "done"
+        assert again["result"]["verdict"] in ("sat", "unsat")
+
+    def test_results_by_fingerprint(self, client):
+        body = {"problem": problem_to_json(
+            generate(FuzzSpec.make("formula", 2)))}
+        job = client.submit(body)
+        final = client.wait(job["id"])
+        listing = client.results(final["fingerprint"])
+        assert [e["id"] for e in listing["results"]] == [job["id"]]
+        assert listing["results"][0]["result"] == final["result"]
+        assert client.results("f" * 64)["results"] == []
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.job("nope")
+        assert info.value.status == 404
+
+    def test_bad_submission_is_400(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.submit({"problem": {"kind": "junk"}})
+        assert info.value.status == 400
+
+    def test_unknown_endpoint_is_404(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.request("GET", "/v2/jobs/x")
+        assert info.value.status == 404
+
+    def test_metrics_report_the_work(self, client):
+        body = {"problem": problem_to_json(
+            generate(FuzzSpec.make("formula", 4)))}
+        job = client.submit(body)
+        client.wait(job["id"])
+        metrics = client.metrics()
+        assert metrics["jobs"]["done"] == 1
+        assert metrics["solves"] == 1
+        assert metrics["queue_depth"] == 0
+        assert sum(metrics["latency_histogram"].values()) == 1
+        assert 0.0 <= metrics["worker_utilization"] <= 1.0
+
+
+class TestWarmCache:
+    def test_fresh_service_completes_from_the_shared_cache(self, tmp_path):
+        """A new service instance over the same cache dir never solves a
+        problem the previous instance already solved (zero new solves,
+        visible in /v1/metrics)."""
+        bodies = [
+            {"problem": problem_to_json(generate(FuzzSpec.make(kind, seed)))}
+            for kind in ("formula", "module") for seed in (0, 1)
+        ]
+        cold = VerificationService(ServiceConfig(
+            queue_dir=tmp_path / "q1", cache_dir=tmp_path / "cache",
+            workers=2)).start()
+        try:
+            cold_client = ServiceClient(cold.url)
+            verdicts = {}
+            for body in bodies:
+                job = cold_client.submit(body)
+                verdicts[job["id"]] = cold_client.wait(
+                    job["id"])["result"]["verdict"]
+            assert cold_client.metrics()["solves"] == len(bodies)
+        finally:
+            cold.stop()
+
+        warm = VerificationService(ServiceConfig(
+            queue_dir=tmp_path / "q2", cache_dir=tmp_path / "cache",
+            workers=2)).start()
+        try:
+            warm_client = ServiceClient(warm.url)
+            for body in bodies:
+                job = warm_client.submit(body)
+                final = warm_client.wait(job["id"])
+                assert final["result"]["verdict"] == verdicts[job["id"]]
+                assert final["result"]["detail"] is not None
+            metrics = warm_client.metrics()
+            assert metrics["solves"] == 0
+            assert metrics["cache_hits"] == len(bodies)
+            assert metrics["cache_hit_rate"] == 1.0
+        finally:
+            warm.stop()
+
+
+class TestDeltaJobs:
+    def test_narrowed_bounds_reuse_a_live_solver_over_the_wire(self, client):
+        """delta_of provenance (detail["delta"]) survives the wire: a
+        bounds-narrowed variant is answered on the anchor's solver."""
+        problem, r = free_problem()
+        narrowed = rebound(problem, r, drop=[("c",)])
+        anchor = client.submit({"problem": problem_to_json(problem)})
+        client.wait(anchor["id"])
+        job = client.submit({"problem": problem_to_json(narrowed),
+                             "delta_of": anchor["id"]})
+        final = client.wait(job["id"])
+        assert final["state"] == "done"
+        provenance = final["result"]["detail"]["delta"]
+        assert provenance["path"] == "reused"
+        assert provenance["reason"] == "bounds_narrowed"
+        assert final["result"]["verdict"] == solve(narrowed).verdict.value
+        assert client.metrics()["delta_reused"] == 1
+
+    def test_formula_edit_falls_back_with_provenance(self, client):
+        problem, r = free_problem()
+        changed, _ = free_problem(lambda rel: rel.no())
+        anchor = client.submit({"problem": problem_to_json(problem)})
+        client.wait(anchor["id"])
+        job = client.submit({"problem": problem_to_json(changed),
+                             "delta_of": anchor["id"]})
+        final = client.wait(job["id"])
+        provenance = final["result"]["detail"]["delta"]
+        assert provenance["path"] == "fallback"
+        assert provenance["reason"] == "formula_changed"
+        assert final["result"]["verdict"] == solve(changed).verdict.value
+        assert client.metrics()["delta_fallback"] == 1
+
+    def test_unknown_anchor_is_rejected_at_submission(self, client):
+        problem, _ = free_problem()
+        with pytest.raises(ServiceError) as info:
+            client.submit({"problem": problem_to_json(problem),
+                           "delta_of": "f" * 64})
+        assert info.value.status == 400
+        assert "unknown job" in str(info.value)
+
+
+class TestEdgePolicies:
+    def test_auth_gates_every_endpoint_but_healthz(self, tmp_path):
+        service = VerificationService(ServiceConfig(
+            queue_dir=tmp_path / "q", cache_dir=tmp_path / "c",
+            workers=1, token="sekrit")).start()
+        try:
+            anonymous = ServiceClient(service.url)
+            assert anonymous.healthz()["ok"] is True
+            for call in (anonymous.metrics,
+                         lambda: anonymous.job("x"),
+                         lambda: anonymous.submit({"problem": {}})):
+                with pytest.raises(ServiceError) as info:
+                    call()
+                assert info.value.status == 401
+            wrong = ServiceClient(service.url, token="wrong")
+            with pytest.raises(ServiceError) as info:
+                wrong.metrics()
+            assert info.value.status == 401
+            authed = ServiceClient(service.url, token="sekrit")
+            assert authed.metrics()["jobs"]["pending"] == 0
+        finally:
+            service.stop()
+
+    def test_rate_limit_answers_429_with_retry_after(self, tmp_path):
+        service = VerificationService(ServiceConfig(
+            queue_dir=tmp_path / "q", cache_dir=tmp_path / "c",
+            workers=1, rate_limit=0.5, burst=3)).start()
+        try:
+            client = ServiceClient(service.url)
+            for _ in range(3):
+                client.healthz()
+            with pytest.raises(ServiceError) as info:
+                client.healthz()
+            assert info.value.status == 429
+            assert "rate limit" in str(info.value)
+        finally:
+            service.stop()
+
+    def test_rate_limiting_is_off_by_default(self, client):
+        for _ in range(30):
+            client.healthz()
+
+
+class TestReadmeExample:
+    def test_the_readme_job_example_runs_verbatim(self, client):
+        """The JSON submission shown in README.md § Running the service
+        is executed as-is against a live server."""
+        readme = Path(__file__).resolve().parents[2] / "README.md"
+        section = readme.read_text().split("## Running the service", 1)[1]
+        match = re.search(r"```json\n(.*?)```", section, re.DOTALL)
+        assert match, "README must show a JSON job example"
+        submission = json.loads(match.group(1))
+        job = client.submit(submission)
+        final = client.wait(job["id"])
+        assert final["state"] == "done"
+        assert final["result"]["verdict"] in (
+            "sat", "unsat", "holds", "counterexample")
