@@ -1,21 +1,39 @@
-"""Benchmark: propagation kernels and the external CDCL path.
+"""Benchmark: propagation kernels, the conflict path, and external CDCL.
 
 The vector kernel (``Solver(kernel="vector")``) bulk-filters watcher
 lists with numpy while keeping the search trajectory bit-identical to the
-pure interpreter; the workload here is built so almost all propagation
-time is spent scanning long watcher lists whose blockers are already
-true — the exact shape the kernel vectorizes.  Rows land in
-``BENCH_solver.json`` with ``propagations_per_second`` metadata; the
-pinned baseline is the pure-kernel time, so the ``[vector]`` row's
-``speedup_vs_baseline`` documents the kernel speedup PR over PR.
+pure interpreter.  Two workload shapes are measured:
 
-``test_vector_kernel_not_slower_than_pure`` is the CI regression gate:
-it fails whenever the vector kernel falls behind the interpreter on the
-kernel-friendly workload.
+* **propagation-heavy** (``chain_cnf``): almost all time is spent
+  scanning long watcher lists whose blockers are already true — the
+  shape the propagation filter vectorizes;
+* **conflict-heavy** (``conflict_cnf``): an unsatisfiable pigeonhole
+  core whose every core literal fans out into hundreds of never-mutating
+  noise clauses, so the solver both dives through ``_analyze`` /
+  ``_minimize`` / VSIDS bumping thousands of times *and* scans watcher
+  lists the vector filter can prune in one operation — end to end, the
+  shape the conflict-path kernel assists target.
+
+Rows land in ``BENCH_solver.json`` with per-row throughput metadata;
+each row is pinned against its own re-measured baseline (see
+``BASELINE`` in ``conftest.py``), and the cross-kernel ratio of the same
+run is recorded in the ``[vector]`` rows' ``speedup_vs_pure`` metadata —
+so the artifact reads correctly even when baselines were pinned on
+different hardware.
+
+CI regression gates: ``test_vector_kernel_not_slower_than_pure`` (the
+propagation workload must never fall behind the interpreter) and
+``test_vector_conflict_speedup`` (the conflict-heavy workload must stay
+≥2x end to end).
 
 The external row times a real CDCL binary (picosat/cadical/kissat, if
 one is on PATH) against the built-in solver on a campaign-sized consensus
 check, and is skipped — not failed — when none is installed.
+
+Run as a script for a profiled conflict-heavy sweep (uploaded by the CI
+bench-smoke job so future PRs can see what dominates)::
+
+    python benchmarks/bench_solver_kernels.py --profile [PATH]
 """
 
 import shutil
@@ -72,6 +90,21 @@ def _throughput(kernel, solves=SOLVES_PER_RUN):
     return solver.stats["propagations"] - before, seconds
 
 
+# Seconds of the pure row of each workload, stashed so the [vector] row
+# of the same session can record the cross-kernel ratio measured on the
+# *same* hardware (parametrize order runs pure first).
+_PURE_SECONDS: dict[str, float] = {}
+
+
+def _cross_kernel_meta(bench, workload: str, kernel: str, seconds: float):
+    """Record the within-run vector-vs-pure ratio on the [vector] row."""
+    if kernel == "pure":
+        _PURE_SECONDS[workload] = seconds
+    elif workload in _PURE_SECONDS:
+        bench.meta(speedup_vs_pure=round(
+            _PURE_SECONDS[workload] / max(seconds, 1e-9), 2))
+
+
 @pytest.mark.parametrize("kernel", ["pure", "vector"])
 def test_propagation_throughput(bench, report, kernel):
     if kernel == "vector":
@@ -89,6 +122,7 @@ def test_propagation_throughput(bench, report, kernel):
     pps = propagations / max(seconds, 1e-9)
     bench.meta(kernel=solver.kernel, propagations=propagations,
                propagations_per_second=round(pps))
+    _cross_kernel_meta(bench, "propagation", kernel, seconds)
     report.append(
         f"kernel={kernel}: {propagations} propagations in {seconds:.4f}s "
         f"({pps / 1000:.0f} kprops/s)"
@@ -110,6 +144,99 @@ def test_vector_kernel_not_slower_than_pure():
     assert vector_pps >= pure_pps, (
         f"vector kernel regressed below pure: "
         f"{vector_pps:.0f} < {pure_pps:.0f} propagations/s"
+    )
+
+
+# Conflict-heavy shape: an unsatisfiable pigeonhole core (clause/var
+# ratio >> 4, forces deep repeated _analyze/_minimize/VSIDS churn) whose
+# every core literal v gets a mirror m (clause (v, m): falsifying v
+# propagates m) fanning out into `fanout` noise clauses (-m, -guard,
+# x_j).  Under the assumption -guard those noise lists consist entirely
+# of blocker-true entries that never mutate, so the vector filter prunes
+# each list in one cached operation while the interpreter walks all
+# `fanout` entries — and the conflict-path assists batch the analysis
+# work the pigeonhole core generates.
+PHP_HOLES = 6
+NOISE_FANOUT = 800
+CONFLICT_GATE_SPEEDUP = 2.0
+
+
+def conflict_cnf():
+    cnf = CNF()
+    pigeons = PHP_HOLES + 1
+    v = {}
+    for p in range(pigeons):
+        for h in range(PHP_HOLES):
+            v[p, h] = cnf.new_var()
+    guard = cnf.new_var()
+    for p in range(pigeons):
+        cnf.add_clause([v[p, h] for h in range(PHP_HOLES)])
+    for h in range(PHP_HOLES):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                cnf.add_clause([-v[p1, h], -v[p2, h]])
+    for var in [v[p, h] for p in range(pigeons) for h in range(PHP_HOLES)]:
+        mirror = cnf.new_var()
+        cnf.add_clause([var, mirror])
+        for _ in range(NOISE_FANOUT):
+            cnf.add_clause([-mirror, -guard, cnf.new_var()])
+    return cnf, guard
+
+
+def _conflict_solve(kernel, cnf, guard):
+    """One cold end-to-end solve; returns (conflicts, seconds)."""
+    solver = Solver(kernel=kernel)
+    assert solver.add_cnf(cnf)
+    started = time.perf_counter()
+    status = solver.solve([-guard])
+    seconds = time.perf_counter() - started
+    assert status is Status.UNSAT
+    return solver.stats["conflicts"], seconds
+
+
+@pytest.mark.parametrize("kernel", ["pure", "vector"])
+def test_conflict_throughput(bench, report, kernel):
+    """End-to-end conflict-heavy solve (cold solver per run)."""
+    if kernel == "vector":
+        pytest.importorskip("numpy")
+    cnf, guard = conflict_cnf()
+    conflicts = bench(lambda: _conflict_solve(kernel, cnf, guard)[0])
+    seconds = bench._row["seconds"]
+    cps = conflicts / max(seconds, 1e-9)
+    bench.meta(kernel=kernel, conflicts=conflicts,
+               conflicts_per_second=round(cps),
+               holes=PHP_HOLES, fanout=NOISE_FANOUT)
+    _cross_kernel_meta(bench, "conflict", kernel, seconds)
+    report.append(
+        f"conflict kernel={kernel}: {conflicts} conflicts in {seconds:.4f}s "
+        f"({cps / 1000:.1f} kconf/s)"
+    )
+
+
+def test_vector_conflict_speedup(report):
+    """CI regression gate: ≥2x end-to-end on the conflict-heavy workload
+    (best-of-2 each; the ratio is hardware-independent)."""
+    pytest.importorskip("numpy")
+    cnf, guard = conflict_cnf()
+    pure_conflicts, pure_secs = min(
+        (_conflict_solve("pure", cnf, guard) for _ in range(2)),
+        key=lambda pair: pair[1])
+    vector_conflicts, vector_secs = min(
+        (_conflict_solve("vector", cnf, guard) for _ in range(2)),
+        key=lambda pair: pair[1])
+    # Bit-identical trajectories are asserted by the differential tests;
+    # re-check the cheap invariant here so a divergence cannot masquerade
+    # as a speedup.
+    assert vector_conflicts == pure_conflicts
+    speedup = pure_secs / max(vector_secs, 1e-9)
+    report.append(
+        f"conflict gate: pure {pure_secs:.4f}s vs vector {vector_secs:.4f}s "
+        f"({speedup:.2f}x)"
+    )
+    assert speedup >= CONFLICT_GATE_SPEEDUP, (
+        f"vector kernel below the {CONFLICT_GATE_SPEEDUP}x gate on the "
+        f"conflict-heavy workload: pure {pure_secs:.4f}s / "
+        f"vector {vector_secs:.4f}s = {speedup:.2f}x"
     )
 
 
@@ -156,3 +283,41 @@ def test_external_solver_end_to_end(bench, report):
         f"expected the native solver to be >=10x the built-in one, "
         f"got {speedup:.1f}x"
     )
+
+
+def main(argv=None) -> int:
+    """Profiled conflict-heavy sweep: ``--profile [PATH]`` writes the
+    cProfile cumulative table (default ``BENCH_solver.profile.txt``) so
+    the CI artifact shows what dominates the conflict path."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_solver_kernels.py",
+        description="Run the conflict-heavy kernel sweep under cProfile.")
+    parser.add_argument("--profile", nargs="?", metavar="PATH",
+                        const="BENCH_solver.profile.txt",
+                        default="BENCH_solver.profile.txt",
+                        help="cProfile artifact path "
+                             "(default: BENCH_solver.profile.txt)")
+    args = parser.parse_args(argv)
+
+    from repro.analysis.profiling import run_profiled
+
+    cnf, guard = conflict_cnf()
+
+    def sweep():
+        return {kernel: _conflict_solve(kernel, cnf, guard)
+                for kernel in ("pure", "vector")}
+
+    results = run_profiled(sweep, args.profile)
+    (pure_conflicts, pure_secs) = results["pure"]
+    (vector_conflicts, vector_secs) = results["vector"]
+    print(f"pure:   {pure_conflicts} conflicts in {pure_secs:.4f}s")
+    print(f"vector: {vector_conflicts} conflicts in {vector_secs:.4f}s "
+          f"({pure_secs / max(vector_secs, 1e-9):.2f}x)")
+    print(f"profile: {args.profile}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -76,16 +76,30 @@ BASELINE = {
         },
     },
     "solver": {
-        # Pure-interpreter propagation time on the kernel microbench
-        # (20 warm assumption solves, chain=48/fanout=400/pool=16),
-        # measured at the PR-6 state.  Both kernel rows are pinned to the
-        # same pure time so the [vector] row's speedup_vs_baseline reads
-        # directly as the vector-kernel speedup.
+        # Kernel-bench rows re-measured and re-pinned at the PR-9 state
+        # (the PR-6 pin carried the same 0.0437 s for both rows, so the
+        # artifact's ratio read as 1.0x).  Each row is pinned to its OWN
+        # measured time — speedup_vs_baseline therefore tracks that row's
+        # PR-over-PR trajectory, while the vector-vs-pure kernel ratio
+        # measured within one run lands in the [vector] rows'
+        # `speedup_vs_pure` metadata (0.0493/0.0081 ≈ 6.1x propagation,
+        # 0.7561/0.2698 ≈ 2.8x conflict-heavy at pin time).
+        # Propagation: 20 warm assumption solves,
+        # chain=48/fanout=400/pool=16.
         "bench_solver_kernels.py::test_propagation_throughput[pure]": {
-            "seconds": 0.0437, "propagations": 1300,
+            "seconds": 0.0493, "propagations": 1300,
         },
         "bench_solver_kernels.py::test_propagation_throughput[vector]": {
-            "seconds": 0.0437, "propagations": 1300,
+            "seconds": 0.0081, "propagations": 1300,
+        },
+        # Conflict-heavy: one cold end-to-end solve of the php6 core with
+        # mirror fanout 800 under the -guard assumption (see
+        # conflict_cnf); ~830 conflicts of deep _analyze/_minimize work.
+        "bench_solver_kernels.py::test_conflict_throughput[pure]": {
+            "seconds": 0.7561, "conflicts": 830,
+        },
+        "bench_solver_kernels.py::test_conflict_throughput[vector]": {
+            "seconds": 0.2698, "conflicts": 830,
         },
     },
 }

@@ -17,8 +17,16 @@ In addition, any SAT-competition-conformant binary becomes a backend
 through the ``dimacs:`` prefix: ``Options(solver="dimacs:picosat")``
 resolves to a :class:`DimacsBackend` that round-trips the translated CNF
 through a DIMACS file and the external process (see
-:mod:`repro.sat.external`).  These are materialized on first use rather
-than pre-registered, since the command is part of the name.
+:mod:`repro.sat.external`).  The ``dimacs-inc:`` prefix is its
+persistent twin: ``Options(solver="dimacs-inc:<command>")`` resolves to
+a :class:`DimacsIncBackend` that keeps one long-lived process per query
+and streams blocking clauses to it incrementally, so enumeration pays a
+single spawn for N models instead of N spawn+dump round trips.  The
+command must speak the iCNF stdin protocol (the in-tree
+``python -m repro.sat.dimacs solve --incremental`` does; plain one-shot
+binaries like picosat do not — keep those on ``dimacs:``).  Both are
+materialized on first use rather than pre-registered, since the command
+is part of the name.
 
 Alternative engines (a parallel portfolio, a BDD-based finder) plug in by
 implementing :class:`Backend` and calling :func:`register_backend`; every
@@ -48,7 +56,11 @@ from repro.kodkod.evaluator import Evaluator
 from repro.kodkod.instance import extract_instance
 from repro.kodkod.symmetry import DEFAULT_SBP_LENGTH
 from repro.kodkod.translate import Translator
-from repro.sat.external import ExternalSolver, ExternalSolverError
+from repro.sat.external import (
+    ExternalSolver,
+    ExternalSolverError,
+    IncrementalExternalSolver,
+)
 from repro.sat.types import Status
 
 
@@ -96,39 +108,48 @@ def available_backends() -> list[str]:
     return list(_REGISTRY)
 
 
-# DimacsBackend instances materialized from "dimacs:<command>" solver
-# names, cached per command so repeated option resolution reuses them.
+# DimacsBackend / DimacsIncBackend instances materialized from
+# "dimacs:<command>" / "dimacs-inc:<command>" solver names, cached per
+# full name so repeated option resolution reuses them.  The backends
+# themselves hold no process state — the persistent process of the
+# incremental backend lives only for the duration of one solve/enumerate
+# call — so caching them is safe.
 _DIMACS_BACKENDS: dict[str, Backend] = {}
 
 _DIMACS_PREFIX = "dimacs:"
+_DIMACS_INC_PREFIX = "dimacs-inc:"
 
 
 def get_backend(name: str) -> Backend:
     """Look up a backend by name, with an actionable error on a miss.
 
-    Names starting with ``dimacs:`` resolve dynamically: the rest of the
-    name is the external solver command (``"dimacs:picosat"``,
-    ``"dimacs:python -m repro.sat.dimacs solve"``).
+    Names starting with ``dimacs:`` or ``dimacs-inc:`` resolve
+    dynamically: the rest of the name is the external solver command
+    (``"dimacs:picosat"``, ``"dimacs-inc:python -m repro.sat.dimacs
+    solve --incremental"``).
     """
     try:
         return _REGISTRY[name]
     except KeyError:
         pass
-    if name.startswith(_DIMACS_PREFIX):
-        command = name[len(_DIMACS_PREFIX):].strip()
+    for prefix, factory in ((_DIMACS_INC_PREFIX, DimacsIncBackend),
+                            (_DIMACS_PREFIX, DimacsBackend)):
+        if not name.startswith(prefix):
+            continue
+        command = name[len(prefix):].strip()
         if not command:
             raise ValueError(
-                "empty external solver command: use "
-                "'dimacs:<command>', e.g. Options(solver='dimacs:picosat')"
+                f"empty external solver command: use '{prefix}<command>', "
+                f"e.g. Options(solver='{prefix}picosat')"
             )
-        backend = _DIMACS_BACKENDS.get(command)
+        backend = _DIMACS_BACKENDS.get(prefix + command)
         if backend is None:
-            backend = _DIMACS_BACKENDS[command] = DimacsBackend(command)
+            backend = _DIMACS_BACKENDS[prefix + command] = factory(command)
         return backend
     raise ValueError(
         f"unknown backend {name!r}; registered backends: "
-        f"{available_backends()} (or 'dimacs:<command>' for an external "
-        f"SAT solver)"
+        f"{available_backends()} (or 'dimacs:<command>' / "
+        f"'dimacs-inc:<command>' for an external SAT solver)"
     )
 
 
@@ -392,6 +413,135 @@ class DimacsBackend:
                 "kernel": "external",
                 "external_wall_time": wall,
                 "external_invocations": invocations,
+            },
+            seconds=time.perf_counter() - started,
+            backend=self.name,
+            detail={
+                "num_instances": len(instances),
+                "truncated": limit is not None and len(instances) >= limit,
+                "symmetry": symmetry,
+                "external_command": self.command,
+            },
+        )
+
+
+class DimacsIncBackend(DimacsBackend):
+    """External solving over one persistent incremental process.
+
+    Same translation/extraction split as :class:`DimacsBackend`, but the
+    SAT search delegates to an :class:`~repro.sat.external.
+    IncrementalExternalSolver`: the process is spawned once per query,
+    the CNF is streamed to it over stdin, and enumeration sends each
+    blocking clause incrementally instead of re-invoking the command on a
+    freshly dumped file — so the external solver keeps its learned
+    clauses between models and the spawn cost is paid once for N models.
+    The process never outlives the query: ``solve``/``enumerate`` close
+    it before returning, so the cached backend object stays stateless.
+
+    ``solver_stats`` reports ``external_spawns`` (always 1 — asserted by
+    the fake-CDCL fixtures) next to ``external_invocations`` (solve
+    rounds).  The command must implement the iCNF stdin protocol; a
+    one-shot binary dies at the first solve request, which surfaces as an
+    :class:`~repro.sat.external.ExternalSolverError` telling the caller
+    to fall back to the ``dimacs:`` backend.
+    """
+
+    def __init__(self, command: str) -> None:
+        super().__init__(command)
+        self.name = f"dimacs-inc:{command}"
+
+    def solve(self, problem: Problem, options: Options) -> Result:
+        started = time.perf_counter()
+        symmetry = (DEFAULT_SBP_LENGTH if options.symmetry is None
+                    else options.symmetry)
+        goal, translation, validity = self._translate(problem, symmetry)
+        with IncrementalExternalSolver(self.command,
+                                       timeout=options.timeout) as external:
+            external.load_cnf(translation.cnf)
+            run = external.solve()
+            spawns, invocations = external.spawn_count, external.solve_count
+        instances = []
+        if run.status is Status.SAT:
+            if run.model is None:
+                raise ExternalSolverError(
+                    f"external solver {self.command!r} reported SAT without "
+                    "a v-line model; enable model printing so instances can "
+                    "be extracted"
+                )
+            instance = extract_instance(translation, run.model)
+            if isinstance(problem, ModuleProblem):
+                _validate(goal, instance)
+            instances = [instance]
+        if validity:
+            verdict = (Verdict.COUNTEREXAMPLE if instances
+                       else Verdict.HOLDS)
+        else:
+            verdict = Verdict.SAT if instances else Verdict.UNSAT
+        return Result(
+            verdict=verdict,
+            instances=instances,
+            stats=translation.stats,
+            solver_stats={
+                "kernel": "external",
+                "external_wall_time": run.wall_seconds,
+                "external_invocations": invocations,
+                "external_spawns": spawns,
+                "external_exit_code": run.exit_code,
+            },
+            seconds=time.perf_counter() - started,
+            backend=self.name,
+            detail={"solve_seconds": run.wall_seconds,
+                    "symmetry": symmetry,
+                    "external_command": self.command},
+        )
+
+    def enumerate(self, problem: Problem, options: Options) -> Result:
+        started = time.perf_counter()
+        # Enumeration defaults to symmetry off so every model is produced
+        # (mirrors KodkodBackend.enumerate).
+        symmetry = 0 if options.symmetry is None else options.symmetry
+        goal, translation, validity = self._translate(problem, symmetry)
+        limit = options.max_instances
+        instances = []
+        wall = 0.0
+        with IncrementalExternalSolver(self.command,
+                                       timeout=options.timeout) as external:
+            external.load_cnf(translation.cnf)
+            primary = translation.primary_vars()
+            while limit is None or len(instances) < limit:
+                run = external.solve()
+                wall += run.wall_seconds
+                if run.status is not Status.SAT:
+                    break
+                if run.model is None:
+                    raise ExternalSolverError(
+                        f"external solver {self.command!r} reported SAT "
+                        "without a v-line model; enumeration needs models "
+                        "to build blocking clauses"
+                    )
+                instance = extract_instance(translation, run.model)
+                if isinstance(problem, ModuleProblem):
+                    _validate(goal, instance)
+                instances.append(instance)
+                if not primary:
+                    break  # nothing to block on: the model space is one point
+                external.add_clause(
+                    [-v if run.model[v] else v for v in primary])
+            spawns, invocations = external.spawn_count, external.solve_count
+        if validity:
+            verdict = (Verdict.COUNTEREXAMPLE if instances
+                       else Verdict.HOLDS)
+        else:
+            verdict = Verdict.SAT if instances else Verdict.UNSAT
+        return Result(
+            verdict=verdict,
+            instances=instances,
+            stats=translation.stats,
+            solver_stats={
+                "kernel": "external",
+                "external_wall_time": wall,
+                "external_invocations": invocations,
+                "external_spawns": spawns,
             },
             seconds=time.perf_counter() - started,
             backend=self.name,

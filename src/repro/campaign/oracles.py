@@ -243,15 +243,25 @@ def register_external_oracle(command: str) -> None:
     reference is the in-tree pure pipeline.  Verdicts and the enumerated
     primary-variable projections must both match.  The command must print
     ``v``-line models (picosat does; bare minisat does not).
+
+    A command already carrying the ``dimacs-inc:`` prefix selects the
+    persistent incremental backend instead (one process per query,
+    blocking clauses streamed over stdin) — the nightly CI arms
+    ``REPRO_EXTERNAL_SOLVER`` this way on one leg so the incremental
+    protocol is differentially checked too.
     """
+    if command.startswith("dimacs-inc:"):
+        backend = command
+        command = command[len("dimacs-inc:"):].strip()
+    else:
+        backend = f"dimacs:{command}"
 
     @register_oracle("external", _RELATIONAL,
-                     f"external solver 'dimacs:{command}' vs built-in "
+                     f"external solver '{backend}' vs built-in "
                      "pipeline: same verdict and same model set")
     def _external_oracle(spec: ScenarioSpec,
                          scenario: RelationalProblem) -> OracleOutcome:
         problem = FormulaProblem(scenario.formula, scenario.bounds)
-        backend = f"dimacs:{command}"
         fast = api_solve(problem, solver=backend)
         reference = api_solve(problem, solver="kodkod")
         external_models = {

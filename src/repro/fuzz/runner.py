@@ -135,7 +135,10 @@ def _encodings_oracle(problem: FormulaProblem, seed: int) -> OracleOutcome:
 
     When ``REPRO_EXTERNAL_SOLVER`` names a SAT-competition-conformant
     binary, the PG CNF is additionally round-tripped through it as a
-    fifth arm (the nightly CI job runs with picosat).
+    fifth arm (the nightly CI job runs with picosat).  A value carrying
+    the ``dimacs-inc:`` prefix routes that arm through the persistent
+    incremental protocol instead (spawn once, stream the CNF over
+    stdin), exercising the same path enumeration uses.
     """
     from repro.kodkod.translate import Translator
     from repro.sat import dimacs
@@ -166,9 +169,15 @@ def _encodings_oracle(problem: FormulaProblem, seed: int) -> OracleOutcome:
     external_command = os.environ.get("REPRO_EXTERNAL_SOLVER")
     external_sat = None
     if external_command:
-        from repro.sat.external import ExternalSolver
+        from repro.sat.external import ExternalSolver, IncrementalExternalSolver
 
-        run = ExternalSolver(external_command, timeout=60).solve_cnf(pg.cnf)
+        if external_command.startswith("dimacs-inc:"):
+            inc_command = external_command[len("dimacs-inc:"):].strip()
+            with IncrementalExternalSolver(inc_command, timeout=60) as inc:
+                inc.load_cnf(pg.cnf)
+                run = inc.solve()
+        else:
+            run = ExternalSolver(external_command, timeout=60).solve_cnf(pg.cnf)
         external_sat = run.status is Status.SAT
     agree = (pg_sat == tseitin_sat == roundtrip_sat == vector_sat
              and (external_sat is None or external_sat == pg_sat))

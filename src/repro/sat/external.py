@@ -18,16 +18,38 @@ by pointing it back at the in-tree CLI.
 The API layer exposes this through the backend registry as
 ``Options(solver="dimacs:<command>")`` — see
 :class:`repro.api.backends.DimacsBackend`.
+
+For model enumeration the one-shot contract is wasteful: every model pays
+a process spawn plus a full DIMACS dump, and the external solver relearns
+the formula from scratch each round.  :class:`IncrementalExternalSolver`
+keeps **one** long-lived process alive and streams clauses to it over
+stdin using the iCNF convention (the incremental-DIMACS dialect IPASIR
+tooling and ``picosat --all``-style loops standardized on):
+
+* the client sends a ``p inccnf`` header, then clause lines terminated
+  by ``0``, interleaved with solve requests ``a <assumptions> 0``;
+* after each ``a`` line the server answers with the usual ``s``/``v``
+  lines (``v`` lines terminated by ``v 0``) and keeps reading;
+* closing stdin ends the session; the server exits 0.
+
+``python -m repro.sat.dimacs solve --incremental`` implements the server
+side of this protocol on top of the in-tree solver's native incremental
+API, so the persistent path is testable without third-party binaries.
+The API layer exposes it as ``Options(solver="dimacs-inc:<command>")``
+— see :class:`repro.api.backends.DimacsIncBackend`.
 """
 
 from __future__ import annotations
 
 import os
+import queue
 import shlex
 import subprocess
 import tempfile
+import threading
 import time
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.sat.cnf import CNF
 from repro.sat.dimacs import dumps
@@ -181,3 +203,225 @@ class ExternalSolver:
                 os.unlink(handle.name)
             except OSError:  # pragma: no cover - best-effort cleanup
                 pass
+
+
+class IncrementalExternalSolver:
+    """One persistent external solver process, fed clauses incrementally.
+
+    Speaks the iCNF stdin protocol described in the module docstring.
+    The process is spawned lazily on the first :meth:`load_cnf` /
+    :meth:`add_clause` / :meth:`solve` call and reused across solves;
+    :attr:`spawn_count` / :attr:`solve_count` expose how many spawns and
+    solve rounds actually happened, which is what lets tests assert the
+    "one spawn for N models" contract of enumeration.
+
+    ``timeout`` is the per-*solve* budget (the spawn itself is not
+    budgeted: a hung spawn surfaces as a hung first solve).  On timeout
+    or mid-stream death of the child, the process is killed and
+    :class:`ExternalSolverError` is raised with the child's stderr; the
+    instance is then unusable and must be discarded.
+
+    Usable as a context manager; :meth:`close` shuts stdin down cleanly
+    and reaps the child.
+    """
+
+    def __init__(self, command: str | list[str],
+                 timeout: float | None = None) -> None:
+        argv = shlex.split(command) if isinstance(command, str) else list(command)
+        if not argv:
+            raise ValueError(
+                "external solver command is empty: pass e.g. "
+                "Options(solver='dimacs-inc:python -m repro.sat.dimacs "
+                "solve --incremental')"
+            )
+        self.command = argv
+        self.timeout = timeout
+        self.spawn_count = 0
+        self.solve_count = 0
+        self.num_vars = 0
+        self._process: subprocess.Popen | None = None
+        self._lines: queue.Queue[str | None] = queue.Queue()
+        self._stderr_chunks: list[str] = []
+        self._dead = False
+
+    # -- process lifecycle -------------------------------------------------
+
+    def _ensure_process(self) -> subprocess.Popen:
+        if self._dead:
+            raise ExternalSolverError(
+                f"incremental solver {' '.join(self.command)!r} already "
+                "failed or was closed; create a fresh instance"
+            )
+        if self._process is not None:
+            return self._process
+        try:
+            process = subprocess.Popen(
+                self.command,
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+        except FileNotFoundError as exc:
+            self._dead = True
+            raise ExternalSolverError(
+                f"incremental solver command {self.command[0]!r} was not "
+                "found on PATH. Use the dependency-free in-tree server: "
+                "Options(solver='dimacs-inc:python -m repro.sat.dimacs "
+                "solve --incremental')"
+            ) from exc
+        self._process = process
+        self.spawn_count += 1
+        # Reader threads decouple the protocol from pipe buffering: stdout
+        # lines land on a queue the solve loop drains with a deadline, and
+        # stderr is slurped so a chatty child can never fill its pipe and
+        # deadlock against us.
+        threading.Thread(
+            target=self._read_stdout, args=(process.stdout,),
+            daemon=True).start()
+        threading.Thread(
+            target=self._read_stderr, args=(process.stderr,),
+            daemon=True).start()
+        self._send("p inccnf\n")
+        return process
+
+    def _read_stdout(self, stream) -> None:
+        for line in stream:
+            self._lines.put(line)
+        self._lines.put(None)
+
+    def _read_stderr(self, stream) -> None:
+        for line in stream:
+            self._stderr_chunks.append(line)
+
+    def _stderr_tail(self) -> str:
+        tail = "".join(self._stderr_chunks).strip()
+        return f"; stderr: {tail[:500]}" if tail else ""
+
+    def _kill(self) -> None:
+        self._dead = True
+        process = self._process
+        if process is None:
+            return
+        if process.poll() is None:
+            process.kill()
+        process.wait()
+        for stream in (process.stdin, process.stdout, process.stderr):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+
+    def _fail(self, message: str, cause: BaseException | None = None):
+        self._kill()
+        error = ExternalSolverError(message + self._stderr_tail())
+        if cause is not None:
+            raise error from cause
+        raise error
+
+    def _send(self, text: str) -> None:
+        process = self._ensure_process()
+        try:
+            process.stdin.write(text)
+        except (BrokenPipeError, OSError) as exc:
+            self._fail(
+                f"incremental solver {' '.join(self.command)!r} died while "
+                "clauses were being streamed to it (does the command "
+                "implement the iCNF stdin protocol? plain one-shot solvers "
+                "need the 'dimacs:' backend instead)", exc)
+
+    # -- protocol ----------------------------------------------------------
+
+    def load_cnf(self, cnf: CNF) -> None:
+        """Stream every clause of ``cnf`` to the process (spawning it)."""
+        chunks: list[str] = []
+        for clause in cnf.clauses():
+            chunks.append(" ".join(str(lit) for lit in clause))
+            chunks.append(" 0\n" if clause else "0\n")
+        self.num_vars = max(self.num_vars, cnf.num_vars)
+        self._send("".join(chunks))
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        """Stream one clause (e.g. a blocking clause between solves)."""
+        for lit in lits:
+            self.num_vars = max(self.num_vars, abs(lit))
+        self._send(" ".join(str(lit) for lit in lits) + " 0\n"
+                   if lits else "0\n")
+
+    def solve(self, assumptions: Iterable[int] = ()) -> ExternalRun:
+        """Request one solve round and parse the ``s``/``v`` answer."""
+        process = self._ensure_process()
+        started = time.perf_counter()
+        self._send("a " + " ".join(str(lit) for lit in assumptions) + " 0\n")
+        try:
+            process.stdin.flush()
+        except (BrokenPipeError, OSError) as exc:
+            self._fail(
+                f"incremental solver {' '.join(self.command)!r} died "
+                "before answering a solve request", exc)
+        deadline = (None if self.timeout is None
+                    else started + self.timeout)
+        response: list[str] = []
+        sat_answer = False
+        while True:
+            remaining = None if deadline is None else deadline - time.perf_counter()
+            if remaining is not None and remaining <= 0:
+                self._fail(
+                    f"incremental solver {' '.join(self.command)!r} "
+                    f"exceeded the {self.timeout:.1f}s per-solve timeout "
+                    "and was killed")
+            try:
+                line = self._lines.get(timeout=remaining)
+            except queue.Empty:
+                self._fail(
+                    f"incremental solver {' '.join(self.command)!r} "
+                    f"exceeded the {self.timeout:.1f}s per-solve timeout "
+                    "and was killed")
+            if line is None:
+                self._fail(
+                    f"incremental solver {' '.join(self.command)!r} exited "
+                    "mid-solve without completing its s/v answer")
+            response.append(line)
+            stripped = line.strip()
+            if stripped.startswith("s"):
+                word = stripped[1:].strip().upper()
+                if word == "UNSATISFIABLE":
+                    break
+                sat_answer = word == "SATISFIABLE"
+            elif sat_answer and stripped.startswith("v"):
+                # The model is complete at the "0" terminator; servers may
+                # spread it over many v lines.
+                if "0" in stripped[1:].split():
+                    break
+        wall = time.perf_counter() - started
+        self.solve_count += 1
+        try:
+            status, model = parse_solver_output(
+                "".join(response), self.num_vars)
+        except ExternalSolverError:
+            self._kill()
+            raise
+        exit_code = _EXIT_SAT if status is Status.SAT else _EXIT_UNSAT
+        return ExternalRun(status=status, model=model, wall_seconds=wall,
+                           exit_code=exit_code)
+
+    def close(self) -> None:
+        """End the session: close stdin, reap the child."""
+        process = self._process
+        self._dead = True
+        if process is None:
+            return
+        try:
+            if process.stdin is not None:
+                process.stdin.close()
+            process.wait(timeout=10)
+        except (OSError, subprocess.TimeoutExpired):
+            pass
+        self._kill()
+
+    def __enter__(self) -> "IncrementalExternalSolver":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -31,11 +31,20 @@ trajectories: same models, same learned clauses, same ``stats``.  The
 differential oracles (``repro.campaign``, ``repro.fuzz``) rely on this to
 compare the two kernels entry for entry, not just verdict for verdict.
 
-Conflict-analysis assists are deliberately modest: the per-conflict ``seen``
-buffer is a zeroed numpy array (cheap calloc instead of a Python list
-build) and LBD computation switches to ``np.unique`` for long clauses.
-Python-level set arithmetic wins below those thresholds, and pretending
-otherwise would just slow the solver down.
+The conflict path gets the same treatment.  A per-variable decision-level
+mirror (``int32``, synced from the trail in :meth:`begin_analyze` — levels
+are recomputed positionally from ``trail_lim`` with one ``searchsorted``,
+so the sync never touches the solver's Python-level ``_level`` list) backs
+three assists: :meth:`scan_reason` marks a reason clause's fresh variables
+into the ``seen`` buffer and classifies them by level in one gather,
+:meth:`minimize` evaluates the redundancy predicate over a whole reason
+clause in bulk, and :meth:`compute_lbd` counts distinct levels with
+``np.unique``.  VSIDS activities live in the solver's ``array('d')``
+storage, so :meth:`rescale_activity` multiplies all of them through a
+transient zero-copy ``np.frombuffer`` view.  Each assist falls back to the
+interpreted loop below a clause-length threshold where the numpy
+round-trip costs more than it saves; all of them reproduce the interpreted
+results literal for literal, so trajectories stay bit-identical.
 
 The kernel is optional: :func:`make_kernel` returns ``None`` when numpy is
 not installed and the solver falls back to the interpreted loop.
@@ -72,9 +81,27 @@ MIN_VECTOR_PAIRS = 24
 # np.fromiter only pays off once the batch amortizes its setup.
 _MIN_BULK_SYNC = 8
 
+# Adaptive filter governor.  The blocker filter only pays when it prunes:
+# on conflict-heavy lists most blockers are unassigned, every scan mutates
+# the list (killing the blocker cache), and the numpy round-trip is pure
+# overhead.  A list whose filter prunes less than a quarter of its entries
+# _FILTER_PATIENCE scans in a row is demoted to the interpreted scan for
+# _SCALAR_MODE_SCANS scans, then given another try.  The filter skips only
+# entries whose blocker is true — entries the interpreted scan would skip
+# as well — so switching modes never changes the search trajectory.
+_FILTER_PATIENCE = 4
+_SCALAR_MODE_SCANS = 64
+
 # _compute_lbd switches to np.unique at this clause length (see
-# Solver._compute_lbd); below it a Python set comprehension is faster.
+# Solver._compute_lbd, which keeps its own copy); below it a Python set
+# comprehension is faster.
 MIN_VECTOR_LBD = 64
+
+# Reason clauses at least this long go through the vectorized analyze /
+# minimize assists (see Solver's _VECTOR_ANALYZE_THRESHOLD); the numpy
+# round-trip breaks even against the interpreted scan at roughly this
+# length.
+MIN_VECTOR_SCAN = 64
 
 
 def make_kernel(solver: "Solver") -> "VectorKernel | None":
@@ -102,10 +129,20 @@ class VectorKernel:
 
     def __init__(self, solver: "Solver") -> None:
         self._solver = solver
-        self._assign = _np.zeros(max(len(solver._assign), 16), dtype=_np.int8)
+        cap = max(len(solver._assign), 16)
+        self._assign = _np.zeros(cap, dtype=_np.int8)
         self._trail_mark = 0
+        # Decision-level mirror for the conflict-path assists.  Synced
+        # lazily (only when analysis runs) from its own trail mark; stale
+        # values are never read because every consumer looks up variables
+        # that are currently assigned, and those are always synced.
+        self._levels = _np.zeros(cap, dtype=_np.int32)
+        self._level_mark = 0
         # encoded literal -> (abs(blockers) int32, sign(blockers) int8)
         self._cache: dict[int, tuple["_np.ndarray", "_np.ndarray"]] = {}
+        # Per-encoded-literal filter governor: >= 0 counts consecutive
+        # low-prune filtered scans, < 0 counts remaining scalar-mode scans.
+        self._filter_state: list[int] = []
         # The solver may be handed to the kernel mid-life (not the case
         # today, but cheap to be correct about): sync any existing trail.
         self._sync_assign()
@@ -117,9 +154,13 @@ class VectorKernel:
     def _ensure_capacity(self, n: int) -> "_np.ndarray":
         arr = self._assign
         if arr.shape[0] < n:
-            grown = _np.zeros(max(n, 2 * arr.shape[0]), dtype=_np.int8)
+            cap = max(n, 2 * arr.shape[0])
+            grown = _np.zeros(cap, dtype=_np.int8)
             grown[: arr.shape[0]] = arr
             self._assign = arr = grown
+            grown_levels = _np.zeros(cap, dtype=_np.int32)
+            grown_levels[: self._levels.shape[0]] = self._levels
+            self._levels = grown_levels
         return arr
 
     def _sync_assign(self) -> None:
@@ -155,6 +196,8 @@ class VectorKernel:
                 np_assign[_np.abs(lits)] = 0
         if self._trail_mark > new_length:
             self._trail_mark = new_length
+        if self._level_mark > new_length:
+            self._level_mark = new_length
 
     def invalidate(self) -> None:
         """Drop all cached watch arrays (arena compaction reorders lists)."""
@@ -187,6 +230,7 @@ class VectorKernel:
         size = arena.size
         deleted = arena.deleted
         cache = self._cache
+        filter_state = self._filter_state
         np_assign = self._ensure_capacity(len(assign))
         propagated = 0
         conflict = _NO_CLAUSE
@@ -201,26 +245,122 @@ class VectorKernel:
             if not n:
                 continue
             pairs = n >> 1
-            entry = None
-            if pairs >= MIN_VECTOR_PAIRS:
-                self._sync_assign()
-                np_assign = self._assign  # _sync_assign may have grown it
-                entry = cache.get(e)
-                if entry is None or entry[0].shape[0] != pairs:
-                    blockers = np.array(wl[1::2], dtype=np.int32)
-                    entry = (np.abs(blockers),
-                             np.sign(blockers).astype(np.int8))
-                    cache[e] = entry
-                signed = np_assign[entry[0]] * entry[1]
-                survivors = np.nonzero(signed != _TRUE)[0]
-                if survivors.shape[0] == 0:
-                    continue  # every entry blocker-satisfied: skip the list
-                pending = survivors.tolist()
-            else:
-                pending = range(pairs)
-            removed: set[int] | None = None
+            use_filter = pairs >= MIN_VECTOR_PAIRS
+            if use_filter:
+                if e >= len(filter_state):
+                    filter_state.extend(
+                        [0] * (len(watches) - len(filter_state)))
+                mode = filter_state[e]
+                if mode < 0:
+                    filter_state[e] = mode + 1
+                    use_filter = False
+            if not use_filter:
+                # Short list (or one the governor demoted): the
+                # interpreted body with in-place j-compaction (identical
+                # to Solver._propagate) beats any numpy round-trip.  The
+                # cache is popped when the pass changed anything a cached
+                # blocker array could reflect.
+                i = j = 0
+                mutated = False
+                while i < n:
+                    cid = wl[i]
+                    blocker = wl[i + 1]
+                    i += 2
+                    value = (assign[blocker] if blocker > 0
+                             else -assign[-blocker])
+                    if value == _TRUE:
+                        wl[j] = cid
+                        wl[j + 1] = blocker
+                        j += 2
+                        continue
+                    if deleted[cid]:
+                        continue  # lazily drop clauses removed by reduce_db
+                    s = start[cid]
+                    # Normalize: put the false literal in slot 1.
+                    if lits[s] == false_lit:
+                        lits[s] = lits[s + 1]
+                        lits[s + 1] = false_lit
+                    first = lits[s]
+                    if first != blocker:
+                        value = (assign[first] if first > 0
+                                 else -assign[-first])
+                        if value == _TRUE:
+                            wl[j] = cid
+                            wl[j + 1] = first
+                            j += 2
+                            mutated = True
+                            continue
+                    # Search for a replacement watch.
+                    end = s + size[cid]
+                    found = False
+                    for k in range(s + 2, end):
+                        other = lits[k]
+                        if (assign[other] if other > 0
+                                else -assign[-other]) != _FALSE:
+                            lits[s + 1] = other
+                            lits[k] = false_lit
+                            new_list = watches[2 * other if other > 0
+                                               else -2 * other + 1]
+                            new_list.append(cid)
+                            new_list.append(first)
+                            found = True
+                            break
+                    if found:
+                        continue
+                    # Clause is unit or conflicting.
+                    wl[j] = cid
+                    wl[j + 1] = first
+                    j += 2
+                    if first != blocker:
+                        mutated = True
+                    if value == _FALSE:
+                        # Conflict: keep remaining watches and report.
+                        while i < n:
+                            wl[j] = wl[i]
+                            wl[j + 1] = wl[i + 1]
+                            i += 2
+                            j += 2
+                        conflict = cid
+                        break
+                    # Enqueue the unit (inlined _enqueue: `first` is
+                    # unassigned).
+                    var = first if first > 0 else -first
+                    assign[var] = _TRUE if first > 0 else _FALSE
+                    level[var] = len(trail_lim)
+                    reason[var] = cid
+                    phase[var] = first > 0
+                    trail.append(first)
+                del wl[j:]
+                if mutated or j != n:
+                    cache.pop(e, None)
+                if conflict != _NO_CLAUSE:
+                    break
+                continue
+            # Long list: filter out blocker-satisfied entries in bulk and
+            # complete the survivors scalar-wise.
+            self._sync_assign()
+            np_assign = self._assign  # _sync_assign may have grown it
+            entry = cache.get(e)
+            if entry is None or entry[0].shape[0] != pairs:
+                blockers = np.array(wl[1::2], dtype=np.int32)
+                entry = (np.abs(blockers),
+                         np.sign(blockers).astype(np.int8))
+                cache[e] = entry
+            signed = np_assign[entry[0]] * entry[1]
+            survivors = np.nonzero(signed != _TRUE)[0]
+            if survivors.shape[0] * 4 > pairs * 3:
+                # Pruned less than a quarter: another strike toward
+                # demoting this list to the interpreted scan.
+                mode += 1
+                filter_state[e] = (-_SCALAR_MODE_SCANS
+                                   if mode >= _FILTER_PATIENCE else mode)
+            elif mode:
+                filter_state[e] = 0
+            if survivors.shape[0] == 0:
+                continue  # every entry blocker-satisfied: skip the list
+            removed: list[int] | None = None
             mutated = False
-            for kp in pending:
+            for kp in survivors.tolist():
                 i = kp << 1
                 cid = wl[i]
                 blocker = wl[i + 1]
@@ -230,8 +370,8 @@ class VectorKernel:
                 if deleted[cid]:
                     # Lazily drop clauses removed by reduce_db.
                     if removed is None:
-                        removed = set()
-                    removed.add(kp)
+                        removed = []
+                    removed.append(kp)
                     continue
                 s = start[cid]
                 # Normalize: put the false literal in slot 1.
@@ -243,11 +383,7 @@ class VectorKernel:
                     value = assign[first] if first > 0 else -assign[-first]
                     if value == _TRUE:
                         wl[i + 1] = first
-                        if entry is not None:
-                            entry[0][kp] = first if first > 0 else -first
-                            entry[1][kp] = 1 if first > 0 else -1
-                        else:
-                            mutated = True
+                        mutated = True
                         continue
                 # Search for a replacement watch.
                 end = s + size[cid]
@@ -263,18 +399,15 @@ class VectorKernel:
                         new_list.append(cid)
                         new_list.append(first)
                         if removed is None:
-                            removed = set()
-                        removed.add(kp)
+                            removed = []
+                        removed.append(kp)
                         found = True
                         break
                 if found:
                     continue
                 # Clause is unit or conflicting.
                 wl[i + 1] = first
-                if entry is not None:
-                    entry[0][kp] = first if first > 0 else -first
-                    entry[1][kp] = 1 if first > 0 else -1
-                else:
+                if first != blocker:
                     mutated = True
                 if value == _FALSE:
                     # Conflict: remaining entries are untouched (kept).
@@ -288,20 +421,18 @@ class VectorKernel:
                 phase[var] = first > 0
                 trail.append(first)
             if removed:
-                new_wl: list[int] = []
-                append = new_wl.append
-                for kp in range(pairs):
-                    if kp in removed:
-                        continue
-                    idx = kp << 1
-                    append(wl[idx])
-                    append(wl[idx + 1])
-                wl[:] = new_wl
+                # Compact out the removed pairs with one boolean-mask
+                # gather.  The list→array round-trip is taken *after* the
+                # scalar loop so in-place blocker rewrites are captured.
+                flat = np.array(wl, dtype=np.int64).reshape(pairs, 2)
+                keep = np.ones(pairs, dtype=bool)
+                keep[removed] = False
+                wl[:] = flat[keep].ravel().tolist()
                 # Length changed: any cached arrays are stale; and a later
                 # append could restore the old length, so drop eagerly.
                 cache.pop(e, None)
             elif mutated:
-                # Scalar-path blocker rewrite the length check cannot see.
+                # In-place blocker rewrite the length check cannot see.
                 cache.pop(e, None)
             if conflict != _NO_CLAUSE:
                 break
@@ -316,9 +447,133 @@ class VectorKernel:
         """Zeroed per-conflict 'seen' marks (calloc beats a list build)."""
         return _np.zeros(num_vars + 1, dtype=bool)
 
+    def begin_analyze(self) -> None:
+        """Bring the decision-level mirror up to date with the trail.
+
+        Levels are recomputed positionally instead of gathered from the
+        solver's ``_level`` list: a trail entry at index ``i`` was assigned
+        at the level equal to the number of ``trail_lim`` boundaries at or
+        below ``i`` (``_enqueue`` sets ``level[var] = len(trail_lim)`` and
+        then appends), so one ``searchsorted`` over the boundary array
+        yields the whole delta without touching a Python list per literal.
+        """
+        solver = self._solver
+        trail = solver._trail
+        mark = self._level_mark
+        n = len(trail)
+        if mark >= n:
+            return
+        self._ensure_capacity(len(solver._assign))
+        levels = self._levels
+        if n - mark < _MIN_BULK_SYNC:
+            level = solver._level
+            for idx in range(mark, n):
+                lit = trail[idx]
+                var = lit if lit > 0 else -lit
+                levels[var] = level[var]
+        else:
+            np = _np
+            lits = np.fromiter(trail[mark:], dtype=np.int32, count=n - mark)
+            lims = np.fromiter(solver._trail_lim, dtype=np.int64,
+                               count=len(solver._trail_lim))
+            levels[np.abs(lits)] = np.searchsorted(
+                lims, np.arange(mark, n), side="right"
+            ).astype(np.int32)
+        self._level_mark = n
+
+    def scan_reason(self, s: int, n: int, skip_lit: int, current_level: int,
+                    seen: "_np.ndarray", learned: list, to_bump: list) -> int:
+        """One first-UIP resolution step over the clause span ``[s, s+n)``.
+
+        Marks the clause's fresh variables (unseen, level > 0, excluding
+        ``skip_lit`` — the literal being resolved on; 0 for the conflict
+        clause) into ``seen``, appends them to ``to_bump``, appends the
+        below-current-level literals to ``learned``, and returns how many
+        sit at the current decision level — exactly what the interpreted
+        scan in ``Solver._analyze`` does, in the same clause order.
+        """
+        np = _np
+        arr = np.array(self._solver._arena.lits[s:s + n], dtype=np.int32)
+        variables = np.abs(arr)
+        lvl = self._levels[variables]
+        fresh = (lvl > 0) & ~seen[variables]
+        if skip_lit:
+            fresh &= arr != skip_lit
+        marked = variables[fresh]
+        if marked.shape[0] == 0:
+            return 0
+        seen[marked] = True
+        to_bump.extend(marked.tolist())
+        at_current = lvl[fresh] == current_level
+        count = int(at_current.sum())
+        if count != marked.shape[0]:
+            learned.extend(arr[fresh][~at_current].tolist())
+        return count
+
+    def minimize(self, learned: list, seen: "_np.ndarray") -> list:
+        """Learned-clause minimization over the analysis ``seen`` buffer.
+
+        Mirrors ``Solver._minimize``: a literal is redundant when every
+        other literal of its reason clause is either in the learned clause
+        (``seen``) or assigned at level 0.  The predicate is evaluated in
+        one gather for long reason clauses and interpreted for short ones;
+        both orders are irrelevant — the table is fixed for the whole pass.
+        """
+        np = _np
+        solver = self._solver
+        arena = solver._arena
+        lits = arena.lits
+        start = arena.start
+        size = arena.size
+        level = solver._level
+        levels = self._levels
+        reason_of = solver._reason
+        result = [learned[0]]
+        for q in learned[1:]:
+            var_q = q if q > 0 else -q
+            reason = reason_of[var_q]
+            if reason == _NO_CLAUSE:
+                result.append(q)
+                continue
+            s = start[reason]
+            n = size[reason]
+            if n >= MIN_VECTOR_SCAN:
+                arr = np.array(lits[s:s + n], dtype=np.int32)
+                variables = np.abs(arr)
+                ok = (seen[variables] | (levels[variables] == 0)
+                      | (variables == var_q))
+                if bool(ok.all()):
+                    continue
+                result.append(q)
+                continue
+            redundant = True
+            for k in range(s, s + n):
+                r = lits[k]
+                var_r = r if r > 0 else -r
+                if var_r != var_q and not seen[var_r] and level[var_r] != 0:
+                    redundant = False
+                    break
+            if not redundant:
+                result.append(q)
+        return result
+
     def compute_lbd(self, clause: Sequence["Lit"]) -> int:
-        """Distinct decision levels of ``clause`` via ``np.unique``."""
-        level = self._solver._level
-        arr = _np.fromiter((level[q if q > 0 else -q] for q in clause),
-                           dtype=_np.int64, count=len(clause))
-        return int(_np.unique(arr).shape[0])
+        """Distinct decision levels of ``clause`` via ``np.unique``.
+
+        Gathers from the level mirror (valid: ``begin_analyze`` ran for
+        this conflict and backtracking rewrites neither the mirror nor the
+        solver's ``_level`` entries for popped variables).
+        """
+        arr = _np.array(clause, dtype=_np.int32)
+        return int(_np.unique(self._levels[_np.abs(arr)]).shape[0])
+
+    def rescale_activity(self, factor: float) -> None:
+        """Multiply every variable activity by ``factor`` in one sweep.
+
+        The solver stores activities in an ``array('d')``, so a transient
+        ``np.frombuffer`` view rescales them zero-copy.  The view must not
+        outlive this call: while it exists the buffer is pinned and
+        ``array.append`` (``new_var``) would raise ``BufferError``.
+        """
+        view = _np.frombuffer(self._solver._activity, dtype=_np.float64)
+        view *= factor

@@ -31,12 +31,11 @@ remaps watcher lists and reason references in one sweep.
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterable, Sequence
 
-import heapq
-
 from repro.sat.cnf import CNF
-from repro.sat.types import ClauseArena, Lit, Model, Status, Var
+from repro.sat.types import ClauseArena, Lit, Model, Status, Var, VarOrderHeap
 
 _TRUE = 1
 _FALSE = -1
@@ -46,8 +45,15 @@ _UNASSIGNED = 0
 _NO_CLAUSE = -1
 
 # Clause length at which LBD computation is handed to the vector kernel
-# (np.unique); shorter clauses are faster through a Python set.
+# (np.unique over the kernel's level mirror); shorter clauses are faster
+# through a Python set.
 _VECTOR_LBD_THRESHOLD = 64
+
+# Reason-clause length at which the first-UIP scan is handed to the vector
+# kernel (bulk seen/level gather); the numpy round-trip (array build,
+# double gather, boolean mask, tolist) breaks even against the interpreted
+# scan at roughly this length.
+_VECTOR_ANALYZE_THRESHOLD = 64
 
 
 def luby(i: int) -> int:
@@ -93,7 +99,9 @@ class Solver:
         self._level: list[int] = [0]
         self._reason: list[int] = [_NO_CLAUSE]
         self._phase: list[bool] = [False]
-        self._activity: list[float] = [0.0]
+        # float64 activity storage: array('d') so the vector kernel can
+        # rescale it through a zero-copy numpy view in one operation.
+        self._activity = array("d", [0.0])
         self._trail: list[Lit] = []
         self._trail_lim: list[int] = []
         self._qhead = 0
@@ -107,9 +115,11 @@ class Solver:
         self._restart_base = restart_base
         self._ok = True  # False once a top-level conflict is found
         self._assumption_levels: list[int] = []
-        # Lazy max-heap over variable activities; stale entries are skipped
-        # on pop and re-pushed on unassignment/bump.
-        self._order_heap: list[tuple[float, Var]] = []
+        # Indexed max-heap over variable activities: one entry per
+        # variable, reordered in place on bump (decrease-key), so
+        # backtracking re-inserts only consumed variables instead of
+        # re-pushing duplicates.
+        self._order_heap = VarOrderHeap(self._activity)
         self.stats: dict[str, int] = {
             "conflicts": 0,
             "decisions": 0,
@@ -157,7 +167,7 @@ class Solver:
         self._activity.append(0.0)
         self._watches.append([])
         self._watches.append([])
-        heapq.heappush(self._order_heap, (0.0, self._num_vars))
+        self._order_heap.push(self._num_vars)
         return self._num_vars
 
     def _ensure_var(self, var: Var) -> None:
@@ -428,13 +438,12 @@ class Solver:
             self._kernel.on_unassign(self._trail[limit:], limit)
         assign = self._assign
         reason = self._reason
-        activity = self._activity
         heap = self._order_heap
         for lit in reversed(self._trail[limit:]):
             var = lit if lit > 0 else -lit
             assign[var] = _UNASSIGNED
             reason[var] = _NO_CLAUSE
-            heapq.heappush(heap, (-activity[var], var))
+            heap.push(var)
         del self._trail[limit:]
         del self._trail_lim[level:]
         self._qhead = len(self._trail)
@@ -443,14 +452,36 @@ class Solver:
     # Conflict analysis (first UIP)
     # ------------------------------------------------------------------
 
-    def _bump_var(self, var: Var) -> None:
-        self._activity[var] += self._activity_inc
-        if self._activity[var] > 1e100:
-            for v in range(1, self._num_vars + 1):
-                self._activity[v] *= 1e-100
+    def _bump_vars(self, to_bump: Sequence[Var]) -> None:
+        """Bump every variable in ``to_bump`` by the current increment.
+
+        Conflict analysis batches its bumps: the adds are applied first,
+        then one rescale decision covers the whole batch (the vector
+        kernel rescales through a zero-copy numpy view of the float64
+        activity array in a single vector multiply; the interpreted path
+        loops), then the order-heap reorderings run in batch order.  A
+        variable can appear twice (its ``seen`` mark was consumed by
+        resolution and re-marked from a later reason clause) and is then
+        bumped twice, exactly as the per-literal path did.
+        """
+        activity = self._activity
+        inc = self._activity_inc
+        rescale = False
+        for var in to_bump:
+            bumped = activity[var] + inc
+            activity[var] = bumped
+            if bumped > 1e100:
+                rescale = True
+        if rescale:
+            if self._kernel is not None:
+                self._kernel.rescale_activity(1e-100)
+            else:
+                for v in range(1, self._num_vars + 1):
+                    activity[v] *= 1e-100
             self._activity_inc *= 1e-100
-        if self._assign[var] == _UNASSIGNED:
-            heapq.heappush(self._order_heap, (-self._activity[var], var))
+        heap = self._order_heap
+        for var in to_bump:
+            heap.update(var)
 
     def _bump_clause(self, cid: int) -> None:
         arena = self._arena
@@ -465,76 +496,127 @@ class Solver:
         self._clause_inc /= self._clause_decay
 
     def _analyze(self, conflict: int) -> tuple[list[Lit], int]:
-        """First-UIP analysis; returns (learned clause, backjump level)."""
+        """First-UIP analysis; returns (learned clause, backjump level).
+
+        Both kernels share this loop; the vector kernel replaces the
+        per-literal reason-clause scan (seen marking + level classify) with
+        a bulk gather when the clause is long enough, and the two produce
+        the same ``learned``/``to_bump`` sequences in the same order, so
+        search trajectories stay bit-identical.
+        """
         arena = self._arena
+        arena_lits = arena.lits
+        arena_start = arena.start
+        arena_size = arena.size
+        level = self._level
+        trail = self._trail
+        kernel = self._kernel
         learned: list[Lit] = []
-        seen = ([False] * (self._num_vars + 1) if self._kernel is None
-                else self._kernel.seen_buffer(self._num_vars))
+        to_bump: list[Var] = []
+        seen = ([False] * (self._num_vars + 1) if kernel is None
+                else kernel.seen_buffer(self._num_vars))
         counter = 0
         lit: Lit | None = None
         if arena.learned[conflict]:
             self._bump_clause(conflict)
-        reason_clause = arena.clause(conflict)
-        index = len(self._trail)
+        cid = conflict
+        index = len(trail)
         current_level = self._decision_level()
+        if kernel is not None:
+            kernel.begin_analyze()
 
         while True:
-            for q in reason_clause:
-                var = abs(q)
-                if q == lit:
-                    continue
-                if not seen[var] and self._level[var] > 0:
-                    seen[var] = True
-                    self._bump_var(var)
-                    if self._level[var] == current_level:
-                        counter += 1
-                    else:
-                        learned.append(q)
+            s = arena_start[cid]
+            n = arena_size[cid]
+            if kernel is not None and n >= _VECTOR_ANALYZE_THRESHOLD:
+                counter += kernel.scan_reason(
+                    s, n, 0 if lit is None else lit, current_level,
+                    seen, learned, to_bump)
+            else:
+                for k in range(s, s + n):
+                    q = arena_lits[k]
+                    if q == lit:
+                        continue
+                    var = q if q > 0 else -q
+                    if not seen[var] and level[var] > 0:
+                        seen[var] = True
+                        to_bump.append(var)
+                        if level[var] == current_level:
+                            counter += 1
+                        else:
+                            learned.append(q)
             # Pick the next trail literal at the current level to resolve on.
             while True:
                 index -= 1
-                lit = self._trail[index]
-                if seen[abs(lit)]:
+                lit = trail[index]
+                if seen[lit if lit > 0 else -lit]:
                     break
             counter -= 1
-            seen[abs(lit)] = False
+            seen[lit if lit > 0 else -lit] = False
             if counter == 0:
                 learned.insert(0, -lit)
                 break
-            reason = self._reason[abs(lit)]
-            assert reason != _NO_CLAUSE, "UIP literal must have a reason"
-            if arena.learned[reason]:
-                self._bump_clause(reason)
-            reason_clause = arena.clause(reason)
+            cid = self._reason[lit if lit > 0 else -lit]
+            assert cid != _NO_CLAUSE, "UIP literal must have a reason"
+            if arena.learned[cid]:
+                self._bump_clause(cid)
 
-        # Clause minimization: drop literals implied by the rest.
-        learned = self._minimize(learned)
+        self._bump_vars(to_bump)
+
+        # Clause minimization: drop literals implied by the rest.  After the
+        # loop `seen` marks exactly the variables of learned[1:] (everything
+        # at the conflict level was consumed by resolution), so it doubles
+        # as the membership table once the asserting literal is added.
+        seen[learned[0] if learned[0] > 0 else -learned[0]] = True
+        learned = self._minimize(learned, seen)
 
         if len(learned) == 1:
             return learned, 0
         # Backjump to the second-highest level in the clause.
-        levels = sorted((self._level[abs(q)] for q in learned[1:]), reverse=True)
+        levels = sorted((level[abs(q)] for q in learned[1:]), reverse=True)
         backjump = levels[0]
         # Move a literal of the backjump level into slot 1 for watching.
         for k in range(1, len(learned)):
-            if self._level[abs(learned[k])] == backjump:
+            if level[abs(learned[k])] == backjump:
                 learned[1], learned[k] = learned[k], learned[1]
                 break
         return learned, backjump
 
-    def _minimize(self, learned: list[Lit]) -> list[Lit]:
-        """Remove literals whose reasons are subsumed by the learned clause."""
+    def _minimize(self, learned: list[Lit], seen) -> list[Lit]:
+        """Remove literals whose reasons are subsumed by the learned clause.
+
+        ``seen`` is the analysis buffer, re-used as the membership table:
+        truthy exactly for the variables of ``learned``.  Redundancy is a
+        pure per-literal predicate over that fixed table, so the kernel
+        can evaluate long reason clauses in bulk without changing results.
+        """
+        if self._kernel is not None:
+            return self._kernel.minimize(learned, seen)
         arena = self._arena
-        marked = set(abs(q) for q in learned)
+        arena_lits = arena.lits
+        arena_start = arena.start
+        arena_size = arena.size
+        level = self._level
+        reason_of = self._reason
         result = [learned[0]]
         for q in learned[1:]:
-            reason = self._reason[abs(q)]
+            var_q = q if q > 0 else -q
+            reason = reason_of[var_q]
             if reason == _NO_CLAUSE:
                 result.append(q)
                 continue
-            if all(abs(r) in marked or self._level[abs(r)] == 0
-                   for r in arena.clause(reason) if r != -q):
-                continue  # q is redundant
+            s = arena_start[reason]
+            redundant = True
+            for k in range(s, s + arena_size[reason]):
+                r = arena_lits[k]
+                var_r = r if r > 0 else -r
+                if var_r == var_q:
+                    continue  # the implied literal itself
+                if not seen[var_r] and level[var_r] != 0:
+                    redundant = False
+                    break
+            if redundant:
+                continue  # q is implied by the rest of the clause
             result.append(q)
         return result
 
@@ -673,21 +755,26 @@ class Solver:
     # ------------------------------------------------------------------
 
     def _pick_branch_var(self) -> Var | None:
-        while self._order_heap:
-            neg_activity, var = heapq.heappop(self._order_heap)
-            if self._assign[var] != _UNASSIGNED:
-                continue  # stale entry
-            if -neg_activity < self._activity[var]:
-                # Stale activity snapshot: re-push with the current score.
-                heapq.heappush(self._order_heap, (-self._activity[var], var))
-                continue
-            return var
-        # Heap exhausted: fall back to a linear scan (covers vars whose heap
-        # entries were all consumed as stale).
-        for var in range(1, self._num_vars + 1):
-            if self._assign[var] == _UNASSIGNED:
+        heap = self._order_heap
+        assign = self._assign
+        while True:
+            var = heap.pop()
+            if var is None:
+                break
+            if assign[var] == _UNASSIGNED:
                 return var
-        return None
+        # Heap exhausted (entries consumed while their variables were later
+        # assigned by propagation): fall back to a scan that still respects
+        # activity order — highest activity wins, ties to the lowest index —
+        # so the choice matches what the heap would have produced.
+        activity = self._activity
+        best: Var | None = None
+        best_act = -1.0
+        for var in range(1, self._num_vars + 1):
+            if assign[var] == _UNASSIGNED and activity[var] > best_act:
+                best = var
+                best_act = activity[var]
+        return best
 
     # ------------------------------------------------------------------
     # Main search loop

@@ -142,6 +142,122 @@ class ClauseArena:
         return len(self.start)
 
 
+class VarOrderHeap:
+    """Indexed binary max-heap over variable activities with decrease-key.
+
+    The solver's VSIDS branching order.  Each variable appears **at most
+    once**; ``_pos`` maps a variable to its slot in the heap array (or -1
+    when absent), which is what makes in-place reordering possible:
+    bumping a variable's activity sifts its existing entry up
+    (:meth:`update`) instead of pushing a duplicate the way a lazy
+    ``heapq`` scheme does.  Backtracking therefore re-inserts only the
+    variables that were actually consumed, and :meth:`pop` never has to
+    skip stale entries — the heap size is bounded by the variable count
+    rather than growing with the number of backtracks.
+
+    Ordering: higher activity first; ties break toward the smaller
+    variable index, so the pop order is deterministic (a total order —
+    variable indices are unique).
+
+    ``activity`` is held by reference and shared with the solver, which
+    mutates it in place (bump, rescale).  A uniform rescale preserves the
+    relative order, so no re-heapify is needed; a bump must be followed
+    by :meth:`update` on the bumped variable.
+    """
+
+    __slots__ = ("activity", "_heap", "_pos")
+
+    def __init__(self, activity) -> None:
+        self.activity = activity
+        self._heap: list[Var] = []
+        self._pos: list[int] = [-1]  # index 0 unused
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __contains__(self, var: Var) -> bool:
+        return var < len(self._pos) and self._pos[var] >= 0
+
+    def grow(self, var: Var) -> None:
+        """Extend the position table to cover variables up to ``var``."""
+        pos = self._pos
+        while len(pos) <= var:
+            pos.append(-1)
+
+    def _sift_up(self, i: int) -> None:
+        heap, pos, activity = self._heap, self._pos, self.activity
+        var = heap[i]
+        act = activity[var]
+        while i > 0:
+            parent = (i - 1) >> 1
+            pvar = heap[parent]
+            pact = activity[pvar]
+            if pact > act or (pact == act and pvar < var):
+                break
+            heap[i] = pvar
+            pos[pvar] = i
+            i = parent
+        heap[i] = var
+        pos[var] = i
+
+    def _sift_down(self, i: int) -> None:
+        heap, pos, activity = self._heap, self._pos, self.activity
+        n = len(heap)
+        var = heap[i]
+        act = activity[var]
+        while True:
+            left = 2 * i + 1
+            if left >= n:
+                break
+            best = left
+            bvar = heap[left]
+            bact = activity[bvar]
+            right = left + 1
+            if right < n:
+                rvar = heap[right]
+                ract = activity[rvar]
+                if ract > bact or (ract == bact and rvar < bvar):
+                    best, bvar, bact = right, rvar, ract
+            if act > bact or (act == bact and var < bvar):
+                break
+            heap[i] = bvar
+            pos[bvar] = i
+            i = best
+        heap[i] = var
+        pos[var] = i
+
+    def push(self, var: Var) -> None:
+        """Insert ``var``; a no-op when it is already in the heap."""
+        self.grow(var)
+        if self._pos[var] >= 0:
+            return
+        self._heap.append(var)
+        self._sift_up(len(self._heap) - 1)
+
+    def pop(self) -> Var | None:
+        """Remove and return the highest-activity variable, or ``None``."""
+        heap = self._heap
+        if not heap:
+            return None
+        top = heap[0]
+        self._pos[top] = -1
+        last = heap.pop()
+        if heap:
+            heap[0] = last
+            self._sift_down(0)
+        return top
+
+    def update(self, var: Var) -> None:
+        """Restore heap order after ``var``'s activity increased."""
+        if var < len(self._pos):
+            i = self._pos[var]
+            if i >= 0:
+                self._sift_up(i)
+
+
 @dataclass
 class Model:
     """A satisfying assignment, mapping every variable to a boolean."""

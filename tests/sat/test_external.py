@@ -20,12 +20,14 @@ from repro.sat.external import (
     ExternalRun,
     ExternalSolver,
     ExternalSolverError,
+    IncrementalExternalSolver,
     parse_solver_output,
 )
 from repro.sat.types import Status
 
 SRC = Path(__file__).resolve().parents[2] / "src"
 SELF_HOSTED = [sys.executable, "-m", "repro.sat.dimacs", "solve"]
+INC_SELF_HOSTED = SELF_HOSTED + ["--incremental"]
 
 
 def sample_cnf():
@@ -52,6 +54,32 @@ def fake_solver(tmp_path, body: str) -> list[str]:
     script = tmp_path / "fake_solver.py"
     script.write_text("import sys, time\npath = sys.argv[-1]\n"
                       + textwrap.dedent(body), encoding="utf-8")
+    return [sys.executable, str(script)]
+
+
+def fake_inc_solver(tmp_path, body: str) -> list[str]:
+    """Write a fake *incremental* CDCL server and return its argv.
+
+    ``body`` runs after a header that provides ``answer(*lines)`` (print
+    + flush — piped stdout is block-buffered, so unflushed answers would
+    hang the client) and an ``asks()`` generator yielding each stripped
+    ``a``-line request from stdin.
+    """
+    script = tmp_path / "fake_inc_solver.py"
+    script.write_text(textwrap.dedent("""\
+        import sys, time
+
+        def answer(*lines):
+            for line in lines:
+                print(line)
+            sys.stdout.flush()
+
+        def asks():
+            for raw in sys.stdin:
+                line = raw.strip()
+                if line.startswith("a"):
+                    yield line
+    """) + textwrap.dedent(body), encoding="utf-8")
     return [sys.executable, str(script)]
 
 
@@ -277,3 +305,271 @@ class TestDimacsBackendRegistry:
         assert keyset(ext_enum) == keyset(ref_enum)
         assert ext_enum.solver_stats["external_invocations"] >= \
             len(ext_enum.instances)
+
+
+class TestIncrementalFakeSolver:
+    """iCNF protocol conformance against scripted incremental servers."""
+
+    def test_one_spawn_for_many_solve_rounds(self, tmp_path):
+        # The fake stamps a marker file on every spawn: three solve
+        # rounds (SAT, SAT, UNSAT) must leave exactly one stamp.
+        marker = tmp_path / "spawns.log"
+        command = fake_inc_solver(tmp_path, f"""
+            with open({str(marker)!r}, "a") as fh:
+                fh.write("spawn\\n")
+            rounds = iter([
+                ("s SATISFIABLE", "v 1 2 0"),
+                ("s SATISFIABLE", "v -1 2 0"),
+                ("s UNSATISFIABLE",),
+            ])
+            for _ in asks():
+                answer(*next(rounds))
+        """)
+        with IncrementalExternalSolver(command, timeout=30) as inc:
+            inc.load_cnf(sample_cnf())
+            first = inc.solve()
+            assert first.status is Status.SAT
+            assert first.model.values == {1: True, 2: True, 3: False}
+            inc.add_clause([-1, -2])
+            second = inc.solve()
+            assert second.status is Status.SAT
+            assert second.model.values == {1: False, 2: True, 3: False}
+            inc.add_clause([1, -2])
+            assert inc.solve().status is Status.UNSAT
+            assert inc.spawn_count == 1
+            assert inc.solve_count == 3
+        assert marker.read_text(encoding="utf-8") == "spawn\n"
+
+    def test_server_receives_header_clauses_and_assumptions(self, tmp_path):
+        # The fake echoes its full stdin transcript to a file so the
+        # client's protocol framing can be asserted verbatim.
+        transcript = tmp_path / "stdin.log"
+        command = fake_inc_solver(tmp_path, f"""
+            log = open({str(transcript)!r}, "a")
+            for raw in sys.stdin:
+                log.write(raw)
+                log.flush()
+                if raw.strip().startswith("a"):
+                    answer("s UNSATISFIABLE")
+        """)
+        with IncrementalExternalSolver(command, timeout=30) as inc:
+            inc.load_cnf(sample_cnf())
+            inc.add_clause([3])
+            assert inc.solve([1, -2]).status is Status.UNSAT
+        lines = transcript.read_text(encoding="utf-8").splitlines()
+        assert lines[0] == "p inccnf"
+        assert lines[1:4] == ["1 2 0", "-1 3 0", "-2 -3 0"]
+        assert lines[4] == "3 0"
+        assert lines[5] == "a 1 -2 0"
+
+    def test_mid_stream_crash_is_reported(self, tmp_path):
+        command = fake_inc_solver(tmp_path, """
+            next(asks())
+            answer("s SATISFIABLE", "v 1")  # dies before the terminator
+            print("heap corruption", file=sys.stderr)
+            sys.exit(1)
+        """)
+        inc = IncrementalExternalSolver(command, timeout=30)
+        inc.load_cnf(sample_cnf())
+        with pytest.raises(ExternalSolverError) as excinfo:
+            inc.solve()
+        message = str(excinfo.value)
+        assert "exited mid-solve" in message
+        assert "heap corruption" in message
+        # The instance is burned: further use must fail fast, not hang.
+        with pytest.raises(ExternalSolverError, match="already failed"):
+            inc.solve()
+
+    def test_malformed_v_line_is_rejected(self, tmp_path):
+        command = fake_inc_solver(tmp_path, """
+            for _ in asks():
+                answer("s SATISFIABLE", "v 1 banana 0")
+        """)
+        inc = IncrementalExternalSolver(command, timeout=30)
+        inc.load_cnf(sample_cnf())
+        with pytest.raises(ExternalSolverError, match="malformed v-line"):
+            inc.solve()
+
+    def test_timeout_kills_the_persistent_process(self, tmp_path):
+        command = fake_inc_solver(tmp_path, """
+            next(asks())
+            time.sleep(60)
+        """)
+        inc = IncrementalExternalSolver(command, timeout=0.5)
+        inc.load_cnf(sample_cnf())
+        with pytest.raises(ExternalSolverError,
+                           match="exceeded the 0.5s per-solve timeout"):
+            inc.solve()
+        # The child must actually be dead, not orphaned.
+        assert inc._process.poll() is not None
+
+    def test_one_shot_solver_dies_with_actionable_error(self, tmp_path):
+        # A non-incremental command (exits after reading stdin once) must
+        # produce the "use dimacs: instead" hint, not a hang.
+        command = fake_inc_solver(tmp_path, """
+            sys.stdin.read()
+            sys.exit(0)
+        """)
+        inc = IncrementalExternalSolver(command, timeout=10)
+        inc.load_cnf(sample_cnf())
+        with pytest.raises(ExternalSolverError):
+            inc.solve()
+
+    def test_missing_binary_error_is_actionable(self):
+        inc = IncrementalExternalSolver("definitely-not-a-solver-xyz")
+        with pytest.raises(ExternalSolverError, match="was not found"):
+            inc.load_cnf(sample_cnf())
+
+    def test_empty_command_rejected(self):
+        with pytest.raises(ValueError, match="command is empty"):
+            IncrementalExternalSolver("   ")
+
+
+class TestIncrementalSelfHosted:
+    """The in-tree ``solve --incremental`` server as the external binary."""
+
+    @pytest.fixture(autouse=True)
+    def _pythonpath(self, monkeypatch):
+        existing = os.environ.get("PYTHONPATH")
+        joined = (f"{SRC}{os.pathsep}{existing}" if existing else str(SRC))
+        monkeypatch.setenv("PYTHONPATH", joined)
+
+    def test_enumeration_reuses_one_process(self):
+        # One clause over three vars: seven models, so the single process
+        # serves 8 solve rounds (7 SAT + the closing UNSAT).
+        cnf = CNF()
+        cnf.new_vars(3)
+        cnf.add_clause([1, 2, 3])
+        with IncrementalExternalSolver(INC_SELF_HOSTED, timeout=60) as inc:
+            inc.load_cnf(cnf)
+            models = []
+            while True:
+                run = inc.solve()
+                if run.status is not Status.SAT:
+                    break
+                for clause in cnf.clauses():
+                    assert any(run.model.values[abs(l)] == (l > 0)
+                               for l in clause)
+                models.append(tuple(sorted(run.model.values.items())))
+                inc.add_clause([-v if run.model.values[v] else v
+                                for v in range(1, cnf.num_vars + 1)])
+            assert inc.spawn_count == 1
+            assert inc.solve_count == len(models) + 1
+        assert len(models) == len(set(models)) == 7
+
+    def test_matches_one_shot_model_set(self):
+        # The incremental server and the one-shot CLI must enumerate the
+        # exact same model set of the same formula.
+        cnf = sample_cnf()
+
+        one_shot = set()
+        working = cnf.copy()
+        while True:
+            run = ExternalSolver(SELF_HOSTED, timeout=60).solve_cnf(working)
+            if run.status is not Status.SAT:
+                break
+            one_shot.add(tuple(sorted(run.model.values.items())))
+            working.add_clause([-v if run.model.values[v] else v
+                                for v in range(1, cnf.num_vars + 1)])
+
+        incremental = set()
+        with IncrementalExternalSolver(INC_SELF_HOSTED, timeout=60) as inc:
+            inc.load_cnf(cnf)
+            while True:
+                run = inc.solve()
+                if run.status is not Status.SAT:
+                    break
+                incremental.add(tuple(sorted(run.model.values.items())))
+                inc.add_clause([-v if run.model.values[v] else v
+                                for v in range(1, cnf.num_vars + 1)])
+        assert incremental == one_shot
+
+    def test_unsat_and_assumptions(self):
+        with IncrementalExternalSolver(INC_SELF_HOSTED, timeout=60) as inc:
+            inc.load_cnf(sample_cnf())
+            assert inc.solve([-1, 2]).status is Status.SAT
+            assert inc.solve([1, 2]).status is Status.UNSAT
+            # Assumptions do not stick: the next free solve is SAT again.
+            assert inc.solve().status is Status.SAT
+
+    def test_root_unsat_stays_unsat(self):
+        with IncrementalExternalSolver(INC_SELF_HOSTED, timeout=60) as inc:
+            inc.load_cnf(unsat_cnf())
+            assert inc.solve().status is Status.UNSAT
+            assert inc.solve().status is Status.UNSAT
+
+
+class TestDimacsIncBackend:
+    """The ``dimacs-inc:`` registry prefix and one-spawn enumeration."""
+
+    @pytest.fixture(autouse=True)
+    def _pythonpath(self, monkeypatch):
+        existing = os.environ.get("PYTHONPATH")
+        joined = (f"{SRC}{os.pathsep}{existing}" if existing else str(SRC))
+        monkeypatch.setenv("PYTHONPATH", joined)
+
+    def test_prefix_resolves_dynamically(self):
+        from repro.api.backends import DimacsIncBackend, get_backend
+
+        backend = get_backend("dimacs-inc:picosat-inc")
+        assert isinstance(backend, DimacsIncBackend)
+        assert backend.name == "dimacs-inc:picosat-inc"
+        assert get_backend("dimacs-inc:picosat-inc") is backend
+        # The inc cache is keyed separately from the one-shot cache.
+        assert get_backend("dimacs:picosat-inc") is not backend
+
+    def test_empty_inc_command_rejected(self):
+        from repro.api.backends import get_backend
+
+        with pytest.raises(ValueError, match="empty external solver"):
+            get_backend("dimacs-inc:   ")
+
+    def _problem(self):
+        from repro.kodkod import ast
+        from repro.kodkod.bounds import Bounds
+        from repro.kodkod.universe import Universe
+
+        universe = Universe(["a", "b", "c"])
+        r = ast.Relation("r", 1)
+        bounds = Bounds(universe)
+        bounds.bound(r, universe.empty(1), universe.all_tuples(1))
+        return ast.Some(r), bounds
+
+    def test_enumerate_one_spawn_matches_reinvocation_and_inprocess(self):
+        from repro import api
+
+        formula, bounds = self._problem()
+        inc_name = f"dimacs-inc:{' '.join(INC_SELF_HOSTED)}"
+        one_name = f"dimacs:{' '.join(SELF_HOSTED)}"
+
+        def keyset(res):
+            return {
+                tuple(sorted(
+                    (rel.name, frozenset(inst.value_of(rel)))
+                    for rel in bounds.relations()))
+                for inst in res.instances
+            }
+
+        inc = api.enumerate(formula, bounds, solver=inc_name, limit=16)
+        one = api.enumerate(formula, bounds, solver=one_name, limit=16)
+        ref = api.enumerate(formula, bounds, solver="kodkod", limit=16)
+        assert keyset(inc) == keyset(one) == keyset(ref)
+        assert len(inc.instances) == 7  # Some(r) over 3 atoms: 2^3 - 1
+        # The headline contract: one process for N models (+1 closing
+        # UNSAT round), versus one process per round for the re-invoking
+        # backend.
+        assert inc.solver_stats["external_spawns"] == 1
+        assert inc.solver_stats["external_invocations"] == 8
+        assert one.solver_stats["external_invocations"] == 8
+
+    def test_solve_single_spawn_and_verdict(self):
+        from repro import api
+
+        formula, bounds = self._problem()
+        inc_name = f"dimacs-inc:{' '.join(INC_SELF_HOSTED)}"
+        result = api.solve(formula, bounds, solver=inc_name)
+        reference = api.solve(formula, bounds, solver="kodkod")
+        assert result.verdict == reference.verdict
+        assert result.solver_stats["external_spawns"] == 1
+        assert result.solver_stats["external_invocations"] == 1
+        assert result.solver_stats["kernel"] == "external"

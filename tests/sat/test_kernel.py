@@ -172,6 +172,36 @@ class TestVectorPathProper:
             assert pure.model().values == vector.model().values
         assert pure.stats == vector.stats
 
+    def test_conflict_heavy_trajectory_identical(self):
+        """A pigeonhole core with mirror fanout drives the conflict-path
+        assists (vectorized analyze/minimize/LBD, batched bumps) — stats
+        must stay bit-identical end to end."""
+        pytest.importorskip("numpy")
+        cnf = CNF()
+        holes, fanout = 5, 70
+        v = {}
+        for p in range(holes + 1):
+            for h in range(holes):
+                v[p, h] = cnf.new_var()
+        guard = cnf.new_var()
+        for p in range(holes + 1):
+            cnf.add_clause([v[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(holes + 1):
+                for p2 in range(p1 + 1, holes + 1):
+                    cnf.add_clause([-v[p1, h], -v[p2, h]])
+        for var in [v[p, h] for p in range(holes + 1) for h in range(holes)]:
+            mirror = cnf.new_var()
+            cnf.add_clause([var, mirror])
+            for _ in range(fanout):
+                cnf.add_clause([-mirror, -guard, cnf.new_var()])
+        pure, vector = Solver(kernel="pure"), Solver(kernel="vector")
+        assert pure.add_cnf(cnf) and vector.add_cnf(cnf)
+        assert pure.solve([-guard]) is Status.UNSAT
+        assert vector.solve([-guard]) is Status.UNSAT
+        assert pure.stats == vector.stats
+        assert pure.stats["conflicts"] > 50  # the analyze path really ran
+
     def test_watch_cache_survives_clause_additions(self):
         pytest.importorskip("numpy")
         cnf, g = chain_cnf(n_chain=16, fanout=60, pool=8)
@@ -190,3 +220,89 @@ class TestVectorPathProper:
             assert pure.solve([-g]) is Status.SAT
             assert pure.model().values == vector.model().values
         assert pure.stats == vector.stats
+
+
+class TestCampaignFamilyTrajectories:
+    """Pure-vs-vector trajectory identity on all five campaign families.
+
+    The conflict-path kernel (vectorized analyze/minimize/LBD, batched
+    VSIDS bumps) and the indexed branching heap run on exactly these
+    shapes in production, so the bit-identical contract is pinned on the
+    CNFs the campaign itself induces: relational specs translate
+    directly; the four auction families lift their communication graph
+    into the dynamic consensus check (the paper's SAT-shaped workload).
+    """
+
+    @staticmethod
+    def _family_cnf(family: str, seed: int):
+        from repro.campaign.specs import (
+            RelationalProblem,
+            ScenarioSpec,
+            materialize,
+        )
+
+        scenario = materialize(ScenarioSpec.make(family, seed))
+        if isinstance(scenario, RelationalProblem):
+            from repro.kodkod.translate import Translator
+
+            translation = Translator(scenario.bounds).translate(
+                scenario.formula)
+            return translation.cnf
+        from repro.model import build_dynamic
+
+        # Keep the instance tractable: the first three agents of the
+        # family's network, re-indexed, with a chain fallback so the
+        # induced subgraph stays connected.
+        agents = scenario.network.agents()[:3]
+        index = {agent: i for i, agent in enumerate(agents)}
+        edges = {tuple(sorted((index[a], index[b])))
+                 for a, b in scenario.network.graph.edges
+                 if a in index and b in index}
+        edges.update((i, i + 1) for i in range(len(agents) - 1))
+        model = build_dynamic(num_pnodes=len(agents), num_vnodes=2,
+                              max_value=2, edges=sorted(edges))
+        return model.translate_check().cnf
+
+    @pytest.mark.parametrize("family,seed", [
+        ("relational", 0), ("relational", 7), ("relational", 11),
+        ("mca", 0), ("dispatch", 1), ("uav", 2), ("vnet", 3),
+    ])
+    def test_family_trajectories_identical(self, family, seed):
+        pytest.importorskip("numpy")
+        cnf = self._family_cnf(family, seed)
+        pure, vector = Solver(kernel="pure"), Solver(kernel="vector")
+        loaded = pure.add_cnf(cnf)
+        assert vector.add_cnf(cnf) == loaded
+        if not loaded:
+            return
+        status_pure, status_vector = pure.solve(), vector.solve()
+        assert status_pure == status_vector
+        if status_pure is Status.SAT:
+            assert pure.model().values == vector.model().values
+        assert pure.stats == vector.stats
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_relational_enumeration_identical(self, seed):
+        """Blocking-clause enumeration over a family CNF keeps the two
+        kernels in lock-step round after round."""
+        pytest.importorskip("numpy")
+        cnf = self._family_cnf("relational", seed)
+
+        def enumerate_models(kernel):
+            solver = Solver(kernel=kernel)
+            if not solver.add_cnf(cnf):
+                return [], {}
+            models = []
+            while len(models) < 20 and solver.solve() is Status.SAT:
+                model = solver.model()
+                models.append(tuple(sorted(model.values.items())))
+                blocking = [-v if model.values[v] else v
+                            for v in range(1, cnf.num_vars + 1)]
+                if not solver.add_clause(blocking):
+                    break
+            return models, solver.stats
+
+        pure_models, pure_stats = enumerate_models("pure")
+        vector_models, vector_stats = enumerate_models("vector")
+        assert pure_models == vector_models
+        assert pure_stats == vector_stats

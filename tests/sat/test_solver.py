@@ -478,3 +478,70 @@ class TestSolverProperties:
         first = solver.solve()
         second = solver.solve()
         assert first == second
+
+
+class _FallbackForcedSolver(Solver):
+    """Solver whose branching heap is drained before every decision.
+
+    Every pick therefore goes through the heap-exhausted fallback scan
+    in ``_pick_branch_var``, so comparing its trajectory against a
+    normal solver pins the fallback to the exact heap order.
+    """
+
+    def _pick_branch_var(self):
+        while self._order_heap.pop() is not None:
+            pass
+        return super()._pick_branch_var()
+
+
+class TestBranchFallbackRegression:
+    """The heap-exhausted fallback must respect activity order —
+    highest activity wins, ties to the lowest index — so decisions do
+    not depend on which variables happen to still sit in the heap."""
+
+    @staticmethod
+    def _drained_solver() -> Solver:
+        solver = Solver()
+        cnf = CNF()
+        cnf.new_vars(5)
+        cnf.add_clause([1, 2, 3, 4, 5])
+        assert solver.add_cnf(cnf)
+        while solver._order_heap.pop() is not None:
+            pass
+        return solver
+
+    def test_fallback_picks_highest_activity_ties_to_lowest_var(self):
+        solver = self._drained_solver()
+        solver._activity[2] = 4.0
+        solver._activity[4] = 4.0
+        solver._activity[5] = 1.0
+        assert solver._pick_branch_var() == 2
+
+    def test_fallback_skips_assigned_vars(self):
+        solver = self._drained_solver()
+        solver._activity[2] = 4.0
+        solver._activity[4] = 4.0
+        solver._assign[2] = 1  # _TRUE: var 2 is taken
+        assert solver._pick_branch_var() == 4
+
+    def test_fallback_returns_none_when_all_assigned(self):
+        solver = self._drained_solver()
+        for var in range(1, 6):
+            solver._assign[var] = 1
+        assert solver._pick_branch_var() is None
+
+    @pytest.mark.parametrize("seed", [0, 3, 9, 17])
+    def test_forced_fallback_trajectory_identical(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(8, 14)
+        cnf = random_cnf(num_vars, 4 * num_vars, rng)
+        normal, forced = Solver(), _FallbackForcedSolver()
+        ok = normal.add_cnf(cnf)
+        assert forced.add_cnf(cnf) == ok
+        if not ok:
+            return
+        status = normal.solve()
+        assert forced.solve() is status
+        assert normal.stats == forced.stats
+        if status is Status.SAT:
+            assert normal.model().values == forced.model().values
