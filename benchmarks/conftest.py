@@ -136,6 +136,17 @@ class _Benchmark:
             self._recorder.add(self._artifact, self._name, self._row)
         return result
 
+    def record(self, seconds: float) -> None:
+        """Record one manually-timed sample as the row.
+
+        For single-shot subjects the harness cannot call repeatedly —
+        multi-process cluster drains, anything whose setup dwarfs the
+        repeat budget.  The caller owns warmup and timing.
+        """
+        self._row = {"seconds": round(seconds, 6), "runs": 1}
+        if self._artifact is not None:
+            self._recorder.add(self._artifact, self._name, self._row)
+
     def meta(self, **fields) -> None:
         """Attach structured metadata to the recorded row."""
         if self._row is None:

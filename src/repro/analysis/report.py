@@ -203,6 +203,11 @@ def render_service_table(metrics: dict,
         ["cache_hit_rate", metrics.get("cache_hit_rate")],
         ["delta_reused", metrics.get("delta_reused", 0)],
         ["delta_fallback", metrics.get("delta_fallback", 0)],
+        ["satellite_claims", metrics.get("satellite_claims", 0)],
+        ["satellite_results", metrics.get("satellite_results", 0)],
+        ["leases_expired", metrics.get("leases_expired", 0)],
+        ["leases", " ".join(f"{worker}={count}" for worker, count
+                            in sorted(metrics.get("leases", {}).items()))],
         ["retries", metrics.get("retries", 0)],
         ["recovered", metrics.get("recovered", 0)],
         ["latency", " ".join(f"{bucket}={count}"

@@ -41,6 +41,7 @@ spec pairs.  Every result is provenance-tagged in ``detail["delta"]``
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -67,6 +68,20 @@ TupleEdit = tuple[str, int, tuple]
 
 _ENGINE_SOLVERS = (None, "kodkod", "kodkod-vector")
 """Backends whose solve path the engine DeltaSession reproduces exactly."""
+
+_open_lock = threading.Lock()
+_open_sessions = 0
+
+
+def open_session_count() -> int:
+    """Live (constructed, not yet closed) :class:`DeltaSession` objects.
+
+    The leak detector long-running hosts (the service's worker pool)
+    assert against: every evicted or shut-down session must have been
+    :meth:`~DeltaSession.close`\\ d, releasing its anchored solver.
+    """
+    with _open_lock:
+        return _open_sessions
 
 
 @dataclass(frozen=True)
@@ -234,8 +249,41 @@ class DeltaSession:
         self._anchor_goal: ast.Formula | None = None
         self._anchor_bounds: Bounds | None = None
         self._result: Result | None = None
+        self._closed = False
         self._anchor_solve(problem, path="cold", reason="anchor",
                            run_solve=solve_anchor)
+        global _open_sessions
+        with _open_lock:
+            _open_sessions += 1
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran; a closed session cannot solve."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release the anchored engine session and its live solver.
+
+        Idempotent.  Long-running hosts that cache sessions (the service
+        worker pool's LRU) must close what they evict — dropping the
+        reference alone leaves the solver's clause database alive until
+        a GC cycle finds it.
+        """
+        global _open_sessions
+        if self._closed:
+            return
+        self._closed = True
+        self._engine = None
+        self._anchor_goal = None
+        self._anchor_bounds = None
+        with _open_lock:
+            _open_sessions -= 1
+
+    def __enter__(self) -> "DeltaSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def options(self) -> Options:
@@ -347,6 +395,8 @@ class DeltaSession:
         options=...)`` in every case; ``result.detail["delta"]`` records
         which path answered and why.
         """
+        if self._closed:
+            raise RuntimeError("DeltaSession is closed")
         started = time.perf_counter()
         if self._engine is not None and isinstance(
                 new_problem, (FormulaProblem, ModuleProblem)):

@@ -24,18 +24,26 @@ Layers (stdlib only — ``http.server``, ``threading``, ``json``):
   `/v1/healthz`, `/v1/metrics`) with token-auth and per-client
   token-bucket rate-limit stubs;
 * :mod:`repro.service.client` — a small stdlib client used by the tests,
-  the benchmark and the CI smoke job.
+  the benchmark, the satellites and the CI smoke job;
+* :mod:`repro.service.satellite` — the remote half of the execution
+  fabric: pull-based satellite workers that lease journal entries over
+  HTTP (``POST /v1/claims``), solve through the same ``_solve_worker``
+  the in-process pool uses, and post ``result_to_json`` payloads the hub
+  writes into the shared cache.  Leases carry expiry deadlines; a
+  satellite that dies mid-lease is swept by the hub and its jobs are
+  requeued through the usual attempt-cap machinery.
 
-Run one with ``python -m repro.service`` (see ``--help``).
-
-The job/result schema is deliberately the contract a distributed
-execution fabric can reuse: satellites that claim queue jobs and write
-into the same cache need nothing the wire format does not already carry.
+Run a hub with ``python -m repro.service`` and any number of satellites
+with ``python -m repro.service --satellite http://hub:port`` (see
+``--help``).  One hub can mix its own in-process workers (lease holder
+``"local"``) with remote satellites; ``--no-local-dispatch`` turns the
+hub into a pure coordinator.
 """
 
 from repro.service.app import ServiceConfig, VerificationService
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.queue import JobQueue, JobRecord
+from repro.service.queue import JobQueue, JobRecord, LeaseError, QueueError
+from repro.service.satellite import SatelliteWorker
 from repro.service.schema import (
     SERVICE_SCHEMA,
     JobSubmission,
@@ -49,6 +57,9 @@ __all__ = [
     "JobQueue",
     "JobRecord",
     "JobSubmission",
+    "LeaseError",
+    "QueueError",
+    "SatelliteWorker",
     "SchemaError",
     "ServiceClient",
     "ServiceConfig",

@@ -1,13 +1,19 @@
-"""``python -m repro.service`` — run a verification service.
+"""``python -m repro.service`` — run a verification hub or satellite.
 
-Prints ``serving on http://HOST:PORT`` once the socket is bound (with
-``--port 0`` the kernel picks the port, so callers — the CI smoke job,
-the e2e tests — parse it from this line), then serves until interrupted.
+Hub mode (the default) prints ``serving on http://HOST:PORT`` once the
+socket is bound (with ``--port 0`` the kernel picks the port, so callers
+— the CI smoke job, the e2e tests — parse it from this line), then
+serves until interrupted.
+
+Satellite mode (``--satellite http://hub:port``) prints
+``satellite WORKER_ID polling URL`` and pulls leased jobs from the hub
+until interrupted; it needs no local state directories at all.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import threading
 
@@ -24,10 +30,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="0 binds an ephemeral port (printed on start)")
     parser.add_argument("--workers", type=int, default=2,
                         help="solver processes in the pool")
-    parser.add_argument("--queue-dir", required=True,
-                        help="persistent job journal directory")
-    parser.add_argument("--cache-dir", required=True,
-                        help="content-addressed result cache directory")
+    parser.add_argument("--queue-dir", default=None,
+                        help="persistent job journal directory (hub mode)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="content-addressed result cache directory "
+                             "(hub mode)")
     parser.add_argument("--token", default=None,
                         help="require 'Authorization: Bearer <token>'")
     parser.add_argument("--rate-limit", type=float, default=0.0,
@@ -40,14 +47,62 @@ def build_parser() -> argparse.ArgumentParser:
                         help="jobs claimed per dispatch round")
     parser.add_argument("--task-timeout", type=float, default=120.0,
                         help="pool stall bound in seconds")
+    parser.add_argument("--no-local-dispatch", action="store_true",
+                        help="hub coordinates only: sweep leases and "
+                             "accept results, never solve locally")
     parser.add_argument("--metrics-json", default=None,
                         help="write a final /v1/metrics snapshot here on "
                              "shutdown (BENCH-style artifact)")
+    satellite = parser.add_argument_group(
+        "satellite mode", "pull leased jobs from a remote hub instead "
+        "of serving")
+    satellite.add_argument("--satellite", metavar="HUB_URL", default=None,
+                           help="run as a satellite worker against this "
+                                "hub (no local directories needed)")
+    satellite.add_argument("--worker-id", default=None,
+                           help="satellite worker id (default: generated)")
+    satellite.add_argument("--claim-limit", type=int, default=2,
+                           help="jobs leased per claim request")
+    satellite.add_argument("--lease-seconds", type=float, default=30.0,
+                           help="lease duration; heartbeats renew it at "
+                                "a third of this")
+    satellite.add_argument("--poll-interval", type=float, default=0.25,
+                           help="idle re-poll delay in seconds")
     return parser
 
 
+def _run_satellite(args) -> int:
+    # Imported here so hub mode never pays for it (and vice versa).
+    from repro.service.satellite import SatelliteWorker
+
+    worker = SatelliteWorker(
+        args.satellite,
+        worker_id=args.worker_id,
+        token=args.token,
+        claim_limit=args.claim_limit,
+        lease_seconds=args.lease_seconds,
+        poll_interval=args.poll_interval,
+    )
+    print(f"satellite {worker.worker_id} polling {args.satellite}",
+          flush=True)
+    try:
+        worker.run()
+    except KeyboardInterrupt:
+        worker.stop()
+    print(f"satellite {worker.worker_id} stats: "
+          f"{json.dumps(worker.stats.snapshot(), sort_keys=True)}",
+          flush=True)
+    return 0
+
+
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.satellite is not None:
+        return _run_satellite(args)
+    if args.queue_dir is None or args.cache_dir is None:
+        parser.error("hub mode requires --queue-dir and --cache-dir "
+                     "(or pass --satellite HUB_URL)")
     service = VerificationService(ServiceConfig(
         queue_dir=args.queue_dir,
         cache_dir=args.cache_dir,
@@ -60,6 +115,7 @@ def main(argv=None) -> int:
         max_attempts=args.max_attempts,
         batch_limit=args.batch_limit,
         task_timeout=args.task_timeout,
+        local_dispatch=not args.no_local_dispatch,
     ))
     service.start()
     print(f"serving on {service.url}", flush=True)

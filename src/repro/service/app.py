@@ -1,20 +1,30 @@
-"""The HTTP layer: four versioned endpoints over one service object.
+"""The HTTP layer: the versioned endpoints over one service object.
 
-============================  =========================================
-``POST /v1/jobs``             submit a job (``202``; idempotent — the
-                              same work resubmitted returns the same
-                              content-addressed id with ``created``
-                              false, and a finished job's result is
-                              inlined in the response)
-``GET /v1/jobs/<id>``         poll one job: state envelope + the result
-                              payload once the state is ``done``
-``GET /v1/results/<fp>``      every finished result for one problem
-                              fingerprint (any options)
-``GET /v1/healthz``           liveness + queue counts (never auth-gated)
-``GET /v1/metrics``           queue depth, jobs by state, cache hit
-                              rate, solve-latency histogram, worker
-                              utilization
-============================  =========================================
+==================================  ===================================
+``POST /v1/jobs``                   submit a job (``202``; idempotent —
+                                    the same work resubmitted returns
+                                    the same content-addressed id with
+                                    ``created`` false, and a finished
+                                    job's result is inlined)
+``GET /v1/jobs/<id>``               poll one job: state envelope + the
+                                    result payload once ``done``
+``GET /v1/results/<fp>``            every finished result for one
+                                    problem fingerprint (any options)
+``POST /v1/claims``                 lease up to N pending jobs to a
+                                    remote satellite worker (cache hits
+                                    complete inline; ``delta_of`` jobs
+                                    stay local)
+``POST /v1/jobs/<id>/result``       complete or fail a leased job with
+                                    a ``result_to_json`` payload (409
+                                    on a lapsed lease)
+``POST /v1/claims/<lease>/heartbeat``  extend a live lease's deadline
+``GET /v1/healthz``                 liveness + queue counts (never
+                                    auth-gated)
+``GET /v1/metrics``                 queue depth, jobs by state, leases
+                                    by worker, cache hit rate,
+                                    solve-latency histogram, worker
+                                    utilization
+==================================  ===================================
 
 Served by a stdlib :class:`~http.server.ThreadingHTTPServer` — requests
 are handled on threads, solving happens in the worker pool's processes,
@@ -40,12 +50,26 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 from repro.campaign.runner import ResultCache
-from repro.service.queue import DONE, JobQueue, JobRecord
+from repro.service.queue import (
+    DONE,
+    LOCAL_WORKER,
+    JobQueue,
+    JobRecord,
+    LeaseError,
+    QueueError,
+)
 from repro.service.schema import SERVICE_SCHEMA, SchemaError, decode_submission
 from repro.service.workers import WorkerPool
 
 MAX_BODY_BYTES = 8 * 1024 * 1024
 """Submission size ceiling (a codec tree this large is a client bug)."""
+
+MAX_CLAIM_LIMIT = 32
+"""Jobs one POST /v1/claims may lease (keeps responses bounded)."""
+
+DEFAULT_LEASE_SECONDS = 30.0
+MIN_LEASE_SECONDS = 0.05
+MAX_LEASE_SECONDS = 3600.0
 
 
 @dataclass(frozen=True)
@@ -67,6 +91,9 @@ class ServiceConfig:
     """Requests/second refilled per client (0 disables rate limiting)."""
     burst: int = 20
     """Token-bucket capacity per client."""
+    local_dispatch: bool = True
+    """False runs the hub as a pure coordinator: leases still expire and
+    results are still accepted, but only satellites solve jobs."""
 
 
 class _TokenBucket:
@@ -104,6 +131,7 @@ class VerificationService:
             workers=config.workers,
             task_timeout=config.task_timeout,
             batch_limit=config.batch_limit,
+            claim_jobs=config.local_dispatch,
         )
         self._buckets: dict[str, _TokenBucket] = {}
         self._buckets_lock = threading.Lock()
@@ -164,6 +192,136 @@ class VerificationService:
         self.pool.kick()
         return record, created
 
+    def claim_jobs(self, payload) -> dict:
+        """Lease up to N pending jobs to a remote satellite.
+
+        Jobs whose ``cache_key`` already has a (non-error) cached result
+        are completed inline instead of shipped — a satellite never
+        burns a solve the cache can answer.  ``delta_of`` jobs stay
+        local: their whole point is the hub's warm session LRU.
+        """
+        if not isinstance(payload, dict):
+            raise SchemaError("claim body must be a JSON object")
+        worker = payload.get("worker")
+        if not isinstance(worker, str) or not worker:
+            raise SchemaError("claim needs a non-empty 'worker' id string")
+        if worker == LOCAL_WORKER:
+            raise SchemaError(
+                f"worker id {LOCAL_WORKER!r} is reserved for the hub's "
+                f"own dispatcher")
+        limit = payload.get("limit", 1)
+        if not isinstance(limit, int) or not 1 <= limit <= MAX_CLAIM_LIMIT:
+            raise SchemaError(
+                f"limit must be an integer in 1..{MAX_CLAIM_LIMIT}, "
+                f"got {limit!r}")
+        lease_seconds = payload.get("lease_seconds", DEFAULT_LEASE_SECONDS)
+        if (not isinstance(lease_seconds, (int, float))
+                or not MIN_LEASE_SECONDS <= lease_seconds
+                <= MAX_LEASE_SECONDS):
+            raise SchemaError(
+                f"lease_seconds must be a number in {MIN_LEASE_SECONDS}.."
+                f"{MAX_LEASE_SECONDS}, got {lease_seconds!r}")
+        claims = []
+        while len(claims) < limit:
+            batch = self.queue.claim(
+                limit - len(claims), worker=worker,
+                lease_seconds=float(lease_seconds), skip_delta=True)
+            if not batch:
+                break
+            for record in batch:
+                hit = self.cache.get(record.cache_key)
+                if hit is not None and hit.get("error") is None:
+                    self.queue.complete(record.id, lease=record.lease)
+                    self.pool.metrics.count("cache_hits")
+                    self.pool.metrics.observe_done(
+                        time.time() - record.submitted_at)
+                    continue
+                self.pool.metrics.count("satellite_claims")
+                claims.append({
+                    "id": record.id,
+                    "lease": record.lease,
+                    "deadline": record.lease_deadline,
+                    "attempts": record.attempts,
+                    "kind": record.kind,
+                    "label": record.label,
+                    "cache_key": record.cache_key,
+                    "payload": record.payload,
+                })
+        return {"schema": SERVICE_SCHEMA, "worker": worker,
+                "claims": claims}
+
+    def post_result(self, job_id: str, payload) -> dict:
+        """Accept a leased job's result from a satellite.
+
+        A non-error result is written to the shared cache *before* the
+        job is marked done (the same done-implies-result-on-disk
+        invariant the local pool keeps); an error result parks or
+        requeues the job through the usual machinery.  A post whose
+        lease lapsed raises :class:`LeaseError` (409) — unless the job
+        already finished with the identical content-addressed result, in
+        which case the duplicate is acknowledged idempotently.
+        """
+        if not isinstance(payload, dict):
+            raise SchemaError("result body must be a JSON object")
+        lease = payload.get("lease")
+        if not isinstance(lease, str) or not lease:
+            raise SchemaError("posting a result requires the claim's "
+                              "'lease' id")
+        result = payload.get("result")
+        if not isinstance(result, dict) or "verdict" not in result:
+            raise SchemaError(
+                "'result' must be a result_to_json payload (an object "
+                "with at least a 'verdict')")
+        retryable = bool(payload.get("retryable", False))
+        record = self.queue.get(job_id)
+        if record is None:
+            raise QueueError(f"unknown job {job_id!r}")
+        error = result.get("error")
+        if error is None and record.state != DONE:
+            # Errors are never cached; a good verdict is durably cached
+            # before the journal can say done.
+            self.cache.put(record.cache_key, result)
+        try:
+            if error is None:
+                record = self.queue.complete(job_id, lease=lease)
+                self.pool.metrics.count("satellite_results")
+                self.pool.metrics.observe_done(
+                    time.time() - record.submitted_at)
+            else:
+                record = self.queue.fail(job_id, str(error),
+                                         retryable=retryable, lease=lease)
+                self.pool.metrics.count("satellite_results")
+                if record.state == "pending":
+                    self.pool.metrics.count("retries")
+                else:
+                    self.pool.metrics.count("jobs_error")
+        except QueueError:
+            record = self.queue.get(job_id)
+            if record is not None and record.state == DONE:
+                # The job finished elsewhere (lease expired, someone
+                # re-solved it); same content address, same result.
+                return {**self.job_body(record), "duplicate": True}
+            raise
+        return self.job_body(record)
+
+    def heartbeat_lease(self, lease: str, payload) -> dict:
+        """Extend a live lease's deadline (satellite keep-alive)."""
+        extend = None
+        if isinstance(payload, dict) and "lease_seconds" in payload:
+            extend = payload["lease_seconds"]
+            if (not isinstance(extend, (int, float))
+                    or not MIN_LEASE_SECONDS <= extend
+                    <= MAX_LEASE_SECONDS):
+                raise SchemaError(
+                    f"lease_seconds must be a number in "
+                    f"{MIN_LEASE_SECONDS}..{MAX_LEASE_SECONDS}, "
+                    f"got {extend!r}")
+            extend = float(extend)
+        record = self.queue.heartbeat(lease, extend)
+        return {"schema": SERVICE_SCHEMA, "lease": lease,
+                "id": record.id, "worker": record.worker,
+                "deadline": record.lease_deadline}
+
     def job_body(self, record: JobRecord) -> dict:
         """The GET /v1/jobs/<id> body: envelope + result when done."""
         body = record.envelope()
@@ -189,6 +347,7 @@ class VerificationService:
             "schema": SERVICE_SCHEMA,
             "queue_depth": counts["pending"],
             "jobs": counts,
+            "leases": self.queue.lease_counts(),
             "recovered": self.queue.recovered,
             **self.pool.metrics.snapshot(),
         }
@@ -227,6 +386,10 @@ class _Server(ThreadingHTTPServer):
                  service: VerificationService) -> None:
         self.service = service
         super().__init__(address, handler)
+
+
+_UNREADABLE = object()
+"""Sentinel for a POST body that could not be read (error already sent)."""
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -274,33 +437,56 @@ class _Handler(BaseHTTPRequestHandler):
     # routes
     # ------------------------------------------------------------------
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        if not self._gate(self.path):
-            return
-        if self.path != "/v1/jobs":
-            self._error(404, f"no such endpoint: POST {self.path}")
-            return
+    def _read_json(self):
+        """Parse the POST body; on failure sends the error and returns
+        the ``_UNREADABLE`` sentinel (None is a legal JSON body)."""
         try:
             length = int(self.headers.get("Content-Length", 0))
         except ValueError:
             length = -1
         if length < 0 or length > MAX_BODY_BYTES:
             self._error(413, f"body must be 0..{MAX_BODY_BYTES} bytes")
-            return
+            return _UNREADABLE
         try:
-            payload = json.loads(self.rfile.read(length) or b"null")
+            return json.loads(self.rfile.read(length) or b"null")
         except ValueError:
             self._error(400, "body is not valid JSON")
+            return _UNREADABLE
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if not self._gate(self.path):
             return
         service = self.server.service
+        payload = self._read_json()
+        if payload is _UNREADABLE:
+            return
         try:
-            record, created = service.submit(payload)
+            if self.path == "/v1/jobs":
+                record, created = service.submit(payload)
+                # Re-fetch a locked snapshot: the dispatcher may already
+                # be mutating the live record we were handed back.
+                body = service.job_body(service.queue.get(record.id))
+                body["created"] = created
+                self._send(202, body)
+            elif self.path == "/v1/claims":
+                self._send(200, service.claim_jobs(payload))
+            elif (self.path.startswith("/v1/claims/")
+                    and self.path.endswith("/heartbeat")):
+                lease = self.path[len("/v1/claims/"):-len("/heartbeat")]
+                self._send(200, service.heartbeat_lease(lease, payload))
+            elif (self.path.startswith("/v1/jobs/")
+                    and self.path.endswith("/result")):
+                job_id = self.path[len("/v1/jobs/"):-len("/result")]
+                self._send(200, service.post_result(job_id, payload))
+            else:
+                self._error(404, f"no such endpoint: POST {self.path}")
         except SchemaError as exc:
             self._error(400, str(exc))
-            return
-        body = service.job_body(record)
-        body["created"] = created
-        self._send(202, body)
+        except LeaseError as exc:
+            self._error(409, str(exc))
+        except QueueError as exc:
+            self._error(404 if "unknown job" in str(exc) else 409,
+                        str(exc))
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         if not self._gate(self.path):

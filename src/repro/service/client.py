@@ -82,6 +82,34 @@ class ServiceClient:
         """GET /v1/healthz."""
         return self.request("GET", "/v1/healthz")
 
+    def claim(self, worker: str, *, limit: int = 1,
+              lease_seconds: float = 30.0) -> dict:
+        """POST /v1/claims — lease up to ``limit`` pending jobs.
+
+        Returns ``{"claims": [{"id", "lease", "deadline", "payload",
+        ...}]}``; an empty list means nothing is pending (or everything
+        pending is hub-local, e.g. ``delta_of`` jobs).
+        """
+        return self.request("POST", "/v1/claims", {
+            "worker": worker, "limit": limit,
+            "lease_seconds": lease_seconds,
+        })
+
+    def post_result(self, job_id: str, *, lease: str, worker: str,
+                    result: dict, retryable: bool = False) -> dict:
+        """POST /v1/jobs/<id>/result — complete or fail a leased job."""
+        return self.request("POST", f"/v1/jobs/{job_id}/result", {
+            "lease": lease, "worker": worker, "result": result,
+            "retryable": retryable,
+        })
+
+    def heartbeat(self, lease: str,
+                  lease_seconds: float | None = None) -> dict:
+        """POST /v1/claims/<lease>/heartbeat — extend a live lease."""
+        body = {} if lease_seconds is None else {
+            "lease_seconds": lease_seconds}
+        return self.request("POST", f"/v1/claims/{lease}/heartbeat", body)
+
     def wait(self, job_id: str, *, timeout: float = 120.0,
              poll_interval: float = 0.05) -> dict:
         """Poll one job until it leaves pending/running.

@@ -2,9 +2,11 @@
 
 Every accepted job is an event stream in ``journal.jsonl``::
 
-    {"event": "submit", "id": ..., "payload": {...}, ...}
-    {"event": "start",  "id": ..., "attempt": 1, ...}
-    {"event": "done",   "id": ..., ...}        # or "error" / "requeue"
+    {"event": "submit",  "id": ..., "payload": {...}, ...}
+    {"event": "lease",   "id": ..., "attempt": 1, "worker": "local",
+     "lease": ..., "deadline": null, ...}
+    {"event": "done",    "id": ...}        # or "error" / "requeue"
+    {"event": "release", "id": ..., "lease": ..., "reason": "expired"}
 
 Appends are single ``write()`` calls of one ``\\n``-terminated line,
 flushed and fsynced before :meth:`JobQueue.submit` returns — an accepted
@@ -15,19 +17,37 @@ process died are requeued — each replay/stall costs one attempt, and a
 job that exhausts :attr:`JobQueue.max_attempts` is parked as an error
 instead of crash-looping the service.
 
+**Leases.**  Every claim is a lease: the claim carries the claiming
+``worker`` id and (for remote satellites) an expiry ``deadline``, both
+journaled in the ``lease`` event.  The local dispatcher leases with no
+deadline — its stall-kill machinery already bounds local work — while
+satellite claims over HTTP always carry one.  A lease whose deadline
+passes without a result is swept by :meth:`expire_leases`: the journal
+records a ``release`` (reason ``expired``) and the job is requeued
+through the same ``fail(retryable=True)`` attempt-cap machinery a local
+stall uses, so a satellite dying mid-lease costs exactly one attempt.
+Heartbeats extend a deadline *in memory only*: deadlines need no
+durability because replay requeues every running job anyway (the crash
+already invalidated whoever held the lease on this hub's authority).
+
 State transitions are atomic under one lock shared by the HTTP threads
 and the worker pool; the journal is the only persistent state (results
 live in the content-addressed cache, keyed by each record's
-``cache_key``).
+``cache_key``).  :meth:`get` and :meth:`by_fingerprint` return
+*copies* snapshotted under that lock — HTTP threads render them while
+the dispatcher keeps mutating the live records, and a torn read of a
+half-applied transition must never reach the wire.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import threading
 import time
-from dataclasses import dataclass, field
+import uuid
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.service.schema import SERVICE_SCHEMA, JobSubmission
@@ -39,12 +59,24 @@ ERROR = "error"
 
 STATES = (PENDING, RUNNING, DONE, ERROR)
 
+LOCAL_WORKER = "local"
+"""The lease-holder id of the hub's own dispatcher."""
+
 DEFAULT_MAX_ATTEMPTS = 3
 """Attempts (initial + retries) before a stalling job is parked as error."""
+
+MAX_JOURNALED_ERROR = 500
+"""Cap on journaled error/reason strings — a pathological solver
+traceback must not bloat every future replay of the journal."""
 
 
 class QueueError(RuntimeError):
     """An impossible transition was requested (caller bug)."""
+
+
+class LeaseError(QueueError):
+    """A transition presented a lease the queue no longer honors —
+    lapsed, superseded by a requeue, or simply unknown (HTTP 409)."""
 
 
 @dataclass
@@ -64,6 +96,10 @@ class JobRecord:
     submitted_at: float = 0.0
     started_at: float | None = None
     finished_at: float | None = None
+    worker: str | None = None
+    lease: str | None = None
+    lease_deadline: float | None = None
+    lease_seconds: float | None = None
 
     def envelope(self) -> dict:
         """The job's wire envelope (GET /v1/jobs/<id> body, sans result)."""
@@ -77,13 +113,14 @@ class JobRecord:
             "error": self.error,
             "label": self.label,
             "delta_of": self.delta_of,
+            "worker": self.worker,
             "submitted_at": self.submitted_at,
             "finished_at": self.finished_at,
         }
 
 
 class JobQueue:
-    """Crash-safe persistent queue with atomic state transitions."""
+    """Crash-safe persistent queue with atomic, leased state transitions."""
 
     def __init__(self, directory: str | Path, *,
                  max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> None:
@@ -95,6 +132,7 @@ class JobQueue:
         self._lock = threading.RLock()
         self._jobs: dict[str, JobRecord] = {}
         self._by_fingerprint: dict[str, list[str]] = {}
+        self._leases: dict[str, str] = {}  # live lease id -> job id
         self._recovered = 0
         self._dropped_lines = 0
         self._replay()
@@ -145,10 +183,12 @@ class JobQueue:
                 if isinstance(event, dict):
                     self._apply(event)
         # Jobs mid-flight when the process died: the attempt is lost, so
-        # requeue (or park) exactly as a stall would.
+        # requeue (or park) exactly as a stall would.  Whoever held the
+        # lease held it on the dead hub's authority, so it lapses here.
         for record in self._jobs.values():
             if record.state == RUNNING:
                 self._recovered += 1
+                self._clear_lease(record)
                 if record.attempts >= self.max_attempts:
                     record.state = ERROR
                     record.error = (
@@ -181,21 +221,54 @@ class JobQueue:
         record = self._jobs.get(event.get("id", ""))
         if record is None:
             return  # an event for a submit line that was torn: ignore
-        if kind == "start":
+        if kind in ("start", "lease"):
+            # "start" is the pre-lease spelling of the same transition;
+            # old journals keep replaying (no worker/lease recorded).
+            self._clear_lease(record)
             record.state = RUNNING
             record.attempts = event.get("attempt", record.attempts + 1)
             record.started_at = event.get("t")
+            record.worker = event.get("worker")
+            record.lease = event.get("lease")
+            record.lease_deadline = event.get("deadline")
+            record.lease_seconds = event.get("lease_seconds")
+            if record.lease is not None:
+                self._leases[record.lease] = record.id
         elif kind == "done":
+            # The worker survives completion: a done job's envelope
+            # records who solved it (the preceding lease event set it).
+            self._clear_lease(record, keep_worker=True)
             record.state = DONE
             record.error = None
             record.finished_at = event.get("t")
         elif kind == "error":
+            self._clear_lease(record, keep_worker=True)
             record.state = ERROR
             record.error = event.get("error", "unknown error")
             record.finished_at = event.get("t")
         elif kind == "requeue":
+            self._clear_lease(record)
             record.state = PENDING
             record.error = None
+            # A resubmission-reason requeue restores the full attempt
+            # budget; the event carries the reset so a replayed hub
+            # reconstructs the same budget the live hub granted.
+            if "attempts" in event:
+                record.attempts = event["attempts"]
+        elif kind == "release":
+            # The lease lapsed (or was given back) without a result; the
+            # requeue/error that follows carries the state transition.
+            self._clear_lease(record)
+
+    def _clear_lease(self, record: JobRecord, *,
+                     keep_worker: bool = False) -> None:
+        if record.lease is not None:
+            self._leases.pop(record.lease, None)
+        if not keep_worker:
+            record.worker = None
+        record.lease = None
+        record.lease_deadline = None
+        record.lease_seconds = None
 
     # ------------------------------------------------------------------
     # transitions
@@ -208,7 +281,8 @@ class JobQueue:
         done job is a no-op returning the existing record; resubmitting
         an *errored* job requeues it with a fresh attempt budget (errors
         are never cached, so the client is explicitly asking for a
-        retry).
+        retry).  The attempt reset is journaled with the requeue, so a
+        replayed hub grants the same fresh budget.
         """
         with self._lock:
             existing = self._jobs.get(submission.job_id)
@@ -217,9 +291,11 @@ class JobQueue:
                     existing.state = PENDING
                     existing.error = None
                     existing.attempts = 0
+                    existing.worker = None  # back on the queue, no holder
                     self._append({"event": "requeue",
                                   "id": existing.id,
                                   "reason": "resubmitted",
+                                  "attempts": 0,
                                   "t": time.time()})
                 return existing, False
             now = time.time()
@@ -249,8 +325,18 @@ class JobQueue:
                 record.fingerprint, []).append(record.id)
             return record, True
 
-    def claim(self, limit: int) -> list[JobRecord]:
-        """Atomically move up to ``limit`` pending jobs to running."""
+    def claim(self, limit: int, *, worker: str = LOCAL_WORKER,
+              lease_seconds: float | None = None,
+              skip_delta: bool = False) -> list[JobRecord]:
+        """Atomically lease up to ``limit`` pending jobs to ``worker``.
+
+        Each claim journals a ``lease`` event carrying the worker id and
+        the expiry deadline.  ``lease_seconds=None`` (the local
+        dispatcher) leases without a deadline — local work is bounded by
+        the pool's stall-kill machinery instead.  ``skip_delta`` leaves
+        ``delta_of`` jobs for the local dispatcher, whose warm
+        :class:`~repro.api.DeltaSession` LRU is the whole point of them.
+        """
         claimed: list[JobRecord] = []
         with self._lock:
             for record in self._jobs.values():
@@ -258,56 +344,142 @@ class JobQueue:
                     break
                 if record.state != PENDING:
                     continue
+                if skip_delta and record.delta_of is not None:
+                    continue
                 record.state = RUNNING
                 record.attempts += 1
                 record.started_at = time.time()
-                self._append({"event": "start", "id": record.id,
+                record.worker = worker
+                record.lease = uuid.uuid4().hex
+                record.lease_seconds = lease_seconds
+                record.lease_deadline = (
+                    None if lease_seconds is None
+                    else record.started_at + lease_seconds)
+                self._leases[record.lease] = record.id
+                self._append({"event": "lease", "id": record.id,
                               "attempt": record.attempts,
+                              "worker": worker,
+                              "lease": record.lease,
+                              "deadline": record.lease_deadline,
+                              "lease_seconds": lease_seconds,
                               "t": record.started_at})
                 claimed.append(record)
         return claimed
 
-    def complete(self, job_id: str) -> JobRecord:
-        """running → done (the result is in the cache under cache_key)."""
+    def complete(self, job_id: str, *, lease: str | None = None) -> JobRecord:
+        """running → done (the result is in the cache under cache_key).
+
+        ``lease`` (when given — the HTTP result endpoint always passes
+        it) must match the job's *current* lease: a satellite whose
+        lease lapsed and was requeued to someone else gets
+        :class:`LeaseError`, not a double completion.
+        """
         with self._lock:
-            record = self._require(job_id, RUNNING)
+            record = self._require(job_id, RUNNING, lease=lease)
+            self._clear_lease(record, keep_worker=True)
             record.state = DONE
             record.error = None
             record.finished_at = time.time()
             self._append({"event": "done", "id": record.id,
                           "t": record.finished_at})
-            return record
+            return dataclasses.replace(record)
 
-    def fail(self, job_id: str, error: str, *,
-             retryable: bool = True) -> JobRecord:
+    def fail(self, job_id: str, error: str, *, retryable: bool = True,
+             lease: str | None = None) -> JobRecord:
         """running → pending (stall-kill requeue) or → error (cap hit).
 
         ``retryable=False`` parks the job immediately — a deterministic
         solver crash will not pass on attempt three either; retries are
-        for environmental failures (stalled/killed workers).
+        for environmental failures (stalled/killed workers, lapsed
+        leases).  The error string is capped at
+        :data:`MAX_JOURNALED_ERROR` characters both in memory and in the
+        journal.
         """
         with self._lock:
-            record = self._require(job_id, RUNNING)
-            if retryable and record.attempts < self.max_attempts:
-                record.state = PENDING
-                record.error = None
-                self._append({"event": "requeue", "id": record.id,
-                              "reason": error[:500], "t": time.time()})
-            else:
-                record.state = ERROR
-                record.error = error
-                record.finished_at = time.time()
-                self._append({"event": "error", "id": record.id,
-                              "error": error, "t": record.finished_at})
-            return record
+            record = self._require(job_id, RUNNING, lease=lease)
+            self._clear_lease(record, keep_worker=True)
+            return dataclasses.replace(
+                self._fail_locked(record, error, retryable=retryable))
 
-    def _require(self, job_id: str, state: str) -> JobRecord:
+    def _fail_locked(self, record: JobRecord, error: str, *,
+                     retryable: bool) -> JobRecord:
+        error = error[:MAX_JOURNALED_ERROR]
+        if retryable and record.attempts < self.max_attempts:
+            record.state = PENDING
+            record.error = None
+            record.worker = None  # back on the queue, no holder
+            self._append({"event": "requeue", "id": record.id,
+                          "reason": error, "t": time.time()})
+        else:
+            record.state = ERROR
+            record.error = error
+            record.finished_at = time.time()
+            self._append({"event": "error", "id": record.id,
+                          "error": error, "t": record.finished_at})
+        return record
+
+    def heartbeat(self, lease: str,
+                  extend_seconds: float | None = None) -> JobRecord:
+        """Push a live lease's deadline out by ``extend_seconds``.
+
+        Defaults to the duration the lease was claimed with.  Deadlines
+        are in-memory only (see the module docstring); an unknown or
+        lapsed lease raises :class:`LeaseError`.  Heartbeating a
+        deadline-less (local) lease is a successful no-op.
+        """
+        with self._lock:
+            job_id = self._leases.get(lease)
+            if job_id is None:
+                raise LeaseError(f"unknown or lapsed lease {lease!r}")
+            record = self._jobs[job_id]
+            if record.lease_deadline is not None:
+                seconds = (extend_seconds if extend_seconds is not None
+                           else record.lease_seconds or 0.0)
+                record.lease_deadline = time.time() + seconds
+            return dataclasses.replace(record)
+
+    def expire_leases(self, now: float | None = None) -> list[JobRecord]:
+        """Requeue (or park) every running job whose lease deadline passed.
+
+        Journals a ``release`` (reason ``expired``) per lapsed lease and
+        then runs the job through the same retryable-failure machinery a
+        stall-kill uses — an expired lease costs the attempt it already
+        consumed.  Returns snapshots of the affected records.
+        """
+        swept: list[JobRecord] = []
+        with self._lock:
+            if now is None:
+                now = time.time()
+            for record in self._jobs.values():
+                if record.state != RUNNING:
+                    continue
+                deadline = record.lease_deadline
+                if deadline is None or deadline > now:
+                    continue
+                reason = (f"lease {record.lease} held by "
+                          f"{record.worker!r} expired")
+                self._append({"event": "release", "id": record.id,
+                              "lease": record.lease,
+                              "worker": record.worker,
+                              "reason": "expired", "t": now})
+                self._clear_lease(record)
+                self._fail_locked(record, reason, retryable=True)
+                swept.append(dataclasses.replace(record))
+        return swept
+
+    def _require(self, job_id: str, state: str, *,
+                 lease: str | None = None) -> JobRecord:
         record = self._jobs.get(job_id)
         if record is None:
             raise QueueError(f"unknown job {job_id!r}")
         if record.state != state:
             raise QueueError(
                 f"job {job_id!r} is {record.state}, expected {state}"
+            )
+        if lease is not None and record.lease != lease:
+            raise LeaseError(
+                f"lease {lease!r} no longer holds job {job_id!r} "
+                f"(current holder: {record.worker!r})"
             )
         return record
 
@@ -316,13 +488,15 @@ class JobQueue:
     # ------------------------------------------------------------------
 
     def get(self, job_id: str) -> JobRecord | None:
+        """A consistent *copy* of one job's record (None if unknown)."""
         with self._lock:
-            return self._jobs.get(job_id)
+            record = self._jobs.get(job_id)
+            return None if record is None else dataclasses.replace(record)
 
     def by_fingerprint(self, fingerprint: str) -> list[JobRecord]:
-        """Every job (any state) submitted for one problem fingerprint."""
+        """Copies of every job (any state) for one problem fingerprint."""
         with self._lock:
-            return [self._jobs[jid]
+            return [dataclasses.replace(self._jobs[jid])
                     for jid in self._by_fingerprint.get(fingerprint, [])]
 
     def counts(self) -> dict[str, int]:
@@ -332,6 +506,15 @@ class JobQueue:
             for record in self._jobs.values():
                 counts[record.state] += 1
             return counts
+
+    def lease_counts(self) -> dict[str, int]:
+        """Running jobs per lease-holding worker (the ``leases`` gauge)."""
+        with self._lock:
+            held: dict[str, int] = {}
+            for record in self._jobs.values():
+                if record.state == RUNNING and record.worker is not None:
+                    held[record.worker] = held.get(record.worker, 0) + 1
+            return held
 
     def depth(self) -> int:
         """Pending jobs (the queue-depth gauge)."""

@@ -63,6 +63,9 @@ class ServiceMetrics:
         self.jobs_done = 0
         self.jobs_error = 0
         self.retries = 0
+        self.satellite_claims = 0
+        self.satellite_results = 0
+        self.leases_expired = 0
 
     def count(self, name: str, amount: int = 1) -> None:
         with self._lock:
@@ -107,6 +110,9 @@ class ServiceMetrics:
                                    if completions else None),
                 "delta_reused": self.delta_reused,
                 "delta_fallback": self.delta_fallback,
+                "satellite_claims": self.satellite_claims,
+                "satellite_results": self.satellite_results,
+                "leases_expired": self.leases_expired,
                 "latency_histogram": histogram,
                 "worker_utilization": round(
                     min(1.0, self._busy_seconds / (self._workers * elapsed)),
@@ -121,7 +127,8 @@ class WorkerPool:
                  workers: int = 2,
                  task_timeout: float = DEFAULT_TASK_TIMEOUT,
                  batch_limit: int = 16,
-                 poll_interval: float = 0.05) -> None:
+                 poll_interval: float = 0.05,
+                 claim_jobs: bool = True) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.queue = queue
@@ -130,6 +137,10 @@ class WorkerPool:
         self.task_timeout = task_timeout
         self.batch_limit = max(1, batch_limit)
         self.poll_interval = poll_interval
+        self.claim_jobs = claim_jobs
+        """False runs the hub as a pure coordinator: the dispatcher
+        thread still sweeps expired leases, but never claims work itself
+        — every job is solved by remote satellites."""
         self.metrics = ServiceMetrics(workers)
         self._stop = threading.Event()
         self._wake = threading.Event()
@@ -160,6 +171,8 @@ class WorkerPool:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+        for session in self._sessions.values():
+            session.close()
         self._sessions.clear()
 
     def drain(self, timeout: float = 60.0) -> bool:
@@ -181,6 +194,9 @@ class WorkerPool:
             self._wake.clear()
             if self._stop.is_set():
                 break
+            self._sweep_leases()
+            if not self.claim_jobs:
+                continue
             claimed = self.queue.claim(self.batch_limit)
             if not claimed:
                 continue
@@ -189,6 +205,15 @@ class WorkerPool:
                 self._process(claimed)
             finally:
                 self._idle.set()
+
+    def _sweep_leases(self) -> None:
+        """Requeue jobs whose satellite lease lapsed (every loop tick)."""
+        for record in self.queue.expire_leases():
+            self.metrics.count("leases_expired")
+            if record.state == "pending":
+                self.metrics.count("retries")
+            else:
+                self.metrics.count("jobs_error")
 
     def _process(self, claimed: list[JobRecord]) -> None:
         misses: list[JobRecord] = []
@@ -261,7 +286,8 @@ class WorkerPool:
                                solve_anchor=False)
         self._sessions[key] = session
         while len(self._sessions) > _SESSION_CAP:
-            self._sessions.popitem(last=False)
+            _, evicted = self._sessions.popitem(last=False)
+            evicted.close()
         return session
 
     def _solve_batch(self, records: list[JobRecord]) -> None:

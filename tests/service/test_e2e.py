@@ -8,10 +8,16 @@ The acceptance bar for the service:
   directory) completes entirely from cache — zero new solves, measured
   in ``/v1/metrics``;
 * ``kill -9`` mid-batch loses no accepted job: after a restart on the
-  same queue directory every submitted job still reaches ``done``.
+  same queue directory every submitted job still reaches ``done``;
+* a coordinator hub plus two satellite processes solves the same
+  50-problem batch verdict-identically, and ``kill -9`` of a satellite
+  holding live leases loses no job: the hub's expiry sweep requeues its
+  leases and the surviving satellite finishes the batch.
 """
 
+import json
 import os
+import shutil
 import signal
 import subprocess
 import sys
@@ -91,20 +97,102 @@ class TestAcceptanceBatch:
             warm.stop()
 
 
-def start_server(queue_dir, cache_dir, *, workers=2):
+def start_server(queue_dir, cache_dir, *, workers=2, extra=()):
     """Run ``python -m repro.service`` and parse the bound port."""
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
     process = subprocess.Popen(
         [sys.executable, "-m", "repro.service", "--port", "0",
          "--queue-dir", str(queue_dir), "--cache-dir", str(cache_dir),
-         "--workers", str(workers)],
+         "--workers", str(workers), *extra],
         env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
         text=True, cwd=str(REPO_ROOT),
     )
     line = process.stdout.readline().strip()
     assert line.startswith("serving on "), f"unexpected banner: {line!r}"
     return process, line.removeprefix("serving on ")
+
+
+def start_satellite(url, worker_id, *, lease_seconds=2.0, claim_limit=4,
+                    poll_interval=0.05):
+    """Run ``python -m repro.service --satellite`` against a live hub."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--satellite", url,
+         "--worker-id", worker_id, "--claim-limit", str(claim_limit),
+         "--lease-seconds", str(lease_seconds),
+         "--poll-interval", str(poll_interval)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, cwd=str(REPO_ROOT),
+    )
+    line = process.stdout.readline().strip()
+    assert line.startswith(f"satellite {worker_id} polling"), (
+        f"unexpected banner: {line!r}")
+    return process
+
+
+class TestDistributedSatellites:
+    def test_fifty_problem_batch_survives_a_mid_lease_kill(self, tmp_path):
+        """Hub as pure coordinator, two satellites solving; one satellite
+        is SIGKILLed while it holds live leases.  The hub's expiry sweep
+        requeues the orphaned leases, the survivor finishes the batch,
+        and every verdict matches in-process ``facade.solve`` — zero
+        lost, zero duplicated, zero errored jobs."""
+        queue_dir = tmp_path / "queue"
+        cache_dir = tmp_path / "cache"
+        batch = mixed_batch(50)
+        hub, url = start_server(queue_dir, cache_dir, workers=1,
+                                extra=("--no-local-dispatch",))
+        satellites = [start_satellite(url, f"sat-{i}") for i in range(2)]
+        try:
+            client = ServiceClient(url)
+            jobs = [client.submit(body)["id"] for _, body in batch]
+            assert len(set(jobs)) == 50
+            # Kill -9 the victim the moment it holds >= 2 live leases:
+            # it solves sequentially, so at least one lease dies
+            # unposted and must be swept back into the queue.
+            victim = satellites[0]
+            deadline = time.time() + 120
+            while True:
+                assert time.time() < deadline, \
+                    "sat-0 never held two leases at once"
+                if client.metrics()["leases"].get("sat-0", 0) >= 2:
+                    victim.kill()
+                    victim.wait(timeout=30)
+                    break
+                time.sleep(0.01)
+            for (problem, _), job_id in zip(batch, jobs):
+                final = client.wait(job_id, timeout=300)
+                assert final["state"] == "done", (
+                    f"job {job_id} lost to the dead satellite: {final}")
+                assert final["result"]["verdict"] == \
+                    solve(problem).verdict.value
+            metrics = client.metrics()
+            assert metrics["jobs"]["done"] == 50
+            assert metrics["jobs"]["error"] == 0
+            assert metrics["leases_expired"] >= 1
+            assert metrics["satellite_results"] >= 50 - \
+                metrics["cache_hits"]
+            assert metrics["solves"] == 0  # the hub never solved a thing
+            artifacts = os.environ.get("REPRO_SERVICE_ARTIFACTS")
+            if artifacts:
+                dest = Path(artifacts)
+                dest.mkdir(parents=True, exist_ok=True)
+                shutil.copy(queue_dir / "journal.jsonl",
+                            dest / "distributed-journal.jsonl")
+                (dest / "distributed-metrics.json").write_text(
+                    json.dumps(metrics, indent=2, sort_keys=True))
+        finally:
+            for satellite in satellites:
+                satellite.kill()
+                satellite.wait(timeout=30)
+            hub.send_signal(signal.SIGTERM)
+            try:
+                hub.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                hub.kill()
+                hub.wait(timeout=10)
 
 
 class TestKillDashNine:

@@ -1,0 +1,235 @@
+"""The satellite half of the execution fabric, against in-process hubs.
+
+These tests run the hub as a pure coordinator (``local_dispatch=False``)
+so every solve observed is attributable to the satellite under test:
+claim batching, lease bookkeeping, result posting, heartbeat keep-alive,
+and the hub-side policies (delta jobs stay local, cache hits are
+answered inline, stale posts bounce with 409).  The DeltaSession
+lifecycle regression rides along because the worker pool is the host
+that must not leak evicted sessions.
+"""
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.api import solve
+from repro.api.delta import open_session_count
+from repro.fuzz.codec import problem_to_json
+from repro.fuzz.generators import FuzzSpec, generate
+from repro.service import ServiceConfig, VerificationService
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.satellite import SatelliteWorker
+
+from tests.api.test_delta import free_problem, rebound
+
+
+def formula_body(seed):
+    return {"problem": problem_to_json(
+        generate(FuzzSpec.make("formula", seed)))}
+
+
+@pytest.fixture
+def hub(tmp_path):
+    instance = VerificationService(ServiceConfig(
+        queue_dir=tmp_path / "queue", cache_dir=tmp_path / "cache",
+        workers=1, local_dispatch=False)).start()
+    yield instance
+    instance.stop()
+
+
+@pytest.fixture
+def client(hub):
+    return ServiceClient(hub.url)
+
+
+class TestSatelliteFabric:
+    def test_claim_solve_post_matches_direct_solve(self, hub, client):
+        problems = [generate(FuzzSpec.make("formula", seed))
+                    for seed in range(3)]
+        jobs = [client.submit({"problem": problem_to_json(p)})["id"]
+                for p in problems]
+        worker = SatelliteWorker(hub.url, worker_id="sat-test",
+                                 claim_limit=2)
+        for _ in range(6):
+            if worker.run_once() == 0:
+                break
+        for problem, job_id in zip(problems, jobs):
+            final = client.wait(job_id, timeout=120)
+            assert final["state"] == "done"
+            assert final["result"]["verdict"] == solve(problem).verdict.value
+            assert final["worker"] == "sat-test"
+        metrics = client.metrics()
+        assert metrics["satellite_claims"] == 3
+        assert metrics["satellite_results"] == 3
+        assert metrics["leases_expired"] == 0
+        assert metrics["jobs"] == {"pending": 0, "running": 0,
+                                   "done": 3, "error": 0}
+        assert worker.stats.snapshot()["solved"] == 3
+
+    def test_delta_jobs_stay_local(self, hub, client):
+        """A satellite cold-solve would lose the warm-session provenance
+        delta jobs exist for, so claims never ship them."""
+        problem, r = free_problem()
+        narrowed = rebound(problem, r, drop=[("c",)])
+        anchor = client.submit({"problem": problem_to_json(problem)})
+        delta = client.submit({"problem": problem_to_json(narrowed),
+                               "delta_of": anchor["id"]})
+        body = client.claim("sat-x", limit=10)
+        assert [c["id"] for c in body["claims"]] == [anchor["id"]]
+        assert client.job(delta["id"])["state"] == "pending"
+
+    def test_a_stale_post_bounces_with_409(self, hub, client):
+        job_id = client.submit(formula_body(11))["id"]
+        (claim,) = client.claim("sat-slow", limit=1,
+                                lease_seconds=0.05)["claims"]
+        deadline = time.time() + 30
+        while client.metrics()["leases_expired"] < 1:
+            assert time.time() < deadline, "sweep never expired the lease"
+            time.sleep(0.02)
+        worker = SatelliteWorker(hub.url, worker_id="sat-slow")
+        result = worker._solve_claim(claim)
+        worker._post(claim, result)  # swallows the 409 and counts it
+        assert worker.stats.snapshot()["lost_leases"] == 1
+        with pytest.raises(ServiceError) as info:
+            client.post_result(job_id, lease=claim["lease"],
+                               worker="sat-slow", result=result)
+        assert info.value.status == 409
+        # The job is back in the queue awaiting a fresh claim, unharmed.
+        assert client.job(job_id)["state"] == "pending"
+        assert client.metrics()["jobs"]["error"] == 0
+
+    def test_heartbeats_keep_a_short_lease_alive(self, hub, client):
+        job_id = client.submit(formula_body(12))["id"]
+        (claim,) = client.claim("sat-beat", limit=1,
+                                lease_seconds=0.3)["claims"]
+        # Outlive the original deadline several times over on heartbeats.
+        end = time.time() + 1.2
+        while time.time() < end:
+            client.heartbeat(claim["lease"], 0.5)
+            time.sleep(0.05)
+        assert time.time() > claim["deadline"]
+        assert client.metrics()["leases_expired"] == 0
+        client.heartbeat(claim["lease"], 60.0)  # room to solve and post
+        worker = SatelliteWorker(hub.url, worker_id="sat-beat")
+        body = client.post_result(job_id, lease=claim["lease"],
+                                  worker="sat-beat",
+                                  result=worker._solve_claim(claim))
+        assert body["state"] == "done"
+
+    def test_heartbeat_on_an_unknown_lease_is_409(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.heartbeat("bogus")
+        assert info.value.status == 409
+
+    def test_an_undecodable_claim_payload_parks_the_job(self, hub, client):
+        """A satellite that cannot decode a payload posts a deterministic
+        error instead of crashing its loop; the hub parks the job."""
+        job_id = client.submit(formula_body(15))["id"]
+        (claim,) = client.claim("sat-bad", limit=1)["claims"]
+        worker = SatelliteWorker(hub.url, worker_id="sat-bad")
+        mangled = {**claim, "payload": {"problem": {"kind": "junk"}}}
+        result = worker._solve_claim(mangled)
+        assert "could not decode" in result["error"]
+        worker._post(claim, result)
+        assert worker.stats.snapshot()["errors"] == 1
+        final = client.job(job_id)
+        assert final["state"] == "error"
+        assert "could not decode" in final["error"]
+
+
+class TestHubPolicies:
+    def test_cached_work_is_answered_inline_not_shipped(self, tmp_path):
+        body = formula_body(13)
+        solver_hub = VerificationService(ServiceConfig(
+            queue_dir=tmp_path / "q1", cache_dir=tmp_path / "cache",
+            workers=1)).start()
+        try:
+            first = ServiceClient(solver_hub.url)
+            first.wait(first.submit(body)["id"], timeout=120)
+        finally:
+            solver_hub.stop()
+
+        coordinator = VerificationService(ServiceConfig(
+            queue_dir=tmp_path / "q2", cache_dir=tmp_path / "cache",
+            workers=1, local_dispatch=False)).start()
+        try:
+            client = ServiceClient(coordinator.url)
+            job_id = client.submit(body)["id"]
+            assert client.claim("sat-x", limit=5)["claims"] == []
+            assert client.job(job_id)["state"] == "done"
+            metrics = client.metrics()
+            assert metrics["cache_hits"] == 1
+            assert metrics["satellite_claims"] == 0
+        finally:
+            coordinator.stop()
+
+    @pytest.mark.parametrize("body", [
+        None,
+        {},
+        {"worker": ""},
+        {"worker": 7},
+        {"worker": "local"},
+        {"worker": "sat", "limit": 0},
+        {"worker": "sat", "limit": 999},
+        {"worker": "sat", "limit": "two"},
+        {"worker": "sat", "lease_seconds": 0},
+        {"worker": "sat", "lease_seconds": 1e9},
+    ])
+    def test_malformed_claims_are_400(self, client, body):
+        with pytest.raises(ServiceError) as info:
+            client.request("POST", "/v1/claims", body)
+        assert info.value.status == 400
+
+    def test_malformed_results_are_rejected(self, hub, client):
+        job_id = client.submit(formula_body(14))["id"]
+        (claim,) = client.claim("sat-v", limit=1)["claims"]
+        for body in ({"result": {"verdict": "sat"}},            # no lease
+                     {"lease": claim["lease"]},                 # no result
+                     {"lease": claim["lease"], "result": {}}):  # no verdict
+            with pytest.raises(ServiceError) as info:
+                client.request("POST", f"/v1/jobs/{job_id}/result", body)
+            assert info.value.status == 400
+        with pytest.raises(ServiceError) as info:
+            client.post_result("nope", lease="x", worker="sat-v",
+                               result={"verdict": "sat"})
+        assert info.value.status == 404
+
+
+class TestSessionLifecycle:
+    def test_evicted_and_stopped_sessions_are_closed(self, tmp_path):
+        """Churning the delta-session LRU past its cap must close what it
+        evicts — the regression was sessions leaking live solvers."""
+        from repro.api.options import Options
+        from repro.campaign.runner import ResultCache
+        from repro.service.queue import JobQueue
+        from repro.service.schema import decode_submission
+        from repro.service.workers import _SESSION_CAP, WorkerPool
+
+        queue = JobQueue(tmp_path / "q")
+        pool = WorkerPool(queue, ResultCache(tmp_path / "c"), workers=1)
+        baseline = open_session_count()
+        options = Options.from_json({})
+        for seed in range(_SESSION_CAP + 4):
+            anchor, _ = queue.submit(
+                decode_submission(formula_body(seed)))
+            probe = dataclasses.replace(anchor, delta_of=anchor.id)
+            pool._session_for(probe, options)
+            assert open_session_count() - baseline <= _SESSION_CAP, (
+                "evicted sessions must be closed, not leaked")
+        assert open_session_count() - baseline == _SESSION_CAP
+        pool.stop()
+        queue.close()
+        assert open_session_count() == baseline
+
+    def test_a_closed_session_refuses_to_solve(self):
+        problem, _ = free_problem()
+        from repro.api.delta import DeltaSession
+
+        with DeltaSession(problem, solve_anchor=False) as session:
+            assert not session.closed
+        assert session.closed
+        session.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            session.solve(problem)
